@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Dpc_analysis Dpc_apps Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

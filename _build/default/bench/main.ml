@@ -1,0 +1,61 @@
+(* Benchmark harness entry point: regenerates every figure of the paper's
+   evaluation (Figures 8-16) plus the §5.4 ablation, and optionally the
+   Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe                 # all figures, scaled down
+     dune exec bench/main.exe -- --fig 9      # one figure
+     dune exec bench/main.exe -- --paper-scale
+     dune exec bench/main.exe -- --micro      # micro-benchmarks only *)
+
+let usage () =
+  print_endline "usage: main.exe [--fig <id>] [--paper-scale] [--seed <n>] [--micro] [--list]";
+  print_endline "  ids:";
+  List.iter (fun (name, _) -> Printf.printf "    %s\n" name) Figures.all
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse cfg figs micro = function
+    | [] -> (cfg, figs, micro)
+    | "--paper-scale" :: rest -> parse { cfg with Figures.paper_scale = true } figs micro rest
+    | "--seed" :: n :: rest ->
+        parse { cfg with Figures.seed = int_of_string n } figs micro rest
+    | "--fig" :: id :: rest ->
+        let id = if String.length id <= 2 then "fig" ^ id else id in
+        parse cfg (id :: figs) micro rest
+    | "--micro" :: rest -> parse cfg figs true rest
+    | "--list" :: _ ->
+        usage ();
+        exit 0
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ();
+        exit 2
+  in
+  let cfg, figs, micro = parse Figures.default_config [] false (List.tl args) in
+  let figs = List.rev figs in
+  print_endline "Distributed Provenance Compression - evaluation harness";
+  Printf.printf "scale: %s, seed: %d\n"
+    (if cfg.Figures.paper_scale then "paper" else "scaled-down")
+    cfg.Figures.seed;
+  (* No selection: run everything (all figures plus the micro suite). *)
+  let run_all = figs = [] && not micro in
+  let micro = micro || run_all in
+  let selected =
+    if run_all then Figures.all
+    else if figs = [] then []
+    else
+      List.map
+        (fun id ->
+          match List.assoc_opt id Figures.all with
+          | Some f -> (id, f)
+          | None ->
+              Printf.eprintf "unknown figure id %s\n" id;
+              usage ();
+              exit 2)
+        figs
+  in
+  List.iter (fun (_, f) -> f cfg) selected;
+  if micro then Micro.run ()

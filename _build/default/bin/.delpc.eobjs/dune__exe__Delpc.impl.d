@@ -1,0 +1,1 @@
+bin/delpc.ml: Arg Cmd Cmdliner Dpc_analysis Dpc_apps Dpc_ndlog Filename Format List Printf String Term

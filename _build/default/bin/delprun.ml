@@ -1,0 +1,169 @@
+(* delprun: run a provenance-maintenance scenario and report storage,
+   bandwidth, and query statistics for a chosen scheme.
+
+     dune exec bin/delprun.exe -- forwarding --scheme advanced --pairs 20
+     dune exec bin/delprun.exe -- dns --scheme exspan --requests 500 *)
+
+open Cmdliner
+open Dpc_core
+open Dpc_workload
+
+let scheme_conv =
+  let parse = function
+    | "exspan" -> Ok Backend.S_exspan
+    | "basic" -> Ok Backend.S_basic
+    | "advanced" -> Ok Backend.S_advanced
+    | "advanced+interclass" | "interclass" -> Ok Backend.S_advanced_interclass
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Backend.scheme_name s) in
+  Arg.conv (parse, print)
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Backend.S_advanced
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Provenance scheme: exspan, basic, advanced, or advanced+interclass.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+let queries_arg =
+  Arg.(value & opt int 10 & info [ "queries" ] ~docv:"N" ~doc:"Provenance queries to run.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log every rule firing to stderr.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the first query's provenance trees as Graphviz DOT.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Serialize the provenance store to FILE at the end.")
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let emit_artifacts ~backend ~dot ~checkpoint queries =
+  (match dot with
+  | None -> ()
+  | Some path -> begin
+      match queries with
+      | (q : Query_result.t) :: _ when q.trees <> [] ->
+          write_file path (Prov_dot.forest_to_dot q.trees);
+          Printf.printf "wrote %s (%d trees)\n" path (List.length q.trees)
+      | _ -> prerr_endline "delprun: no query result to render; --dot skipped"
+    end);
+  match checkpoint with
+  | None -> ()
+  | Some path ->
+      let blob = Backend.checkpoint backend in
+      write_file path blob;
+      Printf.printf "wrote %s (%s)\n" path (Dpc_util.Table_fmt.human_bytes (String.length blob))
+
+let report ~backend ~sim ~runtime ~queries =
+  let stats = Dpc_engine.Runtime.stats runtime in
+  Printf.printf "\nexecution: %d events injected, %d rule firings, %d outputs, %d dead ends\n"
+    stats.injected stats.fired stats.outputs stats.dead_ends;
+  Printf.printf "network: %d messages, %s on the wire\n"
+    (Dpc_net.Sim.messages_sent sim)
+    (Dpc_util.Table_fmt.human_bytes (Dpc_net.Sim.total_bytes sim));
+  let s = Backend.total_storage backend in
+  Printf.printf "storage: prov %s (%d rows), ruleExec %s (%d rows), equi %s, events %s\n"
+    (Dpc_util.Table_fmt.human_bytes s.Rows.prov_bytes)
+    s.Rows.prov_rows
+    (Dpc_util.Table_fmt.human_bytes s.Rows.rule_exec_bytes)
+    s.Rows.rule_exec_rows
+    (Dpc_util.Table_fmt.human_bytes s.Rows.equi_bytes)
+    (Dpc_util.Table_fmt.human_bytes s.Rows.event_bytes);
+  match queries with
+  | [] -> ()
+  | _ :: _ ->
+      let latencies = List.map (fun (r : Query_result.t) -> r.latency *. 1000.0) queries in
+      let found = List.length (List.filter (fun (r : Query_result.t) -> r.trees <> []) queries) in
+      Printf.printf "queries: %d/%d found provenance; latency mean %.1f ms, median %.1f ms\n"
+        found (List.length queries) (Dpc_util.Stats.mean latencies)
+        (Dpc_util.Stats.median latencies)
+
+let forwarding scheme seed pairs rate duration payload queries verbose dot checkpoint =
+  setup_logging verbose;
+  let rng = Dpc_util.Rng.create ~seed in
+  let ts = Dpc_net.Transit_stub.generate ~rng Dpc_net.Transit_stub.paper_params in
+  let routing = Dpc_net.Routing.compute ts.topology in
+  let pair_list = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:pairs in
+  Printf.printf "packet forwarding: %s scheme, %d pairs, %.0f pkt/s each, %.0fs\n"
+    (Backend.scheme_name scheme) pairs rate duration;
+  let d = Forwarding_driver.setup ~scheme ~topology:ts.topology ~routing ~pairs:pair_list () in
+  ignore (Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:payload);
+  Forwarding_driver.run d;
+  let qs =
+    if queries = 0 then []
+    else Forwarding_driver.query_random_outputs d ~rng ~cost:Query_cost.emulation ~count:queries
+  in
+  report ~backend:d.backend ~sim:d.sim ~runtime:d.runtime ~queries:qs;
+  emit_artifacts ~backend:d.backend ~dot ~checkpoint qs
+
+let dns scheme seed urls requests duration queries verbose dot checkpoint =
+  setup_logging verbose;
+  let rng = Dpc_util.Rng.create ~seed in
+  let spec = Dns_workload.generate ~rng ~servers:100 ~backbone_depth:27 ~urls ~clients:10 in
+  Printf.printf "dns resolution: %s scheme, %d URLs (Zipf), %d requests over %.0fs\n"
+    (Backend.scheme_name scheme) urls requests duration;
+  let t = Dns_workload.setup ~scheme spec () in
+  ignore (Dns_workload.inject_n_requests t ~rng ~total:requests ~duration);
+  Dns_workload.run t;
+  let qs =
+    if queries = 0 then []
+    else begin
+      let replies = Array.of_list (Dns_workload.replies t) in
+      if Array.length replies = 0 then []
+      else
+        List.init queries (fun _ ->
+          Backend.query t.backend ~cost:Query_cost.emulation ~routing:t.routing
+            (Dpc_util.Rng.pick rng replies))
+    end
+  in
+  report ~backend:t.backend ~sim:t.sim ~runtime:t.runtime ~queries:qs;
+  emit_artifacts ~backend:t.backend ~dot ~checkpoint qs
+
+let forwarding_cmd =
+  let pairs = Arg.(value & opt int 20 & info [ "pairs" ] ~docv:"N" ~doc:"Communicating pairs.") in
+  let rate =
+    Arg.(value & opt float 10.0 & info [ "rate" ] ~docv:"R" ~doc:"Packets/second per pair.")
+  in
+  let duration = Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"S" ~doc:"Seconds.") in
+  let payload = Arg.(value & opt int 500 & info [ "payload" ] ~docv:"B" ~doc:"Payload bytes.") in
+  Cmd.v
+    (Cmd.info "forwarding" ~doc:"Packet forwarding on the 100-node transit-stub topology.")
+    Term.(
+      const forwarding $ scheme_arg $ seed_arg $ pairs $ rate $ duration $ payload $ queries_arg
+      $ verbose_arg $ dot_arg $ checkpoint_arg)
+
+let dns_cmd =
+  let urls = Arg.(value & opt int 38 & info [ "urls" ] ~docv:"N" ~doc:"Distinct URLs.") in
+  let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc:"Requests.") in
+  let duration = Arg.(value & opt float 5.0 & info [ "duration" ] ~docv:"S" ~doc:"Seconds.") in
+  Cmd.v
+    (Cmd.info "dns" ~doc:"DNS resolution on a 100-server hierarchy.")
+    Term.(
+      const dns $ scheme_arg $ seed_arg $ urls $ requests $ duration $ queries_arg $ verbose_arg
+      $ dot_arg $ checkpoint_arg)
+
+let () =
+  let info =
+    Cmd.info "delprun" ~version:"1.0.0"
+      ~doc:"Run distributed provenance maintenance scenarios."
+  in
+  exit (Cmd.eval (Cmd.group info [ forwarding_cmd; dns_cmd ]))

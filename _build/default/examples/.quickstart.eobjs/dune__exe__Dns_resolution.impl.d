@@ -1,0 +1,1 @@
+examples/dns_resolution.ml: Backend Dns_workload Dpc_analysis Dpc_apps Dpc_core Dpc_ndlog Dpc_net Dpc_util Dpc_workload Format List Printf Prov_tree Query_cost Rows

@@ -1,0 +1,1 @@
+examples/misconfigured_route.ml: Backend Dpc_apps Dpc_core Dpc_engine Dpc_ndlog Dpc_net Format List Prov_tree Query_cost String

@@ -1,0 +1,1 @@
+examples/misconfigured_route.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backend Dpc_analysis Dpc_apps Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util Format List Printf Prov_tree Query_cost Rows

@@ -1,0 +1,1 @@
+examples/route_provenance.ml: Backend Dpc_analysis Dpc_apps Dpc_core Dpc_engine Dpc_ndlog Dpc_net Format List Printf Prov_dot Prov_tree Query_cost

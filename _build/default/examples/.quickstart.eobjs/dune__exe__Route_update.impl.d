@@ -1,0 +1,1 @@
+examples/route_update.ml: Backend Dpc_apps Dpc_core Dpc_engine Dpc_ndlog Dpc_net Format List Printf Prov_tree Query_cost Rows

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Ast Delp Dpc_ndlog Format Hashtbl List Printf Stdlib String

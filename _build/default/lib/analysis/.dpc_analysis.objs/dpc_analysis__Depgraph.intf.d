@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Dpc_ndlog Format

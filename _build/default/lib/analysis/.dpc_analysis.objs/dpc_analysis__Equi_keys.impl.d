@@ -1,0 +1,1 @@
+lib/analysis/equi_keys.ml: Delp Depgraph Dpc_ndlog Dpc_util Format List Printf String Tuple Value

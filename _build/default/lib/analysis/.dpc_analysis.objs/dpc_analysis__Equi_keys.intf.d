@@ -1,0 +1,1 @@
+lib/analysis/equi_keys.mli: Dpc_ndlog Dpc_util Format

@@ -1,0 +1,1 @@
+lib/apps/arp.ml: Delp Dpc_engine Dpc_ndlog Parser Tuple Value

@@ -1,0 +1,1 @@
+lib/apps/arp.mli: Dpc_engine Dpc_ndlog

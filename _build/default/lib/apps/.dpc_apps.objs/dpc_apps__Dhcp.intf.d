@@ -1,0 +1,1 @@
+lib/apps/dhcp.mli: Dpc_engine Dpc_ndlog

@@ -1,0 +1,1 @@
+lib/apps/dns.ml: Delp Dpc_engine Dpc_ndlog List Parser Printf String Tuple Value

@@ -1,0 +1,1 @@
+lib/apps/dns.mli: Dpc_engine Dpc_ndlog

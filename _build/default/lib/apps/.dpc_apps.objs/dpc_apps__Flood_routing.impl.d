@@ -1,0 +1,1 @@
+lib/apps/flood_routing.ml: Delp Dpc_engine Dpc_ndlog Dpc_net List Parser Printf Tuple Value

@@ -1,0 +1,1 @@
+lib/apps/flood_routing.mli: Dpc_engine Dpc_ndlog Dpc_net

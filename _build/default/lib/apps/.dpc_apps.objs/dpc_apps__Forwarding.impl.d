@@ -1,0 +1,1 @@
+lib/apps/forwarding.ml: Delp Dpc_engine Dpc_ndlog Dpc_net List Parser Printf Tuple Value

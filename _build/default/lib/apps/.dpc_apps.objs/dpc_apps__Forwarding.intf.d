@@ -1,0 +1,1 @@
+lib/apps/forwarding.mli: Dpc_engine Dpc_ndlog Dpc_net

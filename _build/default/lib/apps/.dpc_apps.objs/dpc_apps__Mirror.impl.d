@@ -1,0 +1,1 @@
+lib/apps/mirror.ml: Delp Dpc_engine Dpc_ndlog Parser Tuple Value

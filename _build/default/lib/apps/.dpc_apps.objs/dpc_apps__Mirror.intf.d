@@ -1,0 +1,1 @@
+lib/apps/mirror.mli: Dpc_engine Dpc_ndlog

@@ -1,0 +1,15 @@
+(** An ARP-style address-resolution application (another of the protocols
+    §3.1 cites as DELP-expressible). The equivalence keys are the querying
+    host and the looked-up IP: all queries for one IP from one host share a
+    provenance chain. *)
+
+val source : string
+val delp : unit -> Dpc_ndlog.Delp.t
+val env : Dpc_engine.Env.t
+
+val arp_query : host:int -> ip:string -> rqid:int -> Dpc_ndlog.Tuple.t
+(** The input event [arpQuery(@host, ip, rqid)]. *)
+
+val arp_switch : host:int -> switch:int -> Dpc_ndlog.Tuple.t
+val mac_table : switch:int -> ip:string -> mac:string -> Dpc_ndlog.Tuple.t
+val arp_reply : host:int -> ip:string -> mac:string -> rqid:int -> Dpc_ndlog.Tuple.t

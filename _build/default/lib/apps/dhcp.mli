@@ -1,0 +1,15 @@
+(** A DHCP-style address-assignment application. The paper names DHCP as a
+    protocol DELP can model (§3.1); this two-rule version exercises
+    compression with a single-attribute equivalence key (the requesting
+    host): repeated discovers from one host form one equivalence class. *)
+
+val source : string
+val delp : unit -> Dpc_ndlog.Delp.t
+val env : Dpc_engine.Env.t
+
+val discover : host:int -> rqid:int -> Dpc_ndlog.Tuple.t
+(** The input event [discover(@host, rqid)]. *)
+
+val dhcp_relay : host:int -> server:int -> Dpc_ndlog.Tuple.t
+val address_pool : server:int -> host:int -> ip:string -> Dpc_ndlog.Tuple.t
+val offer : host:int -> ip:string -> rqid:int -> Dpc_ndlog.Tuple.t

@@ -1,0 +1,51 @@
+open Dpc_ndlog
+
+let source =
+  {|// Recursive DNS resolution (paper Figure 19).
+r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID), rootServer(@HST, RT).
+r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+                                   nameServer(@X, DM, SV),
+                                   f_isSubDomain(DM, URL) == true.
+r3 dnsResult(@X, URL, IPADDR, HST, RQID) :- request(@X, URL, HST, RQID),
+                                            addressRecord(@X, URL, IPADDR).
+r4 reply(@HST, URL, IPADDR, RQID) :- dnsResult(@X, URL, IPADDR, HST, RQID).
+|}
+
+let delp () =
+  match Parser.parse_program ~name:"dns-resolution" source with
+  | Error e -> failwith ("Dns.delp: parse error: " ^ e)
+  | Ok p -> begin
+      match Delp.validate p with
+      | Ok d -> d
+      | Error e -> failwith ("Dns.delp: " ^ Delp.error_to_string e)
+    end
+
+let is_sub_domain dm url =
+  String.equal dm ""
+  || String.equal dm url
+  ||
+  let ld = String.length dm and lu = String.length url in
+  lu > ld
+  && String.equal (String.sub url (lu - ld) ld) dm
+  && url.[lu - ld - 1] = '.'
+
+let env =
+  Dpc_engine.Env.register Dpc_engine.Env.empty "f_isSubDomain" (function
+    | [ Value.Str dm; Value.Str u ] -> Value.Bool (is_sub_domain dm u)
+    | args ->
+        raise
+          (Dpc_engine.Eval.Eval_error
+             (Printf.sprintf "f_isSubDomain: expected two strings, got %d arguments"
+                (List.length args))))
+
+let url ~host ~url ~rqid = Tuple.make "url" [ Value.Addr host; Value.Str url; Value.Int rqid ]
+let root_server ~host ~root = Tuple.make "rootServer" [ Value.Addr host; Value.Addr root ]
+
+let name_server ~at ~domain ~server =
+  Tuple.make "nameServer" [ Value.Addr at; Value.Str domain; Value.Addr server ]
+
+let address_record ~at ~url ~ip =
+  Tuple.make "addressRecord" [ Value.Addr at; Value.Str url; Value.Str ip ]
+
+let reply ~host ~url ~ip ~rqid =
+  Tuple.make "reply" [ Value.Addr host; Value.Str url; Value.Str ip; Value.Int rqid ]

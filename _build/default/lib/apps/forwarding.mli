@@ -1,0 +1,29 @@
+(** The packet-forwarding application (paper Fig 1): the first evaluation
+    workload and the running example for both compression schemes. *)
+
+val source : string
+(** NDlog source of the two-rule program. *)
+
+val delp : unit -> Dpc_ndlog.Delp.t
+(** Parsed and validated; raises [Failure] only if [source] is broken
+    (checked by tests). *)
+
+val env : Dpc_engine.Env.t
+(** No user-defined functions. *)
+
+val packet : src:int -> dst:int -> payload:string -> Dpc_ndlog.Tuple.t
+(** The input event [packet(@src, src, dst, payload)]. *)
+
+val route : at:int -> dst:int -> next:int -> Dpc_ndlog.Tuple.t
+(** A slow-changing routing entry [route(@at, dst, next)]. *)
+
+val recv : at:int -> src:int -> dst:int -> payload:string -> Dpc_ndlog.Tuple.t
+(** The output tuple an administrator queries. *)
+
+val routes_for_pair : Dpc_net.Routing.t -> src:int -> dst:int -> Dpc_ndlog.Tuple.t list
+(** Route entries along the shortest path from [src] to [dst] (one per
+    non-destination hop), as the paper's pre-computed routing protocol
+    installs. @raise Failure if [dst] is unreachable. *)
+
+val routes_for_pairs : Dpc_net.Routing.t -> (int * int) list -> Dpc_ndlog.Tuple.t list
+(** Union over pairs, deduplicated. *)

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Dpc_analysis Dpc_engine Store_advanced Store_basic Store_exspan

@@ -1,0 +1,1 @@
+lib/core/backend.mli: Dpc_engine Dpc_ndlog Dpc_net Dpc_util Query_cost Query_result Rows Store_advanced Store_basic Store_exspan

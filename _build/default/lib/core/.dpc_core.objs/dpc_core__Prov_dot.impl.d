@@ -1,0 +1,1 @@
+lib/core/prov_dot.ml: Buffer Dpc_ndlog Dpc_util Hashtbl List Printf Prov_tree Rows String Tuple

@@ -1,0 +1,1 @@
+lib/core/prov_dot.mli: Prov_tree

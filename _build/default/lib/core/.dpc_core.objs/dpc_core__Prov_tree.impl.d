@@ -1,0 +1,1 @@
+lib/core/prov_tree.ml: Dpc_ndlog Dpc_util Format List Stdlib String Tuple

@@ -1,0 +1,1 @@
+lib/core/prov_tree.mli: Dpc_ndlog Dpc_util Format

@@ -1,0 +1,1 @@
+lib/core/query_cost.mli: Dpc_net

@@ -1,0 +1,1 @@
+lib/core/query_result.ml: List Prov_tree

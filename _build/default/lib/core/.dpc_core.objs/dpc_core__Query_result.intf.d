@@ -1,0 +1,1 @@
+lib/core/query_result.mli: Prov_tree

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Delp Dpc_engine Dpc_ndlog Dpc_net Dpc_util List Query_cost Query_result Store_exspan Tuple

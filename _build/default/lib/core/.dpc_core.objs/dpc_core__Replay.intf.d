@@ -1,0 +1,1 @@
+lib/core/replay.mli: Dpc_engine Dpc_ndlog Dpc_net Dpc_util Query_result

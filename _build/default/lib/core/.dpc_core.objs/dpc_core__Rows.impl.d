@@ -1,0 +1,1 @@
+lib/core/rows.ml: Dpc_ndlog Dpc_util Hashtbl List Printf Serialize Sha1 String

@@ -1,0 +1,1 @@
+lib/core/rows.mli: Dpc_ndlog Dpc_util

@@ -1,0 +1,1 @@
+lib/core/side_store.ml: Array Dpc_ndlog Dpc_util Hashtbl Tuple

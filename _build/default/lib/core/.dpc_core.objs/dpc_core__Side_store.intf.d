@@ -1,0 +1,1 @@
+lib/core/side_store.mli: Dpc_ndlog Dpc_util

@@ -1,0 +1,1 @@
+lib/core/store_advanced.ml: Array Ast Delp Dpc_analysis Dpc_engine Dpc_ndlog Dpc_net Dpc_util Hashtbl List Printf Prov_tree Query_cost Query_result Rows Sha1 Side_store String Tuple

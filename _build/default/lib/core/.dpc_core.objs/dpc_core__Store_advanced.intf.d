@@ -1,0 +1,1 @@
+lib/core/store_advanced.mli: Dpc_analysis Dpc_engine Dpc_ndlog Dpc_net Dpc_util Query_cost Query_result Rows

@@ -1,0 +1,1 @@
+lib/core/store_basic.ml: Array Ast Delp Dpc_engine Dpc_ndlog Dpc_net Dpc_util List Printf Prov_tree Query_cost Query_result Rows Sha1 Side_store String Tuple

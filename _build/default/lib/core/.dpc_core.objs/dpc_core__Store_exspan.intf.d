@@ -1,0 +1,1 @@
+lib/core/store_exspan.mli: Dpc_engine Dpc_ndlog Dpc_net Dpc_util Query_cost Query_result Rows

@@ -1,0 +1,1 @@
+lib/core/store_multi.ml: Array Ast Delp Dpc_analysis Dpc_engine Dpc_ndlog Dpc_net Dpc_util Hashtbl List Pretty Printf Prov_tree Query_cost Query_result Rows Sha1 Side_store Tuple

@@ -1,0 +1,1 @@
+lib/core/store_multi.mli: Dpc_engine Dpc_ndlog Dpc_net Dpc_util Query_cost Query_result Rows

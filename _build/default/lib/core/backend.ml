@@ -1,0 +1,75 @@
+type t =
+  | Exspan of Store_exspan.t
+  | Basic of Store_basic.t
+  | Advanced of Store_advanced.t
+
+type scheme = S_exspan | S_basic | S_advanced | S_advanced_interclass
+
+let all_schemes = [ S_exspan; S_basic; S_advanced; S_advanced_interclass ]
+
+let scheme_name = function
+  | S_exspan -> "ExSPAN"
+  | S_basic -> "Basic"
+  | S_advanced -> "Advanced"
+  | S_advanced_interclass -> "Advanced+interclass"
+
+let make scheme ~delp ~env ~nodes =
+  match scheme with
+  | S_exspan -> Exspan (Store_exspan.create ~delp ~env ~nodes)
+  | S_basic -> Basic (Store_basic.create ~delp ~env ~nodes)
+  | S_advanced ->
+      let keys = Dpc_analysis.Equi_keys.compute delp in
+      Advanced (Store_advanced.create ~delp ~env ~keys ~nodes ())
+  | S_advanced_interclass ->
+      let keys = Dpc_analysis.Equi_keys.compute delp in
+      Advanced (Store_advanced.create ~delp ~env ~keys ~interclass:true ~nodes ())
+
+let name = function
+  | Exspan _ -> "ExSPAN"
+  | Basic _ -> "Basic"
+  | Advanced s -> begin
+      (* The hook name distinguishes the inter-class variant. *)
+      match (Store_advanced.hook s).Dpc_engine.Prov_hook.name with
+      | "advanced+interclass" -> "Advanced+interclass"
+      | _ -> "Advanced"
+    end
+
+let hook = function
+  | Exspan s -> Store_exspan.hook s
+  | Basic s -> Store_basic.hook s
+  | Advanced s -> Store_advanced.hook s
+
+let node_storage t node =
+  match t with
+  | Exspan s -> Store_exspan.node_storage s node
+  | Basic s -> Store_basic.node_storage s node
+  | Advanced s -> Store_advanced.node_storage s node
+
+let total_storage = function
+  | Exspan s -> Store_exspan.total_storage s
+  | Basic s -> Store_basic.total_storage s
+  | Advanced s -> Store_advanced.total_storage s
+
+let query t ~cost ~routing ?evid output =
+  match t with
+  | Exspan s -> Store_exspan.query s ~cost ~routing ?evid output
+  | Basic s -> Store_basic.query s ~cost ~routing ?evid output
+  | Advanced s -> Store_advanced.query s ~cost ~routing ?evid output
+
+let dump = function
+  | Exspan s -> Store_exspan.dump s
+  | Basic s -> Store_basic.dump s
+  | Advanced s -> Store_advanced.dump s
+
+let checkpoint = function
+  | Exspan s -> Store_exspan.checkpoint s
+  | Basic s -> Store_basic.checkpoint s
+  | Advanced s -> Store_advanced.checkpoint s
+
+let restore scheme ~delp ~env blob =
+  match scheme with
+  | S_exspan -> Exspan (Store_exspan.restore ~delp ~env blob)
+  | S_basic -> Basic (Store_basic.restore ~delp ~env blob)
+  | S_advanced | S_advanced_interclass ->
+      let keys = Dpc_analysis.Equi_keys.compute delp in
+      Advanced (Store_advanced.restore ~delp ~env ~keys blob)

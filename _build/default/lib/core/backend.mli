@@ -1,0 +1,48 @@
+(** Uniform interface over the three provenance maintenance schemes the
+    evaluation compares: ExSPAN (uncompressed), Basic (§4), and Advanced
+    (§5, optionally with the §5.4 inter-class layout). *)
+
+type t =
+  | Exspan of Store_exspan.t
+  | Basic of Store_basic.t
+  | Advanced of Store_advanced.t
+
+type scheme = S_exspan | S_basic | S_advanced | S_advanced_interclass
+
+val all_schemes : scheme list
+val scheme_name : scheme -> string
+
+val make :
+  scheme ->
+  delp:Dpc_ndlog.Delp.t ->
+  env:Dpc_engine.Env.t ->
+  nodes:int ->
+  t
+(** Builds the store; for the Advanced schemes this runs the static
+    analysis ({!Dpc_analysis.Equi_keys.compute}) first. *)
+
+val name : t -> string
+val hook : t -> Dpc_engine.Prov_hook.t
+val node_storage : t -> int -> Rows.storage
+val total_storage : t -> Rows.storage
+
+val query :
+  t ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+
+val dump : t -> (string * string list * string list list) list
+(** The backend's relational tables as [(name, header, rows)], for
+    inspection and the example programs. *)
+
+val checkpoint : t -> string
+(** Serialize the store to bytes (scheme-tagged). *)
+
+val restore :
+  scheme -> delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
+(** Rebuild a store from {!checkpoint} output. The scheme must match the
+    one the checkpoint was taken from.
+    @raise Dpc_util.Serialize.Corrupt on malformed or mismatched input. *)

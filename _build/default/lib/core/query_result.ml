@@ -1,0 +1,5 @@
+type t = { trees : Prov_tree.t list; latency : float; entries : int; bytes : int }
+
+let empty = { trees = []; latency = 0.0; entries = 0; bytes = 0 }
+
+let dedup_trees trees = List.sort_uniq Prov_tree.compare trees

@@ -1,0 +1,13 @@
+(** Result of a distributed provenance query. *)
+
+type t = {
+  trees : Prov_tree.t list;
+      (** all reconstructed derivations of the queried tuple, deduplicated *)
+  latency : float;  (** seconds, under the query's {!Query_cost} model *)
+  entries : int;  (** provenance rows fetched *)
+  bytes : int;  (** bytes processed or shipped *)
+}
+
+val empty : t
+
+val dedup_trees : Prov_tree.t list -> Prov_tree.t list

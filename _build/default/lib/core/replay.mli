@@ -1,0 +1,57 @@
+(** Reactive provenance maintenance by replay (paper §3.2).
+
+    The compression schemes materialize concrete provenance only for the
+    relations of interest (the output relation). For everything else the
+    paper adopts DTaP's reactive strategy: "only maintaining
+    non-deterministic input tuples, and replaying the whole system
+    execution to re-construct the provenance information of the tuples of
+    less interest during querying."
+
+    This module is that strategy: it records the non-deterministic inputs —
+    injected events, the initial slow-changing state, and runtime
+    slow-changing updates, in arrival order — and answers a provenance
+    query about *any* tuple (including intermediate event tuples that no
+    scheme materializes) by re-executing the log against a fresh ExSPAN
+    store and querying it.
+
+    Replay reproduces the original execution exactly when slow-changing
+    updates quiesce between events (the same assumption Theorem 5 makes);
+    an update racing in-flight executions may replay in log order
+    instead. *)
+
+type t
+
+val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
+
+val hook : t -> Dpc_engine.Prov_hook.t
+(** Records input events (at ingress) and runtime slow-changing inserts.
+    Compose it with another scheme's hook via {!combine} to run compressed
+    maintenance and input logging side by side. *)
+
+val combine : Dpc_engine.Prov_hook.t -> Dpc_engine.Prov_hook.t -> Dpc_engine.Prov_hook.t
+(** [combine a b] invokes both hooks; [a]'s meta flows through the
+    execution (so [a] should be the maintenance scheme, [b] the logger). *)
+
+val record_initial_slow : t -> Dpc_ndlog.Tuple.t list -> unit
+(** Call with the same tuples passed to {!Dpc_engine.Runtime.load_slow}. *)
+
+val record_slow_delete : t -> Dpc_ndlog.Tuple.t -> unit
+(** Deletions do not pass through provenance hooks; log them explicitly
+    alongside {!Dpc_engine.Runtime.delete_slow_runtime}. *)
+
+val log_length : t -> int
+val storage_bytes : t -> int
+(** Serialized size of the input log — the entire storage cost of this
+    strategy. *)
+
+val replay_and_query :
+  t ->
+  topology:Dpc_net.Topology.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+(** Re-execute the log on a fresh simulator over [topology] with an ExSPAN
+    store and query the given tuple. The returned latency includes a
+    replay cost proportional to the log length (on top of the local
+    query), reflecting that reactive maintenance trades query time for
+    storage. *)

@@ -1,0 +1,239 @@
+open Dpc_util
+
+type prov_row = {
+  loc : int;
+  vid : Sha1.t;
+  rid : (int * Sha1.t) option;
+  evid : Sha1.t option;
+}
+
+type rule_exec_row = {
+  rloc : int;
+  rid : Sha1.t;
+  rule : string;
+  vids : Sha1.t list;
+  next : (int * Sha1.t) option;
+}
+
+type link_row = {
+  link_rloc : int;
+  link_rid : Sha1.t;
+  link_next : (int * Sha1.t) option;
+}
+
+let write_digest w d = Serialize.write_string w (Sha1.to_raw d)
+
+let write_ref w = function
+  | None -> Serialize.write_bool w false
+  | Some (node, d) ->
+      Serialize.write_bool w true;
+      Serialize.write_varint w node;
+      write_digest w d
+
+let prov_row_bytes ~with_evid r =
+  let w = Serialize.writer () in
+  Serialize.write_varint w r.loc;
+  write_digest w r.vid;
+  write_ref w r.rid;
+  if with_evid then begin
+    match r.evid with
+    | None -> Serialize.write_bool w false
+    | Some e ->
+        Serialize.write_bool w true;
+        write_digest w e
+  end;
+  Serialize.size w
+
+let rule_exec_row_bytes ~with_next r =
+  let w = Serialize.writer () in
+  Serialize.write_varint w r.rloc;
+  write_digest w r.rid;
+  Serialize.write_string w r.rule;
+  Serialize.write_list w (write_digest w) r.vids;
+  if with_next then write_ref w r.next;
+  Serialize.size w
+
+let link_row_bytes r =
+  let w = Serialize.writer () in
+  Serialize.write_varint w r.link_rloc;
+  write_digest w r.link_rid;
+  write_ref w r.link_next;
+  Serialize.size w
+
+let vid_of t = Sha1.digest_string (Dpc_ndlog.Tuple.canonical t)
+let hex = Sha1.to_hex
+let ref_bytes = 4 + 20
+
+module Table = struct
+  type 'a t = {
+    row_bytes : 'a -> int;
+    entries : (string, 'a list ref) Hashtbl.t;
+    mutable count : int;
+    mutable bytes : int;
+  }
+
+  let create ~row_bytes () = { row_bytes; entries = Hashtbl.create 64; count = 0; bytes = 0 }
+
+  let add t ~key row =
+    let cell =
+      match Hashtbl.find_opt t.entries key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add t.entries key c;
+          c
+    in
+    if List.mem row !cell then false
+    else begin
+      cell := !cell @ [ row ];
+      t.count <- t.count + 1;
+      t.bytes <- t.bytes + t.row_bytes row;
+      true
+    end
+
+  let find t key = match Hashtbl.find_opt t.entries key with None -> [] | Some c -> !c
+  let rows t = t.count
+  let bytes t = t.bytes
+
+  let clear t =
+    Hashtbl.reset t.entries;
+    t.count <- 0;
+    t.bytes <- 0
+
+  let iter t f = Hashtbl.iter (fun k c -> List.iter (f k) !c) t.entries
+end
+
+type storage = {
+  prov_bytes : int;
+  rule_exec_bytes : int;
+  equi_bytes : int;
+  event_bytes : int;
+  prov_rows : int;
+  rule_exec_rows : int;
+}
+
+let empty_storage =
+  {
+    prov_bytes = 0;
+    rule_exec_bytes = 0;
+    equi_bytes = 0;
+    event_bytes = 0;
+    prov_rows = 0;
+    rule_exec_rows = 0;
+  }
+
+let add_storage a b =
+  {
+    prov_bytes = a.prov_bytes + b.prov_bytes;
+    rule_exec_bytes = a.rule_exec_bytes + b.rule_exec_bytes;
+    equi_bytes = a.equi_bytes + b.equi_bytes;
+    event_bytes = a.event_bytes + b.event_bytes;
+    prov_rows = a.prov_rows + b.prov_rows;
+    rule_exec_rows = a.rule_exec_rows + b.rule_exec_rows;
+  }
+
+let provenance_bytes s = s.prov_bytes + s.rule_exec_bytes
+
+let show_digest d = Dpc_util.Sha1.abbrev d
+
+let show_ref = function
+  | None -> "NULL"
+  | Some (node, d) -> Printf.sprintf "n%d/%s" node (show_digest d)
+
+let dump_prov ~with_evid rows_of n =
+  let header =
+    [ "Loc"; "VID"; "(RLoc,RID)" ] @ (if with_evid then [ "EVID" ] else [])
+  in
+  let rows =
+    List.concat_map
+      (fun node ->
+        List.map
+          (fun r ->
+            [ Printf.sprintf "n%d" r.loc; show_digest r.vid; show_ref r.rid ]
+            @
+            if with_evid then
+              [ (match r.evid with None -> "NULL" | Some e -> show_digest e) ]
+            else [])
+          (rows_of node))
+      (List.init n (fun i -> i))
+  in
+  (header, List.sort compare rows)
+
+let dump_rule_exec ~with_next rows_of n =
+  let header =
+    [ "RLoc"; "RID"; "RULE"; "VIDS" ] @ (if with_next then [ "(NLoc,NRID)" ] else [])
+  in
+  let rows =
+    List.concat_map
+      (fun node ->
+        List.map
+          (fun r ->
+            [
+              Printf.sprintf "n%d" r.rloc;
+              show_digest r.rid;
+              r.rule;
+              (match r.vids with
+              | [] -> "NULL"
+              | vids -> "(" ^ String.concat "," (List.map show_digest vids) ^ ")");
+            ]
+            @ (if with_next then [ show_ref r.next ] else []))
+          (rows_of node))
+      (List.init n (fun i -> i))
+  in
+  (header, List.sort compare rows)
+
+let read_digest r = Dpc_util.Sha1.of_raw (Serialize.read_string r)
+
+let read_ref r =
+  if Serialize.read_bool r then begin
+    let node = Serialize.read_varint r in
+    Some (node, read_digest r)
+  end
+  else None
+
+let write_opt_digest w = function
+  | None -> Serialize.write_bool w false
+  | Some d ->
+      Serialize.write_bool w true;
+      write_digest w d
+
+let read_opt_digest r = if Serialize.read_bool r then Some (read_digest r) else None
+
+let write_prov_row w r =
+  Serialize.write_varint w r.loc;
+  write_digest w r.vid;
+  write_ref w r.rid;
+  write_opt_digest w r.evid
+
+let read_prov_row r =
+  let loc = Serialize.read_varint r in
+  let vid = read_digest r in
+  let rid = read_ref r in
+  let evid = read_opt_digest r in
+  { loc; vid; rid; evid }
+
+let write_rule_exec_row w r =
+  Serialize.write_varint w r.rloc;
+  write_digest w r.rid;
+  Serialize.write_string w r.rule;
+  Serialize.write_list w (write_digest w) r.vids;
+  write_ref w r.next
+
+let read_rule_exec_row r =
+  let rloc = Serialize.read_varint r in
+  let rid = read_digest r in
+  let rule = Serialize.read_string r in
+  let vids = Serialize.read_list r (fun () -> read_digest r) in
+  let next = read_ref r in
+  { rloc; rid; rule; vids; next }
+
+let write_link_row w r =
+  Serialize.write_varint w r.link_rloc;
+  write_digest w r.link_rid;
+  write_ref w r.link_next
+
+let read_link_row r =
+  let link_rloc = Serialize.read_varint r in
+  let link_rid = read_digest r in
+  let link_next = read_ref r in
+  { link_rloc; link_rid; link_next }

@@ -1,0 +1,485 @@
+open Dpc_ndlog
+open Dpc_util
+
+type node_tables = {
+  prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
+  rule_exec : Rows.rule_exec_row Rows.Table.t;  (* plain layout, keyed by rid hex *)
+  exec_nodes : Rows.rule_exec_row Rows.Table.t;  (* §5.4 ruleExecNode *)
+  exec_links : Rows.link_row Rows.Table.t;  (* §5.4 ruleExecLink, keyed by rid hex *)
+  htequi : (string, unit) Hashtbl.t;  (* equivalence keys seen at this ingress *)
+  hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;  (* class -> chain roots *)
+}
+
+type t = {
+  delp : Delp.t;
+  env : Dpc_engine.Env.t;
+  keys : Dpc_analysis.Equi_keys.t;
+  interclass : bool;
+  tables : node_tables array;
+  slow_tuples : Side_store.t;
+  events : Side_store.t;  (* evid -> input event at ingress *)
+  mutable orphans : int;
+}
+
+let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
+  {
+    delp;
+    env;
+    keys;
+    interclass;
+    tables =
+      Array.init nodes (fun _ ->
+        {
+          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
+          rule_exec =
+            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
+          exec_nodes =
+            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+          exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
+          htequi = Hashtbl.create 32;
+          hmap = Hashtbl.create 32;
+        });
+    slow_tuples = Side_store.create ~nodes;
+    events = Side_store.create ~nodes;
+    orphans = 0;
+  }
+
+(* Plain layout: the rid must identify the whole chain suffix, so it hashes
+   the back-pointer too (Table 3's sha1(rule, vids) is ambiguous as soon as
+   two classes share a final rule execution node). *)
+let chain_rid ~rule_name ~node ~slow_vids ~prev =
+  let prev_part =
+    match prev with
+    | None -> [ "leaf" ]
+    | Some (l, r) -> [ string_of_int l; Rows.hex r ]
+  in
+  Sha1.digest_concat
+    ((rule_name :: string_of_int node :: List.map Rows.hex slow_vids) @ prev_part)
+
+(* §5.4 layout: the node rid is shared across classes. *)
+let node_rid ~rule_name ~node ~slow_vids =
+  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex slow_vids)
+
+let on_input t ~node event =
+  let meta = Dpc_engine.Prov_hook.initial_meta event in
+  let k = Dpc_analysis.Equi_keys.key_hash t.keys event in
+  let k_hex = Rows.hex k in
+  let tables = t.tables.(node) in
+  let exist_flag = Hashtbl.mem tables.htequi k_hex in
+  if not exist_flag then Hashtbl.add tables.htequi k_hex ();
+  Side_store.put t.events ~node ~key:meta.evid event;
+  { meta with exist_flag; eqkey = Some k }
+
+let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
+    (meta : Dpc_engine.Prov_hook.meta) =
+  if meta.exist_flag then meta
+  else begin
+    let slow_vids = List.map Rows.vid_of slow in
+    List.iter2 (fun tuple vid -> Side_store.put t.slow_tuples ~node ~key:vid tuple) slow slow_vids;
+    let tables = t.tables.(node) in
+    if t.interclass then begin
+      let rid = node_rid ~rule_name:rule.name ~node ~slow_vids in
+      ignore
+        (Rows.Table.add tables.exec_nodes ~key:(Rows.hex rid)
+           { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = None });
+      ignore
+        (Rows.Table.add tables.exec_links ~key:(Rows.hex rid)
+           { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev });
+      { meta with prev = Some (node, rid) }
+    end
+    else begin
+      let rid = chain_rid ~rule_name:rule.name ~node ~slow_vids ~prev:meta.prev in
+      ignore
+        (Rows.Table.add tables.rule_exec ~key:(Rows.hex rid)
+           { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = meta.prev });
+      { meta with prev = Some (node, rid) }
+    end
+  end
+
+let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
+  let tables = t.tables.(node) in
+  let k_hex =
+    match meta.eqkey with
+    | Some k -> Rows.hex k
+    | None -> invalid_arg "Store_advanced.on_output: meta has no equivalence key"
+  in
+  (* hmap associations are per (equivalence class, output relation): with
+     extra relations of interest one class has several recorded output
+     relations, each with its own chain reference(s). *)
+  let k_hex = k_hex ^ ":" ^ Tuple.rel output in
+  let vid = Rows.vid_of output in
+  let add_row rref =
+    ignore
+      (Rows.Table.add tables.prov ~key:(Rows.hex vid)
+         { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid })
+  in
+  if not meta.exist_flag then begin
+    match meta.prev with
+    | None -> invalid_arg "Store_advanced.on_output: materializing execution has no chain"
+    | Some rref ->
+        let refs =
+          match Hashtbl.find_opt tables.hmap k_hex with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add tables.hmap k_hex r;
+              r
+        in
+        if not (List.mem rref !refs) then refs := !refs @ [ rref ];
+        add_row rref
+  end
+  else begin
+    match Hashtbl.find_opt tables.hmap k_hex with
+    | Some refs when !refs <> [] -> List.iter add_row !refs
+    | Some _ | None -> t.orphans <- t.orphans + 1
+  end
+
+let on_slow_insert t ~node _tuple = Hashtbl.reset t.tables.(node).htequi
+
+let hook t =
+  {
+    Dpc_engine.Prov_hook.name = (if t.interclass then "advanced+interclass" else "advanced");
+    on_input = (fun ~node event -> on_input t ~node event);
+    on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
+    on_output = (fun ~node output meta -> on_output t ~node output meta);
+    on_slow_insert = (fun ~node tuple -> on_slow_insert t ~node tuple);
+    (* existFlag + equivalence-key hash + event hash + back-pointer. *)
+    meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
+  }
+
+let equi_bytes tables =
+  (Hashtbl.length tables.htequi * 20)
+  + Hashtbl.fold (fun _ refs acc -> acc + 20 + (List.length !refs * Rows.ref_bytes))
+      tables.hmap 0
+
+let node_storage t node =
+  let tables = t.tables.(node) in
+  {
+    Rows.prov_bytes = Rows.Table.bytes tables.prov;
+    rule_exec_bytes =
+      Rows.Table.bytes tables.rule_exec + Rows.Table.bytes tables.exec_nodes
+      + Rows.Table.bytes tables.exec_links;
+    equi_bytes = equi_bytes tables;
+    event_bytes = Side_store.node_bytes t.slow_tuples node + Side_store.node_bytes t.events node;
+    prov_rows = Rows.Table.rows tables.prov;
+    rule_exec_rows =
+      Rows.Table.rows tables.rule_exec + Rows.Table.rows tables.exec_nodes
+      + Rows.Table.rows tables.exec_links;
+  }
+
+let total_storage t =
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  |> List.fold_left Rows.add_storage Rows.empty_storage
+
+let classes_seen t =
+  Array.fold_left (fun acc tables -> acc + Hashtbl.length tables.htequi) 0 t.tables
+
+let orphan_outputs t = t.orphans
+
+exception Broken of string
+
+type acct = {
+  cost : Query_cost.t;
+  routing : Dpc_net.Routing.t;
+  mutable latency : float;
+  mutable entries : int;
+  mutable bytes : int;
+}
+
+let charge_entries acct n =
+  acct.entries <- acct.entries + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_entry)
+
+let charge_bytes acct n =
+  acct.bytes <- acct.bytes + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
+
+let charge_rederive acct n =
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
+
+let charge_hop acct ~src ~dst =
+  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+let find_rule t name =
+  match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
+  | Some r -> r
+  | None -> raise (Broken (Printf.sprintf "unknown rule %s" name))
+
+(* QR (Fig 18): collect the shared chain root-to-leaf. The plain layout has
+   a unique successor per row; the §5.4 layout may branch on link rows, so
+   this returns every acyclic chain. *)
+let fetch_chains t acct ~start rref =
+  let max_chains = 64 in
+  let results = ref [] in
+  let rec go at (rloc, rid) acc seen =
+    if List.length !results >= max_chains then ()
+    else begin
+      charge_hop acct ~src:at ~dst:rloc;
+      let key = (rloc, Rows.hex rid) in
+      if List.mem key seen then () (* cycle through shared §5.4 rows *)
+      else begin
+        let seen = key :: seen in
+        if t.interclass then begin
+          match Rows.Table.find t.tables.(rloc).exec_nodes (Rows.hex rid) with
+          | [] -> raise (Broken "missing ruleExecNode")
+          | _ :: _ :: _ -> raise (Broken "duplicate ruleExecNode rid")
+          | [ row ] ->
+              charge_entries acct 1;
+              charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
+              let links = Rows.Table.find t.tables.(rloc).exec_links (Rows.hex rid) in
+              charge_entries acct (List.length links);
+              List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
+              if links = [] then raise (Broken "ruleExecNode with no link row");
+              List.iter
+                (fun (l : Rows.link_row) ->
+                  match l.link_next with
+                  | None -> results := List.rev (row :: acc) :: !results
+                  | Some next -> go rloc next (row :: acc) seen)
+                links
+        end
+        else begin
+          match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+          | [] -> raise (Broken "missing ruleExec")
+          | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
+          | [ row ] -> begin
+              charge_entries acct 1;
+              charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:true row);
+              match row.next with
+              | None -> results := List.rev (row :: acc) :: !results
+              | Some next -> go rloc next (row :: acc) seen
+            end
+        end
+      end
+    end
+  in
+  go start rref [] [];
+  !results
+
+let resolve_slow t acct ~node vid =
+  match Side_store.get t.slow_tuples ~node ~key:vid with
+  | Some tuple ->
+      charge_bytes acct (Tuple.wire_size tuple);
+      tuple
+  | None -> raise (Broken "slow tuple not materialized")
+
+(* TRANSFORM_TO_D: re-derive the tree from a chain (root-to-leaf) and the
+   event retrieved by evid at the leaf's node. *)
+let rederive t acct ~evid chain =
+  let rec build = function
+    | [] -> raise (Broken "empty chain")
+    | [ (leaf : Rows.rule_exec_row) ] ->
+        let event =
+          match Side_store.get t.events ~node:leaf.rloc ~key:evid with
+          | Some ev ->
+              charge_bytes acct (Tuple.wire_size ev);
+              ev
+          | None -> raise (Broken "event not materialized at the leaf's node")
+        in
+        if Tuple.loc event <> leaf.rloc then raise (Broken "event at wrong ingress");
+        let slow = List.map (resolve_slow t acct ~node:leaf.rloc) leaf.vids in
+        let rule = find_rule t leaf.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:t.env ~rule ~event ~slow with
+          | Some head ->
+              ({ Prov_tree.rule = leaf.rule; output = head; trigger = Event event; slow }, head)
+          | None -> raise (Broken "re-derivation failed at leaf")
+        end
+    | (row : Rows.rule_exec_row) :: rest ->
+        let sub, sub_head = build rest in
+        if Tuple.loc sub_head <> row.rloc then raise (Broken "chain/location mismatch");
+        let slow = List.map (resolve_slow t acct ~node:row.rloc) row.vids in
+        let rule = find_rule t row.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:t.env ~rule ~event:sub_head ~slow with
+          | Some head ->
+              ({ Prov_tree.rule = row.rule; output = head; trigger = Derived sub; slow }, head)
+          | None -> raise (Broken "re-derivation failed")
+        end
+  in
+  build chain
+
+let query t ~cost ~routing ?evid output =
+  let querier = Tuple.loc output in
+  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
+  let htp = Rows.vid_of output in
+  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  let rows =
+    match evid with
+    | None -> rows
+    | Some e ->
+        List.filter
+          (fun (r : Rows.prov_row) ->
+            match r.evid with Some re -> Sha1.equal re e | None -> false)
+          rows
+  in
+  charge_entries acct (max 1 (List.length rows));
+  let trees =
+    List.concat_map
+      (fun (r : Rows.prov_row) ->
+        let row_evid =
+          match r.evid with
+          | Some e -> e
+          | None -> raise (Broken "advanced prov row without evid")
+        in
+        match r.rid with
+        | None -> []
+        | Some rref -> begin
+            match fetch_chains t acct ~start:querier rref with
+            | chains ->
+                List.filter_map
+                  (fun chain ->
+                    match rederive t acct ~evid:row_evid chain with
+                    | tree, head when Tuple.equal head output -> Some tree
+                    | _ -> None
+                    | exception Broken _ -> None)
+                  chains
+            | exception Broken _ -> []
+          end)
+      rows
+  in
+  (match trees with
+  | [] -> ()
+  | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
+  { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
+    entries = acct.entries; bytes = acct.bytes }
+
+let dump t =
+  let n = Array.length t.tables in
+  let collect table_of node =
+    let acc = ref [] in
+    Rows.Table.iter (table_of t.tables.(node)) (fun _ r -> acc := r :: !acc);
+    !acc
+  in
+  let ph, pr = Rows.dump_prov ~with_evid:true (collect (fun tb -> tb.prov)) n in
+  if t.interclass then begin
+    let nh, nr =
+      Rows.dump_rule_exec ~with_next:false (collect (fun tb -> tb.exec_nodes)) n
+    in
+    let link_rows =
+      List.concat_map
+        (fun node ->
+          List.map
+            (fun (l : Rows.link_row) ->
+              [
+                Printf.sprintf "n%d" l.link_rloc;
+                Rows.show_digest l.link_rid;
+                Rows.show_ref l.link_next;
+              ])
+            (collect (fun tb -> tb.exec_links) node))
+        (List.init n (fun i -> i))
+      |> List.sort compare
+    in
+    [
+      ("prov", ph, pr);
+      ("ruleExecNode", nh, nr);
+      ("ruleExecLink", [ "RLoc"; "RID"; "(NLoc,NRID)" ], link_rows);
+    ]
+  end
+  else begin
+    let rh, rr = Rows.dump_rule_exec ~with_next:true (collect (fun tb -> tb.rule_exec)) n in
+    [ ("prov", ph, pr); ("ruleExec", rh, rr) ]
+  end
+
+(* Canonical (sorted) order so checkpoints are byte-stable. *)
+let table_rows table =
+  let acc = ref [] in
+  Rows.Table.iter table (fun _ r -> acc := r :: !acc);
+  List.sort compare !acc
+
+let side_entries side =
+  let acc = ref [] in
+  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
+
+let write_side w side =
+  let open Dpc_util.Serialize in
+  write_list w
+    (fun (node, key, tuple) ->
+      write_varint w node;
+      write_string w (Sha1.to_raw key);
+      Tuple.serialize w tuple)
+    (side_entries side)
+
+let read_side r side =
+  let open Dpc_util.Serialize in
+  ignore
+    (read_list r (fun () ->
+       let node = read_varint r in
+       let key = Sha1.of_raw (read_string r) in
+       Side_store.put side ~node ~key (Tuple.deserialize r)))
+
+let checkpoint t =
+  let open Dpc_util.Serialize in
+  let w = writer () in
+  write_string w "dpc-advanced-v1";
+  write_bool w t.interclass;
+  write_varint w (Array.length t.tables);
+  Array.iter
+    (fun tables ->
+      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec);
+      write_list w (Rows.write_rule_exec_row w) (table_rows tables.exec_nodes);
+      write_list w (Rows.write_link_row w) (table_rows tables.exec_links);
+      write_list w (write_string w)
+        (Hashtbl.fold (fun k () acc -> k :: acc) tables.htequi [] |> List.sort compare);
+      write_list w
+        (fun (k, refs) ->
+          write_string w k;
+          write_list w
+            (fun (node, d) ->
+              write_varint w node;
+              write_string w (Sha1.to_raw d))
+            refs)
+        (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) tables.hmap []
+        |> List.sort compare))
+    t.tables;
+  write_side w t.slow_tuples;
+  write_side w t.events;
+  write_varint w t.orphans;
+  contents w
+
+let restore ~delp ~env ~keys blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) "dpc-advanced-v1") then
+    raise (Corrupt "not an Advanced checkpoint");
+  let interclass = read_bool r in
+  let nodes = read_varint r in
+  let t = create ~delp ~env ~keys ~interclass ~nodes () in
+  for node = 0 to nodes - 1 do
+    let tables = t.tables.(node) in
+    List.iter
+      (fun (row : Rows.prov_row) ->
+        ignore (Rows.Table.add t.tables.(row.loc).prov ~key:(Rows.hex row.vid) row))
+      (read_list r (fun () -> Rows.read_prov_row r));
+    List.iter
+      (fun (row : Rows.rule_exec_row) ->
+        ignore (Rows.Table.add t.tables.(row.rloc).rule_exec ~key:(Rows.hex row.rid) row))
+      (read_list r (fun () -> Rows.read_rule_exec_row r));
+    List.iter
+      (fun (row : Rows.rule_exec_row) ->
+        ignore (Rows.Table.add t.tables.(row.rloc).exec_nodes ~key:(Rows.hex row.rid) row))
+      (read_list r (fun () -> Rows.read_rule_exec_row r));
+    List.iter
+      (fun (row : Rows.link_row) ->
+        ignore
+          (Rows.Table.add t.tables.(row.link_rloc).exec_links
+             ~key:(Rows.hex row.link_rid) row))
+      (read_list r (fun () -> Rows.read_link_row r));
+    ignore (read_list r (fun () -> Hashtbl.replace tables.htequi (read_string r) ()));
+    ignore
+      (read_list r (fun () ->
+         let k = read_string r in
+         let refs =
+           read_list r (fun () ->
+             let node = read_varint r in
+             (node, Sha1.of_raw (read_string r)))
+         in
+         Hashtbl.replace tables.hmap k (ref refs)))
+  done;
+  read_side r t.slow_tuples;
+  read_side r t.events;
+  t.orphans <- read_varint r;
+  t

@@ -1,0 +1,75 @@
+(** Equivalence-based online compression (paper §5, Table 3).
+
+    Stage 1: at the ingress node, the event's equivalence-key values
+    (identified by static analysis, {!Dpc_analysis.Equi_keys}) are hashed
+    and checked against the node's [htequi]; a hit sets [existFlag].
+    Stage 2: rule executions store [ruleExec] rows only when
+    [existFlag = false] — one shared chain per equivalence class.
+    Stage 3: at the output node, every execution stores a small [prov] delta
+    [(VID, RLoc, RID, EVID)] referencing the shared chain via [hmap].
+
+    With [~interclass:true], the §5.4 layout splits [ruleExec] into a
+    [ruleExecNode] table (concrete rule executions, deduplicated across
+    equivalence classes) and a [ruleExecLink] table (per-tree parent/child
+    pointers), so chains that overlap — e.g. crossing traffic sharing a
+    path suffix — share rows.
+
+    Slow-changing inserts (§5.5) clear [htequi] at every node receiving the
+    [sig] broadcast, forcing re-materialization of each class's chain. *)
+
+type t
+
+val create :
+  delp:Dpc_ndlog.Delp.t ->
+  env:Dpc_engine.Env.t ->
+  keys:Dpc_analysis.Equi_keys.t ->
+  ?interclass:bool ->
+  nodes:int ->
+  unit ->
+  t
+
+val hook : t -> Dpc_engine.Prov_hook.t
+
+val node_storage : t -> int -> Rows.storage
+val total_storage : t -> Rows.storage
+
+val classes_seen : t -> int
+(** Total distinct equivalence keys currently in the [htequi] tables. *)
+
+val orphan_outputs : t -> int
+(** Outputs that arrived with [existFlag = true] but found no [hmap] entry
+    (possible when a §5.5 reset races in-flight executions); their
+    provenance is not recorded, mirroring the paper's assumption that
+    updates quiesce before querying. *)
+
+val query :
+  t ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+(** The paper's QUERY (Fig 18): fetch the prov deltas for the tuple,
+    recursively collect the shared chain(s), retrieve the input event by
+    [evid] at the leaf's node, and re-derive intermediate tuples upward.
+    Candidate chains that fail re-derivation (possible under the §5.4
+    layout, where link rows of different trees may alternate) are
+    discarded. *)
+
+val dump : t -> (string * string list * string list list) list
+(** Human-readable table contents [(name, header, rows)] — the shape of the
+    paper's Table 3 (or Table 4 under the inter-class layout). *)
+
+val checkpoint : t -> string
+(** Serialize the full store to bytes, including the equivalence tables
+    ([htequi]/[hmap]), so maintenance can also continue after a restore. *)
+
+val restore :
+  delp:Dpc_ndlog.Delp.t ->
+  env:Dpc_engine.Env.t ->
+  keys:Dpc_analysis.Equi_keys.t ->
+  string ->
+  t
+(** Rebuild a store from {!checkpoint} output.
+    @raise Dpc_util.Serialize.Corrupt on malformed input, including an
+    inter-class/plain layout mismatch encoded in the blob. *)

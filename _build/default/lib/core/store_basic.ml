@@ -1,0 +1,319 @@
+open Dpc_ndlog
+open Dpc_util
+
+type node_tables = {
+  prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex; outputs only *)
+  rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+}
+
+type t = {
+  delp : Delp.t;
+  env : Dpc_engine.Env.t;
+  tables : node_tables array;
+  slow_tuples : Side_store.t;  (* vid -> slow tuple, at the executing node *)
+  events : Side_store.t;  (* evid -> input event, at the ingress node *)
+}
+
+let create ~delp ~env ~nodes =
+  {
+    delp;
+    env;
+    tables =
+      Array.init nodes (fun _ ->
+        {
+          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
+          rule_exec =
+            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
+        });
+    slow_tuples = Side_store.create ~nodes;
+    events = Side_store.create ~nodes;
+  }
+
+let rid_of ~rule_name ~node ~vids =
+  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
+
+let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.Prov_hook.meta) =
+  let event_vid = Rows.vid_of event in
+  let slow_vids = List.map Rows.vid_of slow in
+  (* Same rid as ExSPAN (Table 2 reuses Table 1's rids). *)
+  let rid = rid_of ~rule_name:rule.name ~node ~vids:(slow_vids @ [ event_vid ]) in
+  (* The input event's vid is kept in the leaf row (Table 2's rid1 row);
+     intermediate event vids are dropped — that is the optimization. *)
+  let vids = if meta.prev = None then slow_vids @ [ event_vid ] else slow_vids in
+  ignore
+    (Rows.Table.add t.tables.(node).rule_exec ~key:(Rows.hex rid)
+       { Rows.rloc = node; rid; rule = rule.name; vids; next = meta.prev });
+  List.iter2 (fun tuple vid -> Side_store.put t.slow_tuples ~node ~key:vid tuple) slow slow_vids;
+  { meta with prev = Some (node, rid) }
+
+let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
+  ignore
+    (Rows.Table.add t.tables.(node).prov
+       ~key:(Rows.hex (Rows.vid_of output))
+       { Rows.loc = node; vid = Rows.vid_of output; rid = meta.prev; evid = None })
+
+let hook t =
+  {
+    Dpc_engine.Prov_hook.name = "basic";
+    on_input =
+      (fun ~node event ->
+        let meta = Dpc_engine.Prov_hook.initial_meta event in
+        Side_store.put t.events ~node ~key:meta.evid event;
+        meta);
+    on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
+    on_output = (fun ~node output meta -> on_output t ~node output meta);
+    on_slow_insert = (fun ~node:_ _ -> ());
+    (* Ships the (NLoc, NRID) back-pointer. *)
+    meta_bytes = (fun _ -> Rows.ref_bytes);
+  }
+
+let node_storage t node =
+  {
+    Rows.empty_storage with
+    Rows.prov_bytes = Rows.Table.bytes t.tables.(node).prov;
+    rule_exec_bytes = Rows.Table.bytes t.tables.(node).rule_exec;
+    event_bytes = Side_store.node_bytes t.slow_tuples node + Side_store.node_bytes t.events node;
+    prov_rows = Rows.Table.rows t.tables.(node).prov;
+    rule_exec_rows = Rows.Table.rows t.tables.(node).rule_exec;
+  }
+
+let total_storage t =
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  |> List.fold_left Rows.add_storage Rows.empty_storage
+
+exception Broken of string
+
+type acct = {
+  cost : Query_cost.t;
+  routing : Dpc_net.Routing.t;
+  mutable latency : float;
+  mutable entries : int;
+  mutable bytes : int;
+}
+
+let charge_entries acct n =
+  acct.entries <- acct.entries + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_entry)
+
+let charge_bytes acct n =
+  acct.bytes <- acct.bytes + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
+
+let charge_rederive acct n =
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
+
+let charge_hop acct ~src ~dst =
+  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+let find_rule t name =
+  match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
+  | Some r -> r
+  | None -> raise (Broken (Printf.sprintf "unknown rule %s" name))
+
+let max_chains = 64
+
+(* Step 1: fetch the optimized chain(s) root-to-leaf, charging hops. The
+   rid hashes the rule, node, and body vids, so when an event tuple has
+   several upstream derivations one rid carries several rows differing only
+   in their back-pointer; the walk branches over them — each branch is one
+   derivation, and §5.6's QUERY likewise returns a set. *)
+let fetch_chains t acct ~start rref =
+  let results = ref [] in
+  let rec go at (rloc, rid) acc seen =
+    if List.length !results >= max_chains then ()
+    else begin
+      charge_hop acct ~src:at ~dst:rloc;
+      let key = (rloc, Rows.hex rid) in
+      if List.mem key seen then ()
+      else begin
+        let seen = key :: seen in
+        match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+        | [] ->
+            raise
+              (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
+        | rows ->
+            List.iter
+              (fun (row : Rows.rule_exec_row) ->
+                charge_entries acct 1;
+                charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:true row);
+                match row.next with
+                | None -> results := List.rev (row :: acc) :: !results
+                | Some next -> go rloc next (row :: acc) seen)
+              rows
+      end
+    end
+  in
+  go start rref [] [];
+  !results
+
+let resolve_slow t acct ~node vid =
+  match Side_store.get t.slow_tuples ~node ~key:vid with
+  | Some tuple ->
+      charge_bytes acct (Tuple.wire_size tuple);
+      tuple
+  | None ->
+      raise (Broken (Printf.sprintf "slow tuple %s not found at node %d" (Rows.hex vid) node))
+
+(* Step 2: re-derive the intermediate events from the leaf upward,
+   assembling the provenance tree. [chain] is root-to-leaf. *)
+let rederive t acct chain =
+  let rec build = function
+    | [] -> raise (Broken "empty chain")
+    | [ (leaf : Rows.rule_exec_row) ] ->
+        (* Leaf row: vids = slow tuples then the input event. *)
+        let slow_vids, event_vid =
+          match List.rev leaf.vids with
+          | ev :: rest -> (List.rev rest, ev)
+          | [] -> raise (Broken "leaf ruleExec with no vids")
+        in
+        let event =
+          match Side_store.get t.events ~node:leaf.rloc ~key:event_vid with
+          | Some ev ->
+              charge_bytes acct (Tuple.wire_size ev);
+              ev
+          | None ->
+              raise
+                (Broken
+                   (Printf.sprintf "input event %s not materialized at node %d"
+                      (Rows.hex event_vid) leaf.rloc))
+        in
+        let slow = List.map (resolve_slow t acct ~node:leaf.rloc) slow_vids in
+        let rule = find_rule t leaf.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:t.env ~rule ~event ~slow with
+          | Some head ->
+              ({ Prov_tree.rule = leaf.rule; output = head; trigger = Event event; slow }, head)
+          | None -> raise (Broken "re-derivation failed at leaf")
+        end
+    | (row : Rows.rule_exec_row) :: rest ->
+        let sub, sub_head = build rest in
+        if Tuple.loc sub_head <> row.rloc then
+          raise (Broken "re-derived event located at the wrong node");
+        let slow = List.map (resolve_slow t acct ~node:row.rloc) row.vids in
+        let rule = find_rule t row.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:t.env ~rule ~event:sub_head ~slow with
+          | Some head ->
+              ( { Prov_tree.rule = row.rule; output = head; trigger = Derived sub; slow },
+                head )
+          | None -> raise (Broken "re-derivation failed")
+        end
+  in
+  build chain
+
+let query t ~cost ~routing ?evid output =
+  let querier = Tuple.loc output in
+  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
+  let htp = Rows.vid_of output in
+  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  charge_entries acct (max 1 (List.length rows));
+  let trees =
+    List.concat_map
+      (fun (r : Rows.prov_row) ->
+        match r.rid with
+        | None -> []
+        | Some rref -> begin
+            match fetch_chains t acct ~start:querier rref with
+            | chains ->
+                List.filter_map
+                  (fun chain ->
+                    match rederive t acct chain with
+                    | tree, head when Tuple.equal head output -> Some tree
+                    | _ -> None
+                    | exception Broken _ -> None)
+                  chains
+            | exception Broken _ -> []
+          end)
+      rows
+  in
+  let trees =
+    match evid with
+    | None -> trees
+    | Some e -> List.filter (fun tr -> Sha1.equal (Prov_tree.event_id tr) e) trees
+  in
+  (match trees with
+  | [] -> ()
+  | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
+  { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
+    entries = acct.entries; bytes = acct.bytes }
+
+let dump t =
+  let n = Array.length t.tables in
+  let prov_rows node =
+    let acc = ref [] in
+    Rows.Table.iter t.tables.(node).prov (fun _ r -> acc := r :: !acc);
+    !acc
+  in
+  let exec_rows node =
+    let acc = ref [] in
+    Rows.Table.iter t.tables.(node).rule_exec (fun _ r -> acc := r :: !acc);
+    !acc
+  in
+  let ph, pr = Rows.dump_prov ~with_evid:false prov_rows n in
+  let rh, rr = Rows.dump_rule_exec ~with_next:true exec_rows n in
+  [ ("prov", ph, pr); ("ruleExec", rh, rr) ]
+
+(* Canonical (sorted) order so checkpoints are byte-stable. *)
+let table_rows table =
+  let acc = ref [] in
+  Rows.Table.iter table (fun _ r -> acc := r :: !acc);
+  List.sort compare !acc
+
+let side_entries side =
+  let acc = ref [] in
+  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
+
+let write_side w side =
+  let open Dpc_util.Serialize in
+  write_list w
+    (fun (node, key, tuple) ->
+      write_varint w node;
+      write_string w (Sha1.to_raw key);
+      Tuple.serialize w tuple)
+    (side_entries side)
+
+let read_side r side =
+  let open Dpc_util.Serialize in
+  ignore
+    (read_list r (fun () ->
+       let node = read_varint r in
+       let key = Sha1.of_raw (read_string r) in
+       Side_store.put side ~node ~key (Tuple.deserialize r)))
+
+let checkpoint t =
+  let open Dpc_util.Serialize in
+  let w = writer () in
+  write_string w "dpc-basic-v1";
+  write_varint w (Array.length t.tables);
+  Array.iter
+    (fun tables ->
+      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec))
+    t.tables;
+  write_side w t.slow_tuples;
+  write_side w t.events;
+  contents w
+
+let restore ~delp ~env blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) "dpc-basic-v1") then
+    raise (Corrupt "not a Basic checkpoint");
+  let nodes = read_varint r in
+  let t = create ~delp ~env ~nodes in
+  for _ = 1 to nodes do
+    List.iter
+      (fun (row : Rows.prov_row) ->
+        ignore (Rows.Table.add t.tables.(row.loc).prov ~key:(Rows.hex row.vid) row))
+      (read_list r (fun () -> Rows.read_prov_row r));
+    List.iter
+      (fun (row : Rows.rule_exec_row) ->
+        ignore (Rows.Table.add t.tables.(row.rloc).rule_exec ~key:(Rows.hex row.rid) row))
+      (read_list r (fun () -> Rows.read_rule_exec_row r))
+  done;
+  read_side r t.slow_tuples;
+  read_side r t.events;
+  t

@@ -1,0 +1,37 @@
+(** Basic storage optimization (paper §4, Table 2): provenance nodes for
+    intermediate event tuples are dropped; each [ruleExec] row carries a
+    [(NLoc, NRID)] back-pointer to the rule execution that derived its
+    event, and only output tuples (the relations of interest) get [prov]
+    rows. Queries walk the back-pointer chain to the leaf, retrieve the
+    input event, and re-derive the intermediate tuples bottom-up. *)
+
+type t
+
+val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
+
+val hook : t -> Dpc_engine.Prov_hook.t
+
+val node_storage : t -> int -> Rows.storage
+val total_storage : t -> Rows.storage
+
+val query :
+  t ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+(** Two-step query (§4): fetch the optimized chain, then recompute the
+    intermediate provenance nodes by re-executing the recorded rules from
+    the leaf upward. *)
+
+val dump : t -> (string * string list * string list list) list
+(** Human-readable table contents [(name, header, rows)] — the shape of the
+    paper's Table 2. *)
+
+val checkpoint : t -> string
+(** Serialize the full store to bytes. *)
+
+val restore : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
+(** Rebuild a store from {!checkpoint} output.
+    @raise Dpc_util.Serialize.Corrupt on malformed input. *)

@@ -1,0 +1,281 @@
+open Dpc_ndlog
+open Dpc_util
+
+type node_tables = {
+  prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
+  rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+}
+
+type t = {
+  delp : Delp.t;
+  env : Dpc_engine.Env.t;
+  tables : node_tables array;
+  tuples : Side_store.t;  (* vid -> materialized tuple, per node *)
+}
+
+let create ~delp ~env ~nodes =
+  {
+    delp;
+    env;
+    tables =
+      Array.init nodes (fun _ ->
+        {
+          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
+          rule_exec =
+            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+        });
+    tuples = Side_store.create ~nodes;
+  }
+
+let add_prov t ~node (row : Rows.prov_row) =
+  ignore (Rows.Table.add t.tables.(node).prov ~key:(Rows.hex row.vid) row)
+
+let add_rule_exec t ~node (row : Rows.rule_exec_row) =
+  ignore (Rows.Table.add t.tables.(node).rule_exec ~key:(Rows.hex row.rid) row)
+
+let rid_of ~rule_name ~node ~vids =
+  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
+
+let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head (meta : Dpc_engine.Prov_hook.meta) =
+  let event_vid = Rows.vid_of event in
+  let slow_vids = List.map Rows.vid_of slow in
+  let vids = slow_vids @ [ event_vid ] in
+  let rid = rid_of ~rule_name:rule.name ~node ~vids in
+  add_rule_exec t ~node { Rows.rloc = node; rid; rule = rule.name; vids; next = None };
+  (* Base rows for the slow tuples (their location is the executing node). *)
+  List.iter2
+    (fun tuple vid ->
+      add_prov t ~node { Rows.loc = node; vid; rid = None; evid = None };
+      Side_store.put t.tuples ~node ~key:vid tuple)
+    slow slow_vids;
+  (* The input event is a base tuple; intermediate events already got their
+     prov row when they were derived. *)
+  if meta.prev = None then begin
+    add_prov t ~node { Rows.loc = node; vid = event_vid; rid = None; evid = None };
+    Side_store.put t.tuples ~node ~key:event_vid event
+  end;
+  let head_loc = Tuple.loc head in
+  let head_vid = Rows.vid_of head in
+  add_prov t ~node:head_loc
+    { Rows.loc = head_loc; vid = head_vid; rid = Some (node, rid); evid = None };
+  Side_store.put t.tuples ~node:head_loc ~key:head_vid head;
+  { meta with prev = Some (node, rid) }
+
+let hook t =
+  {
+    Dpc_engine.Prov_hook.name = "exspan";
+    on_input =
+      (fun ~node event ->
+        let meta = Dpc_engine.Prov_hook.initial_meta event in
+        Side_store.put t.tuples ~node ~key:(Rows.vid_of event) event;
+        meta);
+    on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
+    on_output = (fun ~node:_ _ _ -> ());
+    on_slow_insert = (fun ~node:_ _ -> ());
+    (* ExSPAN ships the (RID, RLoc) reference so the receiver can store the
+       prov row of the derived tuple. *)
+    meta_bytes = (fun _ -> Rows.ref_bytes);
+  }
+
+let node_storage t node =
+  {
+    Rows.empty_storage with
+    Rows.prov_bytes = Rows.Table.bytes t.tables.(node).prov;
+    rule_exec_bytes = Rows.Table.bytes t.tables.(node).rule_exec;
+    event_bytes = Side_store.node_bytes t.tuples node;
+    prov_rows = Rows.Table.rows t.tables.(node).prov;
+    rule_exec_rows = Rows.Table.rows t.tables.(node).rule_exec;
+  }
+
+let total_storage t =
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  |> List.fold_left Rows.add_storage Rows.empty_storage
+
+exception Broken of string
+
+(* Mutable accounting threaded through a query. *)
+type acct = {
+  cost : Query_cost.t;
+  routing : Dpc_net.Routing.t;
+  mutable latency : float;
+  mutable entries : int;
+  mutable bytes : int;
+}
+
+let charge_entries acct n =
+  acct.entries <- acct.entries + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_entry)
+
+let charge_bytes acct n =
+  acct.bytes <- acct.bytes + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
+
+let charge_hop acct ~src ~dst =
+  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+let resolve_tuple t ~node vid =
+  match Side_store.get t.tuples ~node ~key:vid with
+  | Some tuple -> tuple
+  | None -> raise (Broken (Printf.sprintf "tuple %s not materialized at node %d" (Rows.hex vid) node))
+
+let find_rule t name =
+  match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
+  | Some r -> r
+  | None -> raise (Broken (Printf.sprintf "unknown rule %s" name))
+
+let max_derivations = 64
+
+(* Reconstruct every derivation rooted at rule execution (rloc, rid), which
+   derived [output]. An intermediate event tuple can itself have several
+   derivations (several prov rows with distinct rule references — e.g. two
+   equal-cost routes producing the identical tuple), so the result is a
+   list, capped at [max_derivations]. [at] is the node the query currently
+   sits on. *)
+let rec fetch_trees t acct ~at ~output (rloc, rid) =
+  charge_hop acct ~src:at ~dst:rloc;
+  let exec =
+    match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+    | [ row ] -> row
+    | [] -> raise (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
+    | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
+  in
+  charge_entries acct 1;
+  charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false exec);
+  ignore (find_rule t exec.rule);
+  (* vids = slow tuples followed by the event. *)
+  let slow_vids, event_vid =
+    match List.rev exec.vids with
+    | ev :: rest -> (List.rev rest, ev)
+    | [] -> raise (Broken "ruleExec with no body vids")
+  in
+  let resolve_body vid =
+    (* Each body tuple's prov row lives at the executing node. *)
+    let rows = Rows.Table.find t.tables.(rloc).prov (Rows.hex vid) in
+    charge_entries acct (max 1 (List.length rows));
+    let tuple = resolve_tuple t ~node:rloc vid in
+    charge_bytes acct (Tuple.wire_size tuple);
+    (rows, tuple)
+  in
+  let slow = List.map (fun vid -> snd (resolve_body vid)) slow_vids in
+  let event_rows, event_tuple = resolve_body event_vid in
+  let derived_refs = List.filter_map (fun (r : Rows.prov_row) -> r.rid) event_rows in
+  let triggers =
+    if derived_refs = [] then [ Prov_tree.Event event_tuple ]
+    else
+      List.concat_map
+        (fun rref ->
+          List.map
+            (fun sub -> Prov_tree.Derived sub)
+            (fetch_trees t acct ~at:rloc ~output:event_tuple rref))
+        derived_refs
+  in
+  List.filteri (fun i _ -> i < max_derivations) triggers
+  |> List.map (fun trigger -> { Prov_tree.rule = exec.rule; output; trigger; slow })
+
+let query t ~cost ~routing ?evid output =
+  let querier = Tuple.loc output in
+  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
+  let htp = Rows.vid_of output in
+  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  charge_entries acct (max 1 (List.length rows));
+  let trees =
+    List.concat_map
+      (fun (r : Rows.prov_row) ->
+        match r.rid with
+        | None -> []
+        | Some rref -> begin
+            match fetch_trees t acct ~at:querier ~output rref with
+            | trees -> trees
+            | exception Broken _ -> []
+          end)
+      rows
+  in
+  let trees =
+    match evid with
+    | None -> trees
+    | Some e -> List.filter (fun tr -> Sha1.equal (Prov_tree.event_id tr) e) trees
+  in
+  (* Return trip: ship the collected data back to the querier. *)
+  (match trees with
+  | [] -> ()
+  | tr :: _ ->
+      let leaf_event = Prov_tree.event_of tr in
+      charge_hop acct ~src:(Tuple.loc leaf_event) ~dst:querier);
+  { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
+    entries = acct.entries; bytes = acct.bytes }
+
+let dump t =
+  let n = Array.length t.tables in
+  let prov_rows node =
+    let acc = ref [] in
+    Rows.Table.iter t.tables.(node).prov (fun _ r -> acc := r :: !acc);
+    !acc
+  in
+  let exec_rows node =
+    let acc = ref [] in
+    Rows.Table.iter t.tables.(node).rule_exec (fun _ r -> acc := r :: !acc);
+    !acc
+  in
+  let ph, pr = Rows.dump_prov ~with_evid:false prov_rows n in
+  let rh, rr = Rows.dump_rule_exec ~with_next:false exec_rows n in
+  [ ("prov", ph, pr); ("ruleExec", rh, rr) ]
+
+(* Canonical (sorted) order so checkpoints are byte-stable. *)
+let table_rows table =
+  let acc = ref [] in
+  Rows.Table.iter table (fun _ r -> acc := r :: !acc);
+  List.sort compare !acc
+
+let side_entries side =
+  let acc = ref [] in
+  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
+
+let write_side w side =
+  let open Dpc_util.Serialize in
+  write_list w
+    (fun (node, key, tuple) ->
+      write_varint w node;
+      write_string w (Sha1.to_raw key);
+      Tuple.serialize w tuple)
+    (side_entries side)
+
+let read_side r side =
+  let open Dpc_util.Serialize in
+  List.iter
+    (fun () -> ())
+    (read_list r (fun () ->
+       let node = read_varint r in
+       let key = Sha1.of_raw (read_string r) in
+       let tuple = Tuple.deserialize r in
+       Side_store.put side ~node ~key tuple))
+
+let checkpoint t =
+  let open Dpc_util.Serialize in
+  let w = writer () in
+  write_string w "dpc-exspan-v1";
+  write_varint w (Array.length t.tables);
+  Array.iter
+    (fun tables ->
+      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec))
+    t.tables;
+  write_side w t.tuples;
+  contents w
+
+let restore ~delp ~env blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) "dpc-exspan-v1") then
+    raise (Corrupt "not an ExSPAN checkpoint");
+  let nodes = read_varint r in
+  let t = create ~delp ~env ~nodes in
+  for node = 0 to nodes - 1 do
+    List.iter (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc row)
+      (read_list r (fun () -> Rows.read_prov_row r));
+    List.iter (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc row)
+      (read_list r (fun () -> Rows.read_rule_exec_row r));
+    ignore node
+  done;
+  read_side r t.tuples;
+  t

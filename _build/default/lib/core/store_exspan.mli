@@ -1,0 +1,37 @@
+(** ExSPAN-style uncompressed provenance maintenance (paper §2.2, Table 1):
+    every rule execution stores a [ruleExec] row at the executing node, and
+    every tuple — input event, intermediate events, slow-changing tuples,
+    and the output — gets a [prov] row at its location (base tuples with a
+    NULL rule reference). The comparison baseline for both optimizations. *)
+
+type t
+
+val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
+
+val hook : t -> Dpc_engine.Prov_hook.t
+
+val node_storage : t -> int -> Rows.storage
+val total_storage : t -> Rows.storage
+
+val query :
+  t ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+(** Recursive distributed query (§2.2): follow [prov] and [ruleExec] rows
+    from the queried tuple down to base tuples, reconstructing every
+    derivation; [evid] restricts to derivations triggered by that input
+    event. *)
+
+val dump : t -> (string * string list * string list list) list
+(** Human-readable table contents [(name, header, rows)], digests
+    abbreviated, rows sorted — the shape of the paper's Table 1. *)
+
+val checkpoint : t -> string
+(** Serialize the full store (tables and materialized tuples) to bytes. *)
+
+val restore : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
+(** Rebuild a store from {!checkpoint} output; queries against it behave
+    identically. @raise Dpc_util.Serialize.Corrupt on malformed input. *)

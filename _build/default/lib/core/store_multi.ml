@@ -1,0 +1,385 @@
+open Dpc_ndlog
+open Dpc_util
+
+(* The sharing key is alpha-insensitive: variables are renamed to their
+   order of first occurrence, so two programs whose rules differ only in
+   variable names (and the rule name) still share rows. *)
+let rule_signature (r : Ast.rule) =
+  let ordered = Ast.rule_vars_in_order r in
+  let renaming = List.mapi (fun i v -> (v, Printf.sprintf "X%d" i)) ordered in
+  let rename v = match List.assoc_opt v renaming with Some v' -> v' | None -> v in
+  Pretty.rule_to_string (Ast.map_rule_vars rename { r with name = "sig" })
+
+(* Shared across programs: concrete rule-execution node rows and the
+   slow-tuple materialization (both content-addressed). *)
+type shared_node = {
+  exec_nodes : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+}
+
+(* Private to one program at one node. *)
+type private_node = {
+  prov : Rows.prov_row Rows.Table.t;
+  exec_links : Rows.link_row Rows.Table.t;
+  htequi : (string, unit) Hashtbl.t;
+  hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;
+}
+
+type t = {
+  nodes : int;
+  shared : shared_node array;
+  slow_tuples : Side_store.t;
+  mutable program_ids : string list;
+  mutable program_storages : (unit -> Rows.storage) list;
+  (* Signatures are interned to short ids so shared rows cost the same as
+     single-program rows (which store rule names, not rule text). *)
+  sig_ids : (string, string) Hashtbl.t;  (* signature -> "g<n>" *)
+  sig_of_id : (string, string) Hashtbl.t;
+}
+
+type handle = {
+  store : t;
+  id : string;
+  delp : Delp.t;
+  env : Dpc_engine.Env.t;
+  keys : Dpc_analysis.Equi_keys.t;
+  privates : private_node array;
+  events : Side_store.t;
+  signatures : (string, Ast.rule) Hashtbl.t;  (* signature -> this program's rule *)
+}
+
+let create ~nodes =
+  {
+    nodes;
+    shared =
+      Array.init nodes (fun _ ->
+        {
+          exec_nodes =
+            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+        });
+    slow_tuples = Side_store.create ~nodes;
+    program_ids = [];
+    program_storages = [];
+    sig_ids = Hashtbl.create 16;
+    sig_of_id = Hashtbl.create 16;
+  }
+
+let intern_signature t signature =
+  match Hashtbl.find_opt t.sig_ids signature with
+  | Some id -> id
+  | None ->
+      let id = Printf.sprintf "g%d" (Hashtbl.length t.sig_ids) in
+      Hashtbl.add t.sig_ids signature id;
+      Hashtbl.add t.sig_of_id id signature;
+      id
+
+let program_storage h =
+  let acc = ref Rows.empty_storage in
+  Array.iteri
+    (fun node p ->
+      let equi =
+        (Hashtbl.length p.htequi * 20)
+        + Hashtbl.fold (fun _ refs a -> a + 20 + (List.length !refs * Rows.ref_bytes))
+            p.hmap 0
+      in
+      acc :=
+        Rows.add_storage !acc
+          {
+            Rows.prov_bytes = Rows.Table.bytes p.prov;
+            rule_exec_bytes = Rows.Table.bytes p.exec_links;
+            equi_bytes = equi;
+            event_bytes = Side_store.node_bytes h.events node;
+            prov_rows = Rows.Table.rows p.prov;
+            rule_exec_rows = Rows.Table.rows p.exec_links;
+          })
+    h.privates;
+  !acc
+
+let add_program t ~id ~delp ~env =
+  if List.mem id t.program_ids then
+    invalid_arg (Printf.sprintf "Store_multi.add_program: duplicate program id %S" id);
+  t.program_ids <- id :: t.program_ids;
+  let signatures = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Ast.rule) -> Hashtbl.replace signatures (rule_signature r) r)
+    delp.Delp.program.rules;
+  let handle =
+    {
+      store = t;
+      id;
+      delp;
+      env;
+      keys = Dpc_analysis.Equi_keys.compute delp;
+      privates =
+        Array.init t.nodes (fun _ ->
+          {
+            prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
+            exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
+            htequi = Hashtbl.create 16;
+            hmap = Hashtbl.create 16;
+          });
+      events = Side_store.create ~nodes:t.nodes;
+      signatures;
+    }
+  in
+  t.program_storages <- (fun () -> program_storage handle) :: t.program_storages;
+  handle
+
+(* The shared rid: rule content (not name, not program), executing node,
+   slow-changing tuples. *)
+let node_rid ~signature ~node ~slow_vids =
+  Sha1.digest_concat (signature :: string_of_int node :: List.map Rows.hex slow_vids)
+
+let on_input h ~node event =
+  let meta = Dpc_engine.Prov_hook.initial_meta event in
+  let k = Dpc_analysis.Equi_keys.key_hash h.keys event in
+  let k_hex = Rows.hex k in
+  let p = h.privates.(node) in
+  let exist_flag = Hashtbl.mem p.htequi k_hex in
+  if not exist_flag then Hashtbl.add p.htequi k_hex ();
+  Side_store.put h.events ~node ~key:meta.evid event;
+  { meta with exist_flag; eqkey = Some k }
+
+let on_fire h ~node ~(rule : Ast.rule) ~slow (meta : Dpc_engine.Prov_hook.meta) =
+  if meta.exist_flag then meta
+  else begin
+    let slow_vids = List.map Rows.vid_of slow in
+    List.iter2
+      (fun tuple vid -> Side_store.put h.store.slow_tuples ~node ~key:vid tuple)
+      slow slow_vids;
+    let signature = rule_signature rule in
+    let rid = node_rid ~signature ~node ~slow_vids in
+    let sig_id = intern_signature h.store signature in
+    ignore
+      (Rows.Table.add h.store.shared.(node).exec_nodes ~key:(Rows.hex rid)
+         { Rows.rloc = node; rid; rule = sig_id; vids = slow_vids; next = None });
+    ignore
+      (Rows.Table.add h.privates.(node).exec_links ~key:(Rows.hex rid)
+         { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev });
+    { meta with prev = Some (node, rid) }
+  end
+
+let on_output h ~node output (meta : Dpc_engine.Prov_hook.meta) =
+  let p = h.privates.(node) in
+  let k_hex =
+    match meta.eqkey with
+    | Some k -> Rows.hex k
+    | None -> invalid_arg "Store_multi.on_output: meta has no equivalence key"
+  in
+  (* hmap associations are per (equivalence class, output relation): with
+     extra relations of interest one class has several recorded output
+     relations, each with its own chain reference(s). *)
+  let k_hex = k_hex ^ ":" ^ Tuple.rel output in
+  let vid = Rows.vid_of output in
+  let add_row rref =
+    ignore
+      (Rows.Table.add p.prov ~key:(Rows.hex vid)
+         { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid })
+  in
+  if not meta.exist_flag then begin
+    match meta.prev with
+    | None -> invalid_arg "Store_multi.on_output: materializing execution has no chain"
+    | Some rref ->
+        let refs =
+          match Hashtbl.find_opt p.hmap k_hex with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add p.hmap k_hex r;
+              r
+        in
+        if not (List.mem rref !refs) then refs := !refs @ [ rref ];
+        add_row rref
+  end
+  else begin
+    match Hashtbl.find_opt p.hmap k_hex with
+    | Some refs when !refs <> [] -> List.iter add_row !refs
+    | Some _ | None -> ()
+  end
+
+let hook h =
+  {
+    Dpc_engine.Prov_hook.name = "multi:" ^ h.id;
+    on_input = (fun ~node event -> on_input h ~node event);
+    on_fire = (fun ~node ~rule ~event:_ ~slow ~head:_ meta -> on_fire h ~node ~rule ~slow meta);
+    on_output = (fun ~node output meta -> on_output h ~node output meta);
+    on_slow_insert = (fun ~node _ -> Hashtbl.reset h.privates.(node).htequi);
+    meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
+  }
+
+(* ----------------------------------------------------------------- *)
+(* Storage *)
+
+let shared_storage t =
+  let rule_exec_bytes = ref 0 and rule_exec_rows = ref 0 in
+  Array.iter
+    (fun s ->
+      rule_exec_bytes := !rule_exec_bytes + Rows.Table.bytes s.exec_nodes;
+      rule_exec_rows := !rule_exec_rows + Rows.Table.rows s.exec_nodes)
+    t.shared;
+  {
+    Rows.empty_storage with
+    Rows.rule_exec_bytes = !rule_exec_bytes;
+    rule_exec_rows = !rule_exec_rows;
+    event_bytes = Side_store.total_bytes t.slow_tuples;
+  }
+
+let total_storage t =
+  List.fold_left
+    (fun acc f -> Rows.add_storage acc (f ()))
+    (shared_storage t) t.program_storages
+
+(* ----------------------------------------------------------------- *)
+(* Query: interclass-style chain collection over shared nodes and private
+   links, then bottom-up re-derivation with this program's rules. *)
+
+exception Broken of string
+
+type acct = {
+  cost : Query_cost.t;
+  routing : Dpc_net.Routing.t;
+  mutable latency : float;
+  mutable entries : int;
+  mutable bytes : int;
+}
+
+let charge_entries acct n =
+  acct.entries <- acct.entries + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_entry)
+
+let charge_bytes acct n =
+  acct.bytes <- acct.bytes + n;
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
+
+let charge_rederive acct n =
+  acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
+
+let charge_hop acct ~src ~dst =
+  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+let find_rule h sig_id =
+  match Hashtbl.find_opt h.store.sig_of_id sig_id with
+  | None -> raise (Broken "unknown rule signature id")
+  | Some signature -> begin
+      match Hashtbl.find_opt h.signatures signature with
+      | Some r -> r
+      | None -> raise (Broken "rule signature not in this program")
+    end
+
+let max_chains = 64
+
+let fetch_chains h acct ~start rref =
+  let results = ref [] in
+  let rec go at (rloc, rid) acc seen =
+    if List.length !results >= max_chains then ()
+    else begin
+      charge_hop acct ~src:at ~dst:rloc;
+      let key = (rloc, Rows.hex rid) in
+      if List.mem key seen then ()
+      else begin
+        let seen = key :: seen in
+        match Rows.Table.find h.store.shared.(rloc).exec_nodes (Rows.hex rid) with
+        | [] -> raise (Broken "missing shared ruleExecNode")
+        | _ :: _ :: _ -> raise (Broken "duplicate shared rid")
+        | [ row ] ->
+            charge_entries acct 1;
+            charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
+            let links = Rows.Table.find h.privates.(rloc).exec_links (Rows.hex rid) in
+            charge_entries acct (List.length links);
+            List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
+            if links = [] then raise (Broken "no link row for this program");
+            List.iter
+              (fun (l : Rows.link_row) ->
+                match l.link_next with
+                | None -> results := List.rev (row :: acc) :: !results
+                | Some next -> go rloc next (row :: acc) seen)
+              links
+      end
+    end
+  in
+  go start rref [] [];
+  !results
+
+let resolve_slow h acct ~node vid =
+  match Side_store.get h.store.slow_tuples ~node ~key:vid with
+  | Some tuple ->
+      charge_bytes acct (Tuple.wire_size tuple);
+      tuple
+  | None -> raise (Broken "slow tuple not materialized")
+
+let rederive h acct ~evid chain =
+  let rec build = function
+    | [] -> raise (Broken "empty chain")
+    | [ (leaf : Rows.rule_exec_row) ] ->
+        let event =
+          match Side_store.get h.events ~node:leaf.rloc ~key:evid with
+          | Some ev ->
+              charge_bytes acct (Tuple.wire_size ev);
+              ev
+          | None -> raise (Broken "event not materialized")
+        in
+        let slow = List.map (resolve_slow h acct ~node:leaf.rloc) leaf.vids in
+        let rule = find_rule h leaf.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:h.env ~rule ~event ~slow with
+          | Some head ->
+              ({ Prov_tree.rule = rule.name; output = head; trigger = Event event; slow }, head)
+          | None -> raise (Broken "re-derivation failed at leaf")
+        end
+    | (row : Rows.rule_exec_row) :: rest ->
+        let sub, sub_head = build rest in
+        if Tuple.loc sub_head <> row.rloc then raise (Broken "chain/location mismatch");
+        let slow = List.map (resolve_slow h acct ~node:row.rloc) row.vids in
+        let rule = find_rule h row.rule in
+        charge_rederive acct 1;
+        begin
+          match Dpc_engine.Eval.fire_with_slow ~env:h.env ~rule ~event:sub_head ~slow with
+          | Some head ->
+              ({ Prov_tree.rule = rule.name; output = head; trigger = Derived sub; slow }, head)
+          | None -> raise (Broken "re-derivation failed")
+        end
+  in
+  build chain
+
+let query h ~cost ~routing ?evid output =
+  let querier = Tuple.loc output in
+  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
+  let htp = Rows.vid_of output in
+  let rows = Rows.Table.find h.privates.(querier).prov (Rows.hex htp) in
+  let rows =
+    match evid with
+    | None -> rows
+    | Some e ->
+        List.filter
+          (fun (r : Rows.prov_row) ->
+            match r.evid with Some re -> Sha1.equal re e | None -> false)
+          rows
+  in
+  charge_entries acct (max 1 (List.length rows));
+  let trees =
+    List.concat_map
+      (fun (r : Rows.prov_row) ->
+        let row_evid =
+          match r.evid with Some e -> e | None -> raise (Broken "prov row without evid")
+        in
+        match r.rid with
+        | None -> []
+        | Some rref -> begin
+            match fetch_chains h acct ~start:querier rref with
+            | chains ->
+                List.filter_map
+                  (fun chain ->
+                    match rederive h acct ~evid:row_evid chain with
+                    | tree, head when Tuple.equal head output -> Some tree
+                    | _ -> None
+                    | exception Broken _ -> None)
+                  chains
+            | exception Broken _ -> []
+          end)
+      rows
+  in
+  (match trees with
+  | [] -> ()
+  | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
+  { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
+    entries = acct.entries; bytes = acct.bytes }

@@ -1,0 +1,58 @@
+(** Cross-program provenance compression — the paper's future work (§8).
+
+    "In most network deployments, there may be multiple programs (or
+    network protocols) running concurrently. As future work, we plan to
+    explore the possibility of compressing provenance trees across programs
+    that share execution rules."
+
+    This store hosts several DELPs at once. It uses the §5.4 node/link
+    layout with one twist: [ruleExecNode] rows are keyed by the *content
+    signature* of the rule (its head and body, not its name or owning
+    program) plus the executing node and the slow-changing tuples joined —
+    so when two programs contain a syntactically identical rule (say, the
+    forwarding rule of Fig 1 reused by a mirroring protocol) and it fires
+    against the same slow state, they share one concrete row. Everything
+    per-tree or per-program (links, prov deltas, equivalence tables, event
+    materialization) stays private to its program, so queries and the §5.5
+    reset behave exactly as in the single-program Advanced scheme. *)
+
+type t
+
+val create : nodes:int -> t
+
+type handle
+(** One registered program's view of the shared store. *)
+
+val add_program :
+  t ->
+  id:string ->
+  delp:Dpc_ndlog.Delp.t ->
+  env:Dpc_engine.Env.t ->
+  handle
+(** Registers a program (running its static analysis); [id] must be unique.
+    @raise Invalid_argument on a duplicate id. *)
+
+val hook : handle -> Dpc_engine.Prov_hook.t
+
+val query :
+  handle ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t
+
+val shared_storage : t -> Rows.storage
+(** The shared [ruleExecNode] table (and the shared slow-tuple
+    materialization, under [event_bytes]). *)
+
+val program_storage : handle -> Rows.storage
+(** The program-private tables: prov deltas, link rows, equivalence
+    tables, events. *)
+
+val total_storage : t -> Rows.storage
+
+val rule_signature : Dpc_ndlog.Ast.rule -> string
+(** The sharing key: the rule's content with its name erased and its
+    variables alpha-normalized (renamed by order of first occurrence), so
+    rules that differ only in naming share rows. *)

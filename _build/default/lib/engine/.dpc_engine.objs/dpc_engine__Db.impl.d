@@ -1,0 +1,1 @@
+lib/engine/db.ml: Dpc_ndlog Dpc_util Hashtbl List String Tuple

@@ -1,0 +1,1 @@
+lib/engine/env.ml: Dpc_ndlog List String

@@ -1,0 +1,1 @@
+lib/engine/env.mli: Dpc_ndlog

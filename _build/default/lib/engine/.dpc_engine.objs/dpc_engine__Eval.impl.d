@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Ast Db Dpc_ndlog Env Hashtbl List Printf String Tuple Value

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Db Dpc_ndlog Env

@@ -1,0 +1,1 @@
+lib/engine/prov_hook.ml: Dpc_ndlog Dpc_util

@@ -1,0 +1,1 @@
+lib/engine/prov_hook.mli: Dpc_ndlog Dpc_util

@@ -1,0 +1,1 @@
+lib/engine/runtime.ml: Array Ast Db Delp Dpc_ndlog Dpc_net Env Eval List Logs Printf Prov_hook String Tuple

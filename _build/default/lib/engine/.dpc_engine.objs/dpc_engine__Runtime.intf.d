@@ -1,0 +1,1 @@
+lib/engine/runtime.mli: Db Dpc_ndlog Dpc_net Env Prov_hook

@@ -1,0 +1,62 @@
+open Dpc_ndlog
+
+type t = { tables : (string, (string, Tuple.t) Hashtbl.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 8 }
+
+let table t rel =
+  match Hashtbl.find_opt t.tables rel with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.add t.tables rel tbl;
+      tbl
+
+let insert t tuple =
+  let tbl = table t (Tuple.rel tuple) in
+  let key = Tuple.canonical tuple in
+  if Hashtbl.mem tbl key then false
+  else begin
+    Hashtbl.add tbl key tuple;
+    true
+  end
+
+let remove t tuple =
+  match Hashtbl.find_opt t.tables (Tuple.rel tuple) with
+  | None -> false
+  | Some tbl ->
+      let key = Tuple.canonical tuple in
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.remove tbl key;
+        true
+      end
+      else false
+
+let mem t tuple =
+  match Hashtbl.find_opt t.tables (Tuple.rel tuple) with
+  | None -> false
+  | Some tbl -> Hashtbl.mem tbl (Tuple.canonical tuple)
+
+let scan t rel =
+  match Hashtbl.find_opt t.tables rel with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun _ tuple acc -> tuple :: acc) tbl []
+      |> List.sort Tuple.compare
+
+let relations t =
+  Hashtbl.fold (fun rel tbl acc -> if Hashtbl.length tbl > 0 then rel :: acc else acc)
+    t.tables []
+  |> List.sort String.compare
+
+let cardinality t rel =
+  match Hashtbl.find_opt t.tables rel with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+let total_tuples t = Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.tables 0
+
+let size_bytes t =
+  let w = Dpc_util.Serialize.writer () in
+  List.iter
+    (fun rel -> List.iter (fun tuple -> Tuple.serialize w tuple) (scan t rel))
+    (relations t);
+  Dpc_util.Serialize.size w

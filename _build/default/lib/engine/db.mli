@@ -1,0 +1,24 @@
+(** A node-local relational store with set semantics (the [DB_i] of the
+    system model, §3): slow-changing base tables plus derived tuples. *)
+
+type t
+
+val create : unit -> t
+
+val insert : t -> Dpc_ndlog.Tuple.t -> bool
+(** [true] if the tuple was new. *)
+
+val remove : t -> Dpc_ndlog.Tuple.t -> bool
+(** [true] if the tuple was present. *)
+
+val mem : t -> Dpc_ndlog.Tuple.t -> bool
+
+val scan : t -> string -> Dpc_ndlog.Tuple.t list
+(** All tuples of a relation, in unspecified but deterministic order. *)
+
+val relations : t -> string list
+val cardinality : t -> string -> int
+val total_tuples : t -> int
+
+val size_bytes : t -> int
+(** Serialized size of the whole store. *)

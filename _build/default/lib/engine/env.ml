@@ -1,0 +1,9 @@
+type fn = Dpc_ndlog.Value.t list -> Dpc_ndlog.Value.t
+type t = (string * fn) list
+
+let empty = []
+let register t name fn = (name, fn) :: t
+let lookup t name = List.assoc_opt name t
+
+let names t =
+  List.sort_uniq String.compare (List.map fst t)

@@ -1,0 +1,13 @@
+(** User-defined function environment for rule evaluation (e.g. the DNS
+    program's [f_isSubDomain]). *)
+
+type t
+
+val empty : t
+
+val register : t -> string -> (Dpc_ndlog.Value.t list -> Dpc_ndlog.Value.t) -> t
+(** Functional update; later registrations shadow earlier ones. *)
+
+val lookup : t -> string -> (Dpc_ndlog.Value.t list -> Dpc_ndlog.Value.t) option
+
+val names : t -> string list

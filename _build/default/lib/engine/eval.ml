@@ -1,0 +1,147 @@
+open Dpc_ndlog
+
+exception Eval_error of string
+
+type binding = (string * Value.t) list
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Eval_error m)) fmt
+
+let match_atom (a : Ast.atom) tuple binding =
+  if not (String.equal a.rel (Tuple.rel tuple)) then None
+  else if List.length a.args <> Tuple.arity tuple then None
+  else begin
+    let rec go binding i = function
+      | [] -> Some binding
+      | Ast.Const c :: rest ->
+          if Value.equal c (Tuple.arg tuple i) then go binding (i + 1) rest else None
+      | Ast.Var v :: rest -> begin
+          let actual = Tuple.arg tuple i in
+          match List.assoc_opt v binding with
+          | Some bound -> if Value.equal bound actual then go binding (i + 1) rest else None
+          | None -> go ((v, actual) :: binding) (i + 1) rest
+        end
+    in
+    go binding 0 a.args
+  end
+
+let arith op a b =
+  match op, a, b with
+  | Ast.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Ast.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Ast.Mul, Value.Int x, Value.Int y -> Value.Int (x * y)
+  | Ast.Div, Value.Int _, Value.Int 0 -> fail "division by zero"
+  | Ast.Div, Value.Int x, Value.Int y -> Value.Int (x / y)
+  | Ast.Mod, Value.Int _, Value.Int 0 -> fail "modulo by zero"
+  | Ast.Mod, Value.Int x, Value.Int y -> Value.Int (x mod y)
+  | Ast.Add, Value.Str x, Value.Str y -> Value.Str (x ^ y)
+  | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), _, _ ->
+      fail "arithmetic on non-numeric values (%s, %s)" (Value.to_string a)
+        (Value.to_string b)
+
+let rec eval_expr env binding = function
+  | Ast.E_const c -> c
+  | Ast.E_var v -> begin
+      match List.assoc_opt v binding with
+      | Some value -> value
+      | None -> fail "unbound variable %s" v
+    end
+  | Ast.E_binop (op, a, b) -> arith op (eval_expr env binding a) (eval_expr env binding b)
+  | Ast.E_call (f, args) -> begin
+      match Env.lookup env f with
+      | None -> fail "unknown function %s" f
+      | Some fn -> fn (List.map (eval_expr env binding) args)
+    end
+
+let compare_values op a b =
+  let ordered cmp =
+    match a, b with
+    | Value.Int x, Value.Int y -> cmp (compare x y) 0
+    | Value.Str x, Value.Str y -> cmp (String.compare x y) 0
+    | (Value.Int _ | Value.Str _ | Value.Bool _ | Value.Addr _), _ ->
+        fail "ordering comparison on %s and %s" (Value.to_string a) (Value.to_string b)
+  in
+  match op with
+  | Ast.Eq -> Value.equal a b
+  | Ast.Neq -> not (Value.equal a b)
+  | Ast.Lt -> ordered ( < )
+  | Ast.Leq -> ordered ( <= )
+  | Ast.Gt -> ordered ( > )
+  | Ast.Geq -> ordered ( >= )
+
+let instantiate (a : Ast.atom) binding =
+  let values =
+    List.map
+      (function
+        | Ast.Const c -> c
+        | Ast.Var v -> begin
+            match List.assoc_opt v binding with
+            | Some value -> value
+            | None -> fail "unbound head variable %s" v
+          end)
+      a.args
+  in
+  Tuple.make a.rel values
+
+(* Process conditions left to right, branching on slow-atom joins.
+   [lookup] supplies candidate tuples for a condition atom (database scan at
+   runtime, the recorded tuple at re-derivation time). *)
+let run_conditions env conds binding ~lookup =
+  let rec go binding used cond_idx = function
+    | [] -> [ (binding, List.rev used) ]
+    | Ast.C_atom a :: rest ->
+        List.concat_map
+          (fun tuple ->
+            match match_atom a tuple binding with
+            | None -> []
+            | Some binding -> go binding (tuple :: used) (cond_idx + 1) rest)
+          (lookup cond_idx a)
+    | Ast.C_cmp (op, lhs, rhs) :: rest ->
+        if compare_values op (eval_expr env binding lhs) (eval_expr env binding rhs) then
+          go binding used (cond_idx + 1) rest
+        else []
+    | Ast.C_assign (x, e) :: rest ->
+        let value = eval_expr env binding e in
+        begin
+          match List.assoc_opt x binding with
+          | Some bound -> if Value.equal bound value then go binding used (cond_idx + 1) rest else []
+          | None -> go ((x, value) :: binding) used (cond_idx + 1) rest
+        end
+  in
+  go binding [] 0 conds
+
+let fire ~env ~db ~(rule : Ast.rule) ~event =
+  match match_atom rule.event event [] with
+  | None -> []
+  | Some binding ->
+      run_conditions env rule.conds binding ~lookup:(fun _ (a : Ast.atom) -> Db.scan db a.rel)
+      |> List.map (fun (binding, slow) -> (instantiate rule.head binding, slow))
+
+let fire_with_slow ~env ~(rule : Ast.rule) ~event ~slow =
+  match match_atom rule.event event [] with
+  | None -> None
+  | Some binding ->
+      let slow_arr = Array.of_list slow in
+      let atom_positions =
+        (* cond_idx -> index into [slow] for condition atoms. *)
+        let tbl = Hashtbl.create 4 in
+        let next = ref 0 in
+        List.iteri
+          (fun i c ->
+            match c with
+            | Ast.C_atom _ ->
+                Hashtbl.add tbl i !next;
+                incr next
+            | Ast.C_cmp _ | Ast.C_assign _ -> ())
+          rule.conds;
+        if !next <> Array.length slow_arr then
+          fail "fire_with_slow: rule %s expects %d slow tuples, got %d" rule.name !next
+            (Array.length slow_arr);
+        tbl
+      in
+      let lookup cond_idx (_ : Ast.atom) = [ slow_arr.(Hashtbl.find atom_positions cond_idx) ] in
+      begin
+        match run_conditions env rule.conds binding ~lookup with
+        | [] -> None
+        | [ (binding, _) ] -> Some (instantiate rule.head binding)
+        | _ :: _ :: _ -> fail "fire_with_slow: ambiguous re-derivation for rule %s" rule.name
+      end

@@ -1,0 +1,49 @@
+(** Evaluation of a single DELP rule against an event tuple.
+
+    [fire] is the runtime join: unify the event atom with the arriving
+    event tuple, join the slow-changing condition atoms against the local
+    database, evaluate comparison atoms and assignments, and instantiate the
+    head. One result per satisfying combination of slow-changing tuples.
+
+    [fire_with_slow] is the symbolic re-derivation used at query time
+    (§4 step 2): instead of joining the database — whose slow-changing
+    tables may have changed since — it binds the condition atoms to the
+    recorded slow tuples and recomputes the head. *)
+
+exception Eval_error of string
+(** Type errors, unknown functions, division by zero. Evaluation is only
+    partial on ill-typed programs; DELP validation does not type-check. *)
+
+type binding = (string * Dpc_ndlog.Value.t) list
+
+val match_atom :
+  Dpc_ndlog.Ast.atom -> Dpc_ndlog.Tuple.t -> binding -> binding option
+(** Unify an atom against a ground tuple, extending the binding; [None] on
+    relation/arity/value mismatch. *)
+
+val eval_expr : Env.t -> binding -> Dpc_ndlog.Ast.expr -> Dpc_ndlog.Value.t
+(** @raise Eval_error on unbound variables, unknown functions, type
+    mismatches, division by zero. *)
+
+val instantiate : Dpc_ndlog.Ast.atom -> binding -> Dpc_ndlog.Tuple.t
+(** @raise Eval_error on unbound variables. *)
+
+val fire :
+  env:Env.t ->
+  db:Db.t ->
+  rule:Dpc_ndlog.Ast.rule ->
+  event:Dpc_ndlog.Tuple.t ->
+  (Dpc_ndlog.Tuple.t * Dpc_ndlog.Tuple.t list) list
+(** All (head, slow tuples used) derivations of [rule] triggered by
+    [event]; empty if the event does not match or no join succeeds. Slow
+    tuples are listed in condition-atom order. *)
+
+val fire_with_slow :
+  env:Env.t ->
+  rule:Dpc_ndlog.Ast.rule ->
+  event:Dpc_ndlog.Tuple.t ->
+  slow:Dpc_ndlog.Tuple.t list ->
+  Dpc_ndlog.Tuple.t option
+(** Re-derive the head from the event and the recorded slow tuples (one per
+    condition atom, in order); [None] if they no longer unify or a
+    comparison fails. *)

@@ -1,0 +1,40 @@
+type meta = {
+  evid : Dpc_util.Sha1.t;
+  exist_flag : bool;
+  eqkey : Dpc_util.Sha1.t option;
+  prev : (int * Dpc_util.Sha1.t) option;
+}
+
+type t = {
+  name : string;
+  on_input : node:int -> Dpc_ndlog.Tuple.t -> meta;
+  on_fire :
+    node:int ->
+    rule:Dpc_ndlog.Ast.rule ->
+    event:Dpc_ndlog.Tuple.t ->
+    slow:Dpc_ndlog.Tuple.t list ->
+    head:Dpc_ndlog.Tuple.t ->
+    meta ->
+    meta;
+  on_output : node:int -> Dpc_ndlog.Tuple.t -> meta -> unit;
+  on_slow_insert : node:int -> Dpc_ndlog.Tuple.t -> unit;
+  meta_bytes : meta -> int;
+}
+
+let initial_meta event =
+  {
+    evid = Dpc_util.Sha1.digest_string (Dpc_ndlog.Tuple.canonical event);
+    exist_flag = false;
+    eqkey = None;
+    prev = None;
+  }
+
+let null =
+  {
+    name = "none";
+    on_input = (fun ~node:_ event -> initial_meta event);
+    on_fire = (fun ~node:_ ~rule:_ ~event:_ ~slow:_ ~head:_ meta -> meta);
+    on_output = (fun ~node:_ _ _ -> ());
+    on_slow_insert = (fun ~node:_ _ -> ());
+    meta_bytes = (fun _ -> 0);
+  }

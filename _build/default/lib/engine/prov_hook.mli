@@ -1,0 +1,43 @@
+(** The interface between the engine and a provenance maintenance scheme.
+
+    The runtime calls [on_input] when an input event enters the system
+    (stage 1 of the online scheme), [on_fire] on every rule execution
+    (stage 2), and [on_output] when a tuple with no downstream rules is
+    produced (stage 3). The [meta] record is the bookkeeping that rides
+    along with each shipped tuple — its wire size is charged to the
+    network, which is how the paper's bandwidth-overhead comparison
+    arises. *)
+
+type meta = {
+  evid : Dpc_util.Sha1.t;  (** hash of the input event tuple *)
+  exist_flag : bool;  (** equivalence class already materialized (Advanced) *)
+  eqkey : Dpc_util.Sha1.t option;  (** hash of the equivalence-key values *)
+  prev : (int * Dpc_util.Sha1.t) option;
+      (** (NLoc, NRID): the provenance node of the rule execution that
+          derived the current event *)
+}
+
+type t = {
+  name : string;
+  on_input : node:int -> Dpc_ndlog.Tuple.t -> meta;
+  on_fire :
+    node:int ->
+    rule:Dpc_ndlog.Ast.rule ->
+    event:Dpc_ndlog.Tuple.t ->
+    slow:Dpc_ndlog.Tuple.t list ->
+    head:Dpc_ndlog.Tuple.t ->
+    meta ->
+    meta;
+  on_output : node:int -> Dpc_ndlog.Tuple.t -> meta -> unit;
+  on_slow_insert : node:int -> Dpc_ndlog.Tuple.t -> unit;
+      (** invoked at each node when it receives the [sig] broadcast after a
+          slow-changing insert (§5.5) *)
+  meta_bytes : meta -> int;  (** wire size of the piggybacked bookkeeping *)
+}
+
+val null : t
+(** Maintains nothing; the no-provenance baseline. *)
+
+val initial_meta : Dpc_ndlog.Tuple.t -> meta
+(** [evid = sha1 event], no flag, no key, no back-pointer — the meta every
+    backend starts from. *)

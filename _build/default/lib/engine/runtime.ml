@@ -1,0 +1,133 @@
+open Dpc_ndlog
+
+let log_src = Logs.Src.create "dpc.runtime" ~doc:"DELP runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = { injected : int; fired : int; outputs : int; dead_ends : int }
+
+type t = {
+  sim : Dpc_net.Sim.t;
+  delp : Delp.t;
+  env : Env.t;
+  hook : Prov_hook.t;
+  msg_overhead : int;
+  interest : string list;
+  dbs : Db.t array;
+  mutable outputs_rev : (Tuple.t * Prov_hook.meta) list;
+  mutable injected : int;
+  mutable fired : int;
+  mutable output_count : int;
+  mutable dead_ends : int;
+}
+
+let create ~sim ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) () =
+  List.iter
+    (fun rel ->
+      if not (Delp.is_event delp rel) then
+        invalid_arg
+          (Printf.sprintf "Runtime.create: interest relation %S is not derived by the program"
+             rel))
+    interest;
+  let n = Dpc_net.Topology.size (Dpc_net.Sim.topology sim) in
+  {
+    sim;
+    delp;
+    env;
+    hook;
+    msg_overhead;
+    interest;
+    dbs = Array.init n (fun _ -> Db.create ());
+    outputs_rev = [];
+    injected = 0;
+    fired = 0;
+    output_count = 0;
+    dead_ends = 0;
+  }
+
+let sim t = t.sim
+let delp t = t.delp
+let db t node = t.dbs.(node)
+
+let load_slow t tuples =
+  List.iter (fun tuple -> ignore (Db.insert t.dbs.(Tuple.loc tuple) tuple)) tuples
+
+(* Process [event] arriving at [node] carrying [meta]: fire every rule the
+   event relation triggers; ship each head to its location. A head whose
+   relation triggers no rule is an output. *)
+let rec process t ~input node event meta =
+  match Delp.rules_for_event t.delp (Tuple.rel event) with
+  | [] ->
+      Log.debug (fun m -> m "output %s at n%d" (Tuple.to_string event) node);
+      t.output_count <- t.output_count + 1;
+      t.outputs_rev <- (event, meta) :: t.outputs_rev;
+      ignore (Db.insert t.dbs.(node) event);
+      t.hook.on_output ~node event meta
+  | rules ->
+      (* Extra relations of interest get a concrete provenance record on
+         arrival, then execution continues through them. The injected input
+         event itself is a base tuple (nothing derived it), so only derived
+         arrivals are recorded. *)
+      if (not input) && List.mem (Tuple.rel event) t.interest then begin
+        ignore (Db.insert t.dbs.(node) event);
+        t.hook.on_output ~node event meta
+      end;
+      let any_fired = ref false in
+      List.iter
+        (fun rule ->
+          List.iter
+            (fun (head, slow) ->
+              any_fired := true;
+              t.fired <- t.fired + 1;
+              Log.debug (fun m ->
+                m "%s fired at n%d: %s -> %s" rule.Ast.name node (Tuple.to_string event)
+                  (Tuple.to_string head));
+              let meta' = t.hook.on_fire ~node ~rule ~event ~slow ~head meta in
+              ship t node head meta')
+            (Eval.fire ~env:t.env ~db:t.dbs.(node) ~rule ~event))
+        rules;
+      if not !any_fired then begin
+        Log.debug (fun m -> m "event %s died at n%d" (Tuple.to_string event) node);
+        t.dead_ends <- t.dead_ends + 1
+      end
+
+and ship t src head meta =
+  let dst = Tuple.loc head in
+  let bytes = Tuple.wire_size head + t.hook.meta_bytes meta + t.msg_overhead in
+  Dpc_net.Sim.send t.sim ~src ~dst ~bytes (fun () -> process t ~input:false dst head meta)
+
+let insert_slow_runtime t tuple =
+  let node = Tuple.loc tuple in
+  ignore (Db.insert t.dbs.(node) tuple);
+  (* Broadcast the sig control message to every node, including the origin
+     (delivered locally through the queue to preserve event ordering). *)
+  let n = Array.length t.dbs in
+  for target = 0 to n - 1 do
+    Dpc_net.Sim.send t.sim ~src:node ~dst:target ~bytes:(t.msg_overhead + 4) (fun () ->
+      t.hook.on_slow_insert ~node:target tuple)
+  done
+
+let delete_slow_runtime t tuple = Db.remove t.dbs.(Tuple.loc tuple) tuple
+
+let inject t ?(delay = 0.0) event =
+  if not (String.equal (Tuple.rel event) t.delp.input_event) then
+    invalid_arg
+      (Printf.sprintf "Runtime.inject: expected a %S tuple, got %S" t.delp.input_event
+         (Tuple.rel event));
+  t.injected <- t.injected + 1;
+  let node = Tuple.loc event in
+  Dpc_net.Sim.schedule t.sim ~delay (fun () ->
+    let meta = t.hook.on_input ~node event in
+    process t ~input:true node event meta)
+
+let outputs t = List.rev t.outputs_rev
+
+let stats t =
+  {
+    injected = t.injected;
+    fired = t.fired;
+    outputs = t.output_count;
+    dead_ends = t.dead_ends;
+  }
+
+let run ?until t = Dpc_net.Sim.run ?until t.sim

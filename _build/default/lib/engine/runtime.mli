@@ -1,0 +1,69 @@
+(** Distributed pipelined semi-naïve evaluation of a DELP over the
+    simulated network (§3.1): an arriving event tuple triggers every rule
+    whose event relation matches; each derived head is shipped to its
+    location specifier and becomes the next event, until a tuple with no
+    downstream rules is produced (the output) or no rule fires (the event
+    dies). Provenance maintenance piggybacks on this via {!Prov_hook}. *)
+
+type t
+
+type stats = {
+  injected : int;
+  fired : int;  (** rule executions *)
+  outputs : int;
+  dead_ends : int;  (** events no rule could fire on *)
+}
+
+val create :
+  sim:Dpc_net.Sim.t ->
+  delp:Dpc_ndlog.Delp.t ->
+  env:Env.t ->
+  hook:Prov_hook.t ->
+  ?msg_overhead:int ->
+  ?interest:string list ->
+  unit ->
+  t
+(** [msg_overhead] (default 28 bytes) is the fixed per-message header
+    charged on top of tuple and meta bytes.
+
+    [interest] adds relations of interest beyond the terminal outputs
+    (§3.2: the user picks which relations get concrete provenance). A
+    derived tuple of an interest relation gets an [on_output] record when
+    it arrives at its node — so its provenance is queryable directly —
+    and execution continues through it as usual.
+    @raise Invalid_argument if a name is not a derived (event) relation of
+    the program. *)
+
+val sim : t -> Dpc_net.Sim.t
+val delp : t -> Dpc_ndlog.Delp.t
+val db : t -> int -> Db.t
+(** The node-local database; load slow-changing tables through it before
+    injecting events, or use {!load_slow}. *)
+
+val load_slow : t -> Dpc_ndlog.Tuple.t list -> unit
+(** Insert each tuple into the database at its own location (no broadcast;
+    use for pre-run setup). *)
+
+val insert_slow_runtime : t -> Dpc_ndlog.Tuple.t -> unit
+(** §5.5: insert a slow-changing tuple at runtime — stores it and
+    broadcasts the [sig] control message to every node, invoking each
+    node's [on_slow_insert] on delivery. *)
+
+val delete_slow_runtime : t -> Dpc_ndlog.Tuple.t -> bool
+(** Deletion does not invalidate stored provenance (provenance is
+    monotone); no broadcast. *)
+
+val inject : t -> ?delay:float -> Dpc_ndlog.Tuple.t -> unit
+(** Schedule an input event tuple for processing at its location.
+    @raise Invalid_argument if the tuple is not of the input event
+    relation. *)
+
+val outputs : t -> (Dpc_ndlog.Tuple.t * Prov_hook.meta) list
+(** Terminal output tuples in production order (oldest first); tuples of
+    extra interest relations are not included (they continue executing)
+    but are provenance-queryable. *)
+
+val stats : t -> stats
+
+val run : ?until:float -> t -> unit
+(** Drive the simulator until quiescence (or [until]). *)

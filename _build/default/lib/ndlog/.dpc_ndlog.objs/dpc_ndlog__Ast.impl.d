@@ -1,0 +1,1 @@
+lib/ndlog/ast.ml: Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/ndlog/delp.ml: Ast Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/delp.mli: Ast

@@ -1,0 +1,1 @@
+lib/ndlog/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/ndlog/parser.ml: Array Ast Lexer List Printf Value

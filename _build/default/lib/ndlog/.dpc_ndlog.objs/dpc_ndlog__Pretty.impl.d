@@ -1,0 +1,1 @@
+lib/ndlog/pretty.ml: Ast Format List Value

@@ -1,0 +1,1 @@
+lib/ndlog/pretty.mli: Ast Format

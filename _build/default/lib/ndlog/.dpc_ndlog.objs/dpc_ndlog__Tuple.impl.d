@@ -1,0 +1,1 @@
+lib/ndlog/tuple.ml: Array Buffer Dpc_util Format Hashtbl List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/ndlog/tuple.mli: Dpc_util Format Value

@@ -1,0 +1,1 @@
+lib/ndlog/value.ml: Dpc_util Format Hashtbl Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ndlog/value.mli: Dpc_util Format

@@ -1,0 +1,240 @@
+type token =
+  | T_ident of string
+  | T_var of string
+  | T_int of int
+  | T_str of string
+  | T_bool of bool
+  | T_at
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_dot
+  | T_derives
+  | T_assign
+  | T_eq
+  | T_neq
+  | T_lt
+  | T_leq
+  | T_gt
+  | T_geq
+  | T_plus
+  | T_minus
+  | T_star
+  | T_slash
+  | T_percent
+  | T_eof
+
+type located = { tok : token; line : int; col : int }
+type error = { line : int; col : int; message : string }
+
+exception Lex_error of error
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_alpha c || is_digit c || c = '_'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let fail cur message = raise (Lex_error { line = cur.line; col = cur.col; message })
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+      let rec to_eol () =
+        match peek cur with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance cur;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia cur
+  | Some _ | None -> ()
+
+let lex_ident cur =
+  let start = cur.pos in
+  while match peek cur with Some c -> is_ident_char c | None -> false do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let lex_int cur =
+  let start = cur.pos in
+  while match peek cur with Some c -> is_digit c | None -> false do
+    advance cur
+  done;
+  int_of_string (String.sub cur.src start (cur.pos - start))
+
+let lex_string cur =
+  advance cur;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string literal"
+    | Some '"' -> advance cur
+    | Some '\\' -> begin
+        advance cur;
+        match peek cur with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance cur;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance cur;
+            go ()
+        | Some (('"' | '\\') as c) ->
+            Buffer.add_char buf c;
+            advance cur;
+            go ()
+        | Some c -> fail cur (Printf.sprintf "unknown escape '\\%c'" c)
+        | None -> fail cur "unterminated escape"
+      end
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token cur =
+  skip_trivia cur;
+  let line = cur.line and col = cur.col in
+  let mk tok = { tok; line; col } in
+  match peek cur with
+  | None -> mk T_eof
+  | Some c when is_digit c -> mk (T_int (lex_int cur))
+  | Some c when is_alpha c || c = '_' ->
+      let word = lex_ident cur in
+      if String.equal word "true" then mk (T_bool true)
+      else if String.equal word "false" then mk (T_bool false)
+      else if c >= 'A' && c <= 'Z' then mk (T_var word)
+      else mk (T_ident word)
+  | Some '"' -> mk (T_str (lex_string cur))
+  | Some '@' ->
+      advance cur;
+      mk T_at
+  | Some '(' ->
+      advance cur;
+      mk T_lparen
+  | Some ')' ->
+      advance cur;
+      mk T_rparen
+  | Some ',' ->
+      advance cur;
+      mk T_comma
+  | Some '.' ->
+      advance cur;
+      mk T_dot
+  | Some ':' -> begin
+      advance cur;
+      match peek cur with
+      | Some '-' ->
+          advance cur;
+          mk T_derives
+      | Some '=' ->
+          advance cur;
+          mk T_assign
+      | Some _ | None -> fail cur "expected ':-' or ':='"
+    end
+  | Some '=' -> begin
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          mk T_eq
+      | Some _ | None -> fail cur "expected '=='"
+    end
+  | Some '!' -> begin
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          mk T_neq
+      | Some _ | None -> fail cur "expected '!='"
+    end
+  | Some '<' -> begin
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          mk T_leq
+      | Some _ | None -> mk T_lt
+    end
+  | Some '>' -> begin
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          mk T_geq
+      | Some _ | None -> mk T_gt
+    end
+  | Some '+' ->
+      advance cur;
+      mk T_plus
+  | Some '-' ->
+      advance cur;
+      mk T_minus
+  | Some '*' ->
+      advance cur;
+      mk T_star
+  | Some '/' ->
+      advance cur;
+      mk T_slash
+  | Some '%' ->
+      advance cur;
+      mk T_percent
+  | Some c -> fail cur (Printf.sprintf "unexpected character '%c'" c)
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token cur in
+    match t.tok with T_eof -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  match go [] with toks -> Ok toks | exception Lex_error e -> Error e
+
+let describe = function
+  | T_ident s -> Printf.sprintf "identifier %S" s
+  | T_var s -> Printf.sprintf "variable %S" s
+  | T_int i -> Printf.sprintf "integer %d" i
+  | T_str s -> Printf.sprintf "string %S" s
+  | T_bool b -> Printf.sprintf "boolean %b" b
+  | T_at -> "'@'"
+  | T_lparen -> "'('"
+  | T_rparen -> "')'"
+  | T_comma -> "','"
+  | T_dot -> "'.'"
+  | T_derives -> "':-'"
+  | T_assign -> "':='"
+  | T_eq -> "'=='"
+  | T_neq -> "'!='"
+  | T_lt -> "'<'"
+  | T_leq -> "'<='"
+  | T_gt -> "'>'"
+  | T_geq -> "'>='"
+  | T_plus -> "'+'"
+  | T_minus -> "'-'"
+  | T_star -> "'*'"
+  | T_slash -> "'/'"
+  | T_percent -> "'%'"
+  | T_eof -> "end of input"

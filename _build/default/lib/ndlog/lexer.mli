@@ -1,0 +1,38 @@
+(** Tokenizer for NDlog concrete syntax. *)
+
+type token =
+  | T_ident of string  (** lowercase identifier: relation or function name *)
+  | T_var of string  (** Uppercase identifier: variable *)
+  | T_int of int
+  | T_str of string
+  | T_bool of bool
+  | T_at
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_dot
+  | T_derives  (** ":-" *)
+  | T_assign  (** ":=" *)
+  | T_eq
+  | T_neq
+  | T_lt
+  | T_leq
+  | T_gt
+  | T_geq
+  | T_plus
+  | T_minus
+  | T_star
+  | T_slash
+  | T_percent
+  | T_eof
+
+type located = { tok : token; line : int; col : int }
+
+type error = { line : int; col : int; message : string }
+
+val tokenize : string -> (located list, error) result
+(** Tokenize a full program source. "//" starts a line comment. The final
+    element of a successful result is always [T_eof]. *)
+
+val describe : token -> string
+(** For error messages, e.g. ["identifier \"route\""] or ["':-'"]. *)

@@ -1,0 +1,69 @@
+type t = { rel : string; args : Value.t array }
+
+let make rel args =
+  match args with
+  | [] -> invalid_arg "Tuple.make: empty argument list"
+  | Value.Addr _ :: _ -> { rel; args = Array.of_list args }
+  | (Value.Int _ | Value.Str _ | Value.Bool _) :: _ ->
+      invalid_arg "Tuple.make: first attribute must be a node address"
+
+let rel t = t.rel
+let args t = t.args
+let arity t = Array.length t.args
+let loc t = Value.addr_exn t.args.(0)
+
+let arg t i =
+  if i < 0 || i >= Array.length t.args then invalid_arg "Tuple.arg: index out of range";
+  t.args.(i)
+
+let equal a b =
+  String.equal a.rel b.rel
+  && Array.length a.args = Array.length b.args
+  && Array.for_all2 Value.equal a.args b.args
+
+let compare a b =
+  match String.compare a.rel b.rel with
+  | 0 -> Stdlib.compare a.args b.args
+  | c -> c
+
+let hash = Hashtbl.hash
+
+let canonical t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf t.rel;
+  Buffer.add_char buf '(';
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Value.canonical v))
+    t.args;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "%s(@@%a" t.rel Value.pp t.args.(0);
+  for i = 1 to Array.length t.args - 1 do
+    Format.fprintf fmt ", %a" Value.pp t.args.(i)
+  done;
+  Format.pp_print_char fmt ')'
+
+let to_string t = Format.asprintf "%a" pp t
+
+let wire_size t =
+  String.length t.rel + Array.fold_left (fun acc v -> acc + Value.wire_size v) 0 t.args
+
+let serialize w t =
+  let open Dpc_util.Serialize in
+  write_string w t.rel;
+  write_varint w (Array.length t.args);
+  Array.iter (Value.serialize w) t.args
+
+let deserialize r =
+  let open Dpc_util.Serialize in
+  let rel = read_string r in
+  let n = read_varint r in
+  let args = List.init n (fun _ -> Value.deserialize r) in
+  match args with
+  | Value.Addr _ :: _ -> { rel; args = Array.of_list args }
+  | [] | (Value.Int _ | Value.Str _ | Value.Bool _) :: _ ->
+      raise (Corrupt "Tuple.deserialize: malformed tuple")

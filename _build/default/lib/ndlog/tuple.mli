@@ -1,0 +1,37 @@
+(** Ground tuples: a relation name applied to values, with the first
+    attribute as the location specifier. *)
+
+type t = private { rel : string; args : Value.t array }
+
+val make : string -> Value.t list -> t
+(** @raise Invalid_argument if the argument list is empty or the first
+    argument is not an [Addr] (every NDlog relation is located). *)
+
+val rel : t -> string
+val args : t -> Value.t array
+val arity : t -> int
+
+val loc : t -> int
+(** The node address in the location specifier (first attribute). *)
+
+val arg : t -> int -> Value.t
+(** @raise Invalid_argument on an out-of-range index. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val canonical : t -> string
+(** Unambiguous rendering used as SHA-1 input; [vid = sha1 (canonical t)]
+    mirrors the paper's [sha1(packet(@n1, n1, n3, "data"))]. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [packet(@n1, n1, n3, "data")]. *)
+
+val to_string : t -> string
+
+val wire_size : t -> int
+(** Serialized size in bytes, for bandwidth and storage accounting. *)
+
+val serialize : Dpc_util.Serialize.writer -> t -> unit
+val deserialize : Dpc_util.Serialize.reader -> t

@@ -1,0 +1,73 @@
+type t = Int of int | Str of string | Bool of bool | Addr of int
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Addr x, Addr y -> x = y
+  | (Int _ | Str _ | Bool _ | Addr _), _ -> false
+
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let canonical = function
+  | Int i -> "i:" ^ string_of_int i
+  | Str s -> Printf.sprintf "s:%d:%s" (String.length s) s
+  | Bool b -> if b then "b:true" else "b:false"
+  | Addr a -> "@" ^ string_of_int a
+
+let pp fmt = function
+  | Int i -> Format.pp_print_int fmt i
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.pp_print_bool fmt b
+  | Addr a -> Format.fprintf fmt "n%d" a
+
+let to_string v = Format.asprintf "%a" pp v
+
+let addr_exn = function
+  | Addr a -> a
+  | Int _ | Str _ | Bool _ -> invalid_arg "Value.addr_exn: not an address"
+
+let int_exn = function
+  | Int i -> i
+  | Str _ | Bool _ | Addr _ -> invalid_arg "Value.int_exn: not an int"
+
+let bool_exn = function
+  | Bool b -> b
+  | Int _ | Str _ | Addr _ -> invalid_arg "Value.bool_exn: not a bool"
+
+let str_exn = function
+  | Str s -> s
+  | Int _ | Bool _ | Addr _ -> invalid_arg "Value.str_exn: not a string"
+
+let wire_size = function
+  | Int _ -> 8
+  | Str s -> 4 + String.length s
+  | Bool _ -> 1
+  | Addr _ -> 4
+
+let serialize w v =
+  let open Dpc_util.Serialize in
+  match v with
+  | Int i ->
+      write_varint w 0;
+      write_int w i
+  | Str s ->
+      write_varint w 1;
+      write_string w s
+  | Bool b ->
+      write_varint w 2;
+      write_bool w b
+  | Addr a ->
+      write_varint w 3;
+      write_varint w a
+
+let deserialize r =
+  let open Dpc_util.Serialize in
+  match read_varint r with
+  | 0 -> Int (read_int r)
+  | 1 -> Str (read_string r)
+  | 2 -> Bool (read_bool r)
+  | 3 -> Addr (read_varint r)
+  | tag -> raise (Corrupt (Printf.sprintf "Value.deserialize: bad tag %d" tag))

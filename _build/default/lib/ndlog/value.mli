@@ -1,0 +1,38 @@
+(** Runtime values carried by NDlog tuples.
+
+    Node addresses are a distinct constructor ([Addr]) because the location
+    specifier ("@" on the first attribute of every relation) must always hold
+    an address, and the engine routes head tuples by it. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Addr of int  (** a node identifier in the distributed system *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val canonical : t -> string
+(** Unambiguous rendering used as SHA-1 input ("i:42", "s:<len>:...",
+    "b:true", "@7"): distinct values never collide textually. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering: [42], ["data"], [true], [n7]. *)
+
+val to_string : t -> string
+
+val addr_exn : t -> int
+(** @raise Invalid_argument if the value is not an [Addr]. *)
+
+val int_exn : t -> int
+val bool_exn : t -> bool
+val str_exn : t -> string
+
+val wire_size : t -> int
+(** Bytes this value occupies in a serialized message (used for bandwidth
+    accounting). *)
+
+val serialize : Dpc_util.Serialize.writer -> t -> unit
+val deserialize : Dpc_util.Serialize.reader -> t

@@ -1,0 +1,1 @@
+lib/net/sim.ml: Dpc_util Hashtbl List Printf Routing Topology

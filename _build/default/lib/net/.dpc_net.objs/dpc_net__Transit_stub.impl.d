@@ -1,0 +1,1 @@
+lib/net/transit_stub.ml: Array Dpc_util List Topology

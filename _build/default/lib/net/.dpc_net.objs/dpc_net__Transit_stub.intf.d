@@ -1,0 +1,1 @@
+lib/net/transit_stub.mli: Dpc_util Topology

@@ -1,0 +1,1 @@
+lib/net/tree_topo.ml: Array Dpc_util List Topology

@@ -1,0 +1,1 @@
+lib/net/tree_topo.mli: Dpc_util Topology

@@ -1,0 +1,125 @@
+type event = { at : float; seq : int; action : unit -> unit }
+
+type t = {
+  topo : Topology.t;
+  routing : Routing.t;
+  bucket_width : float;
+  jitter : float;
+  rng : Dpc_util.Rng.t;
+  queue : event Dpc_util.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+  mutable total_bytes : int;
+  mutable messages : int;
+  link_counters : (int * int, int ref) Hashtbl.t;
+  buckets : (int, int ref) Hashtbl.t;
+}
+
+let create ?(bucket_width = 1.0) ?(jitter = 0.0) ?(seed = 0) ~topology ~routing () =
+  if jitter < 0.0 then invalid_arg "Sim.create: negative jitter";
+  {
+    topo = topology;
+    routing;
+    bucket_width;
+    jitter;
+    rng = Dpc_util.Rng.create ~seed;
+    queue =
+      Dpc_util.Heap.create ~cmp:(fun a b ->
+        match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c);
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+    total_bytes = 0;
+    messages = 0;
+    link_counters = Hashtbl.create 64;
+    buckets = Hashtbl.create 64;
+  }
+
+let topology t = t.topo
+let routing t = t.routing
+let now t = t.clock
+
+let schedule_at t at action =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Dpc_util.Heap.push t.queue { at; seq; action }
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t (t.clock +. delay) action
+
+let counter tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl key r;
+      r
+
+let account t ~at ~hop_src ~hop_dst ~bytes =
+  t.total_bytes <- t.total_bytes + bytes;
+  let key = (min hop_src hop_dst, max hop_src hop_dst) in
+  let c = counter t.link_counters key in
+  c := !c + bytes;
+  let bucket = int_of_float (at /. t.bucket_width) in
+  let b = counter t.buckets bucket in
+  b := !b + bytes
+
+let jitter_delay t = if t.jitter = 0.0 then 0.0 else Dpc_util.Rng.float t.rng t.jitter
+
+let send t ~src ~dst ~bytes k =
+  t.messages <- t.messages + 1;
+  if src = dst then schedule t ~delay:(jitter_delay t) k
+  else begin
+    match Routing.path t.routing ~src ~dst with
+    | None -> failwith (Printf.sprintf "Sim.send: node %d unreachable from %d" dst src)
+    | Some path ->
+        (* Walk the path hop by hop, accumulating per-hop delays and charging
+           each link at the moment transmission on it starts. *)
+        let rec hops at = function
+          | a :: (b :: _ as rest) ->
+              let link =
+                match Topology.link t.topo a b with
+                | Some l -> l
+                | None -> assert false (* routing only uses existing links *)
+              in
+              account t ~at ~hop_src:a ~hop_dst:b ~bytes;
+              let arrival = at +. link.latency +. (float_of_int bytes /. link.bandwidth) in
+              hops arrival rest
+          | [ _ ] | [] -> at
+        in
+        let arrival = hops t.clock path +. jitter_delay t in
+        schedule_at t arrival k
+  end
+
+let run ?until t =
+  let limit = match until with None -> infinity | Some u -> u in
+  let rec go () =
+    match Dpc_util.Heap.peek t.queue with
+    | None -> ()
+    | Some ev when ev.at > limit -> ()
+    | Some _ -> begin
+        match Dpc_util.Heap.pop t.queue with
+        | None -> ()
+        | Some ev ->
+            t.clock <- max t.clock ev.at;
+            t.processed <- t.processed + 1;
+            ev.action ();
+            go ()
+      end
+  in
+  go ()
+
+let events_processed t = t.processed
+let total_bytes t = t.total_bytes
+
+let link_bytes t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.link_counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bucket_bytes t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let messages_sent t = t.messages

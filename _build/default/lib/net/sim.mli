@@ -1,0 +1,56 @@
+(** Discrete-event network simulator (substitute for ns-3).
+
+    Time is in seconds. Messages are forwarded hop-by-hop along shortest
+    paths (store-and-forward): each hop contributes its link latency plus
+    the transmission time [bytes / bandwidth], and the bytes are charged to
+    that link's counters — which is what the bandwidth figures (11 and 15)
+    report. *)
+
+type t
+
+val create :
+  ?bucket_width:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  topology:Topology.t ->
+  routing:Routing.t ->
+  unit ->
+  t
+(** [bucket_width] (default 1 s) sets the granularity of the
+    bandwidth-over-time accounting. [jitter] (default 0) adds a uniform
+    random extra delay in [0, jitter] seconds to every message delivery,
+    deterministically from [seed] — messages then overtake each other,
+    which is how the §5.6 out-of-order scenarios are exercised. *)
+
+val topology : t -> Topology.t
+val routing : t -> Routing.t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] seconds from now. Events at equal times fire in
+    scheduling order. @raise Invalid_argument on a negative delay. *)
+
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+(** Deliver a message of [bytes] from [src] to [dst]; the callback fires at
+    the destination's arrival time. A self-send delivers at the current
+    time (still via the queue, preserving ordering).
+    @raise Failure if [dst] is unreachable from [src]. *)
+
+val run : ?until:float -> t -> unit
+(** Process queued events in timestamp order until the queue is empty or
+    simulated time would exceed [until]. *)
+
+val events_processed : t -> int
+
+val total_bytes : t -> int
+(** All bytes transmitted so far, summed over every hop of every message. *)
+
+val link_bytes : t -> ((int * int) * int) list
+(** Per-link byte counters, endpoints ordered, sorted. *)
+
+val bucket_bytes : t -> (int * int) list
+(** [(bucket_index, bytes)] sorted by bucket; bucket [i] covers
+    [i * bucket_width, (i+1) * bucket_width). *)
+
+val messages_sent : t -> int

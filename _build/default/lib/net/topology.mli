@@ -1,0 +1,26 @@
+(** Undirected network topologies with per-link latency and bandwidth. *)
+
+type link = { latency : float  (** seconds *); bandwidth : float  (** bytes/second *) }
+
+type t
+
+val create : n:int -> t
+(** [create ~n] is a topology with nodes [0 .. n-1] and no links.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val size : t -> int
+
+val add_link : t -> int -> int -> link -> unit
+(** Add an undirected link. Replaces an existing link between the pair.
+    @raise Invalid_argument on out-of-range nodes, self-links. *)
+
+val link : t -> int -> int -> link option
+val connected : t -> int -> int -> bool
+val neighbors : t -> int -> (int * link) list
+val links : t -> (int * int * link) list
+(** Each undirected link once, with [fst < snd]. *)
+
+val degree : t -> int -> int
+
+val is_connected : t -> bool
+(** Whether every node is reachable from node 0. *)

@@ -1,0 +1,71 @@
+type params = {
+  transit : int;
+  stub_domains : int;
+  stubs_per_domain : int;
+  transit_link : Topology.link;
+  transit_stub_link : Topology.link;
+  stub_link : Topology.link;
+  extra_stub_edges : int;
+}
+
+let paper_params =
+  {
+    transit = 4;
+    stub_domains = 3;
+    stubs_per_domain = 8;
+    transit_link = { Topology.latency = 0.050; bandwidth = 1e9 /. 8.0 };
+    transit_stub_link = { Topology.latency = 0.010; bandwidth = 100e6 /. 8.0 };
+    stub_link = { Topology.latency = 0.002; bandwidth = 50e6 /. 8.0 };
+    extra_stub_edges = 2;
+  }
+
+type t = { topology : Topology.t; transit_nodes : int list; stub_nodes : int list }
+
+let node_count p = p.transit + (p.transit * p.stub_domains * p.stubs_per_domain)
+
+let generate ~rng p =
+  if p.transit <= 0 || p.stub_domains <= 0 || p.stubs_per_domain <= 0 then
+    invalid_arg "Transit_stub.generate: counts must be positive";
+  let n = node_count p in
+  let topo = Topology.create ~n in
+  let transit_nodes = List.init p.transit (fun i -> i) in
+  (* Full mesh among transit nodes. *)
+  List.iter
+    (fun a ->
+      List.iter (fun b -> if a < b then Topology.add_link topo a b p.transit_link) transit_nodes)
+    transit_nodes;
+  let next = ref p.transit in
+  let stub_nodes = ref [] in
+  List.iter
+    (fun transit ->
+      for _domain = 1 to p.stub_domains do
+        let members =
+          List.init p.stubs_per_domain (fun _ ->
+            let v = !next in
+            incr next;
+            stub_nodes := v :: !stub_nodes;
+            v)
+        in
+        (* Random spanning tree: each node links to a random earlier member. *)
+        List.iteri
+          (fun i v ->
+            if i > 0 then begin
+              let earlier = List.nth members (Dpc_util.Rng.int rng i) in
+              Topology.add_link topo v earlier p.stub_link
+            end)
+          members;
+        (* A few extra intra-domain edges for path diversity. *)
+        let members_arr = Array.of_list members in
+        for _ = 1 to p.extra_stub_edges do
+          let a = Dpc_util.Rng.pick rng members_arr
+          and b = Dpc_util.Rng.pick rng members_arr in
+          if a <> b && not (Topology.connected topo a b) then
+            Topology.add_link topo a b p.stub_link
+        done;
+        (* Gateway: the first member connects to the transit node. *)
+        match members with
+        | gateway :: _ -> Topology.add_link topo transit gateway p.transit_stub_link
+        | [] -> assert false
+      done)
+    transit_nodes;
+  { topology = topo; transit_nodes; stub_nodes = List.rev !stub_nodes }

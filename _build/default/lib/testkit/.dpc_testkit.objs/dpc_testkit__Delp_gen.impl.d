@@ -1,0 +1,1 @@
+lib/testkit/delp_gen.ml: Array Ast Delp Dpc_analysis Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util List Pretty Printf String Tuple Value

@@ -1,0 +1,1 @@
+lib/testkit/delp_gen.mli: Dpc_analysis Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util

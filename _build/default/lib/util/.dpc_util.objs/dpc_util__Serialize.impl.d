@@ -1,0 +1,1 @@
+lib/util/serialize.ml: Buffer Char Int64 List String

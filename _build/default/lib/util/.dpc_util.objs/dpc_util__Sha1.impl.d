@@ -1,0 +1,1 @@
+lib/util/sha1.ml: Array Buffer Bytes Char Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/util/sha1.mli: Format

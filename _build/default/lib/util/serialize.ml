@@ -1,0 +1,86 @@
+exception Corrupt of string
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+let write_int buf v =
+  for k = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xFF))
+  done
+
+let rec write_varint buf v =
+  if v < 0 then invalid_arg "Serialize.write_varint: negative";
+  if v < 0x80 then Buffer.add_char buf (Char.chr v)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+    write_varint buf (v lsr 7)
+  end
+
+let write_int64 buf v =
+  for k = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+  done
+
+let write_float buf f = write_int64 buf (Int64.bits_of_float f)
+let write_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_list buf f xs =
+  write_varint buf (List.length xs);
+  List.iter f xs
+
+let contents = Buffer.contents
+let size = Buffer.length
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let byte r =
+  if r.pos >= String.length r.data then raise (Corrupt "unexpected end of input");
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_int r =
+  let v = ref 0 in
+  for k = 0 to 7 do
+    v := !v lor (byte r lsl (8 * k))
+  done;
+  !v
+
+let read_varint r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_int64 r =
+  let v = ref 0L in
+  for k = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte r)) (8 * k))
+  done;
+  !v
+
+let read_float r = Int64.float_of_bits (read_int64 r)
+let read_bool r = byte r <> 0
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then raise (Corrupt "string overruns input");
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_list r f =
+  let n = read_varint r in
+  List.init n (fun _ -> f ())
+
+let at_end r = r.pos = String.length r.data

@@ -1,0 +1,39 @@
+(** Deterministic binary serialization.
+
+    The paper measures provenance storage by serializing the per-node
+    relational tables (with boost::serialization) and taking the file size.
+    This module is the stand-in: a length-prefixed binary writer/reader whose
+    output size is a faithful, deterministic proxy for table storage. *)
+
+type writer
+
+val writer : unit -> writer
+val write_int : writer -> int -> unit
+(** Fixed 8-byte little-endian integer. *)
+
+val write_varint : writer -> int -> unit
+(** LEB128-style variable-length non-negative integer. *)
+
+val write_float : writer -> float -> unit
+val write_bool : writer -> bool -> unit
+val write_string : writer -> string -> unit
+(** Varint length prefix followed by the raw bytes. *)
+
+val write_list : writer -> ('a -> unit) -> 'a list -> unit
+(** Varint count followed by each element via the callback. *)
+
+val contents : writer -> string
+val size : writer -> int
+
+type reader
+
+val reader : string -> reader
+val read_int : reader -> int
+val read_varint : reader -> int
+val read_float : reader -> float
+val read_bool : reader -> bool
+val read_string : reader -> string
+val read_list : reader -> (unit -> 'a) -> 'a list
+val at_end : reader -> bool
+
+exception Corrupt of string

@@ -1,0 +1,81 @@
+type t = string
+
+let mask32 = 0xFFFFFFFF
+let rotl32 x n = ((x lsl n) lor ((x land mask32) lsr (32 - n))) land mask32
+
+(* Process one 64-byte block starting at [off] in [msg], updating state. *)
+let process_block h msg off =
+  let w = Array.make 80 0 in
+  for i = 0 to 15 do
+    let b k = Char.code (Bytes.get msg (off + (i * 4) + k)) in
+    w.(i) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl32 (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+  done;
+  let a = ref h.(0)
+  and b = ref h.(1)
+  and c = ref h.(2)
+  and d = ref h.(3)
+  and e = ref h.(4) in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then (!b land !c) lor (lnot !b land !d) land mask32, 0x5A827999
+      else if i < 40 then !b lxor !c lxor !d, 0x6ED9EBA1
+      else if i < 60 then (!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC
+      else !b lxor !c lxor !d, 0xCA62C1D6
+    in
+    let tmp = (rotl32 !a 5 + (f land mask32) + !e + k + w.(i)) land mask32 in
+    e := !d;
+    d := !c;
+    c := rotl32 !b 30;
+    b := !a;
+    a := tmp
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32
+
+let digest_string s =
+  let len = String.length s in
+  (* Padded length: message + 0x80 + zeros + 8-byte big-endian bit length. *)
+  let padded = ((len + 8) / 64 + 1) * 64 in
+  let msg = Bytes.make padded '\000' in
+  Bytes.blit_string s 0 msg 0 len;
+  Bytes.set msg len '\x80';
+  let bitlen = len * 8 in
+  for k = 0 to 7 do
+    Bytes.set msg (padded - 1 - k) (Char.chr ((bitlen lsr (8 * k)) land 0xFF))
+  done;
+  let h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |] in
+  for blk = 0 to (padded / 64) - 1 do
+    process_block h msg (blk * 64)
+  done;
+  let out = Bytes.create 20 in
+  for i = 0 to 4 do
+    for k = 0 to 3 do
+      Bytes.set out ((i * 4) + k) (Char.chr ((h.(i) lsr (8 * (3 - k))) land 0xFF))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_concat parts = digest_string (String.concat "+" parts)
+
+let to_hex t =
+  let buf = Buffer.create 40 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
+  Buffer.contents buf
+
+let to_raw t = t
+
+let of_raw s =
+  if String.length s <> 20 then invalid_arg "Sha1.of_raw: expected 20 bytes";
+  s
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let abbrev t = String.sub (to_hex t) 0 8
+let pp fmt t = Format.pp_print_string fmt (abbrev t)

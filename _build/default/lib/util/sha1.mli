@@ -1,0 +1,36 @@
+(** SHA-1 (RFC 3174), implemented from scratch.
+
+    The paper identifies provenance nodes by SHA-1 hashes of tuple and
+    rule-execution contents; this module provides that primitive without an
+    external dependency. *)
+
+type t
+(** A 20-byte digest. *)
+
+val digest_string : string -> t
+(** [digest_string s] is the SHA-1 digest of [s]. *)
+
+val digest_concat : string list -> t
+(** [digest_concat parts] hashes the concatenation of [parts], inserting a
+    ['+'] separator between parts (mirroring the paper's
+    [sha1(r1+n1+vid1+vid2)] notation and avoiding ambiguity between
+    ["ab"+"c"] and ["a"+"bc"]). *)
+
+val to_hex : t -> string
+(** Lowercase 40-character hexadecimal rendering. *)
+
+val to_raw : t -> string
+(** The 20 raw digest bytes. *)
+
+val of_raw : string -> t
+(** [of_raw s] reinterprets 20 raw bytes as a digest.
+    @raise Invalid_argument if [String.length s <> 20]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val abbrev : t -> string
+(** First 8 hex characters, for human-readable output. *)
+
+val pp : Format.formatter -> t -> unit

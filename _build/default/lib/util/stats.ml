@@ -1,0 +1,54 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile xs p =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let stddev xs =
+  require_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let minimum xs =
+  require_nonempty "Stats.minimum" xs;
+  List.fold_left min infinity xs
+
+let maximum xs =
+  require_nonempty "Stats.maximum" xs;
+  List.fold_left max neg_infinity xs
+
+let cdf xs =
+  let a = Array.of_list (sorted xs) in
+  let n = Array.length a in
+  Array.to_list (Array.mapi (fun i x -> (x, float_of_int (i + 1) /. float_of_int n)) a)
+
+let cdf_at xs x =
+  match xs with
+  | [] -> 0.0
+  | _ :: _ ->
+      let below = List.length (List.filter (fun v -> v <= x) xs) in
+      float_of_int below /. float_of_int (List.length xs)

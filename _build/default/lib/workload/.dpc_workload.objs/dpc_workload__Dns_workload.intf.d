@@ -1,0 +1,1 @@
+lib/workload/dns_workload.mli: Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util

@@ -1,0 +1,1 @@
+lib/workload/forwarding_driver.ml: Array Dpc_apps Dpc_core Dpc_engine Dpc_net Dpc_util List Printf String

@@ -1,0 +1,1 @@
+lib/workload/forwarding_driver.mli: Dpc_core Dpc_engine Dpc_ndlog Dpc_net Dpc_util

@@ -1,0 +1,1 @@
+lib/workload/measure.ml: Dpc_core Dpc_net List

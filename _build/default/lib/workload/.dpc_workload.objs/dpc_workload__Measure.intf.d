@@ -1,0 +1,1 @@
+lib/workload/measure.mli: Dpc_core Dpc_net

@@ -1,0 +1,1 @@
+lib/workload/pairs.ml: Array Dpc_util Hashtbl List

@@ -1,0 +1,1 @@
+lib/workload/pairs.mli: Dpc_util

@@ -1,0 +1,67 @@
+type t = {
+  sim : Dpc_net.Sim.t;
+  runtime : Dpc_engine.Runtime.t;
+  backend : Dpc_core.Backend.t;
+  routing : Dpc_net.Routing.t;
+  pairs : (int * int) list;
+}
+
+let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) () =
+  let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend =
+    Dpc_core.Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env
+      ~nodes:(Dpc_net.Topology.size topology)
+  in
+  let runtime =
+    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+      ~hook:(Dpc_core.Backend.hook backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
+  { sim; runtime; backend; routing; pairs }
+
+(* Unique payload of exactly [size] bytes: a sequence tag padded with 'x'. *)
+let payload ~pair_index ~seq ~size =
+  let tag = Printf.sprintf "p%d-s%d-" pair_index seq in
+  if String.length tag >= size then tag
+  else tag ^ String.make (size - String.length tag) 'x'
+
+let inject_stream t ~rate_per_pair ~duration ~payload_size =
+  let interval = 1.0 /. rate_per_pair in
+  let count = int_of_float (duration *. rate_per_pair) in
+  List.iteri
+    (fun pair_index (src, dst) ->
+      for seq = 0 to count - 1 do
+        let at = float_of_int seq *. interval in
+        Dpc_engine.Runtime.inject t.runtime ~delay:at
+          (Dpc_apps.Forwarding.packet ~src ~dst
+             ~payload:(payload ~pair_index ~seq ~size:payload_size))
+      done)
+    t.pairs;
+  count * List.length t.pairs
+
+let inject_total t ~total ~duration ~payload_size =
+  let npairs = List.length t.pairs in
+  let pairs = Array.of_list t.pairs in
+  let interval = duration /. float_of_int (max 1 total) in
+  for seq = 0 to total - 1 do
+    let pair_index = seq mod npairs in
+    let src, dst = pairs.(pair_index) in
+    Dpc_engine.Runtime.inject t.runtime
+      ~delay:(float_of_int seq *. interval)
+      (Dpc_apps.Forwarding.packet ~src ~dst
+         ~payload:(payload ~pair_index ~seq ~size:payload_size))
+  done;
+  total
+
+let run ?until t = Dpc_engine.Runtime.run ?until t.runtime
+
+let received t = List.map fst (Dpc_engine.Runtime.outputs t.runtime)
+
+let query_random_outputs t ~rng ~cost ~count =
+  let outputs = Array.of_list (received t) in
+  if Array.length outputs = 0 then
+    invalid_arg "Forwarding_driver.query_random_outputs: no outputs received";
+  List.init count (fun _ ->
+    let output = Dpc_util.Rng.pick rng outputs in
+    Dpc_core.Backend.query t.backend ~cost ~routing:t.routing output)

@@ -1,0 +1,18 @@
+let select ~rng ~eligible ~count =
+  let nodes = Array.of_list eligible in
+  let n = Array.length nodes in
+  if n < 2 then invalid_arg "Pairs.select: need at least two eligible nodes";
+  if count > n * (n - 1) then invalid_arg "Pairs.select: more pairs requested than exist";
+  let seen = Hashtbl.create (2 * count) in
+  let rec draw acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let s = Dpc_util.Rng.pick rng nodes and d = Dpc_util.Rng.pick rng nodes in
+      if s = d || Hashtbl.mem seen (s, d) then draw acc remaining
+      else begin
+        Hashtbl.add seen (s, d) ();
+        draw ((s, d) :: acc) (remaining - 1)
+      end
+    end
+  in
+  draw [] count

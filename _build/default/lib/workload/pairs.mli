@@ -1,0 +1,8 @@
+(** Random selection of communicating (source, destination) pairs for the
+    packet-forwarding experiments. *)
+
+val select :
+  rng:Dpc_util.Rng.t -> eligible:int list -> count:int -> (int * int) list
+(** [count] distinct ordered pairs with distinct endpoints, drawn uniformly
+    from [eligible]. @raise Invalid_argument if fewer than 2 eligible nodes
+    or more pairs requested than exist. *)

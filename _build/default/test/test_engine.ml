@@ -1,0 +1,305 @@
+(* Tests for dpc_engine: the node-local database, rule evaluation (joins,
+   comparisons, assignments, UDFs), symbolic re-derivation, and the
+   distributed runtime. *)
+
+open Dpc_ndlog
+open Dpc_engine
+
+let check = Alcotest.check
+let tuple_t = Alcotest.testable Tuple.pp Tuple.equal
+
+(* ------------------------------------------------------------------ *)
+(* Db *)
+
+let route = Dpc_apps.Forwarding.route
+
+let test_db_set_semantics () =
+  let db = Db.create () in
+  check Alcotest.bool "first insert" true (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  check Alcotest.bool "duplicate insert" false (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  check Alcotest.int "cardinality" 1 (Db.cardinality db "route");
+  check Alcotest.bool "mem" true (Db.mem db (route ~at:0 ~dst:2 ~next:1));
+  check Alcotest.bool "remove" true (Db.remove db (route ~at:0 ~dst:2 ~next:1));
+  check Alcotest.bool "remove again" false (Db.remove db (route ~at:0 ~dst:2 ~next:1));
+  check Alcotest.int "empty" 0 (Db.total_tuples db)
+
+let test_db_scan_deterministic () =
+  let db = Db.create () in
+  ignore (Db.insert db (route ~at:0 ~dst:3 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:4 ~next:2));
+  let scan1 = Db.scan db "route" and scan2 = Db.scan db "route" in
+  check (Alcotest.list tuple_t) "stable order" scan1 scan2;
+  check Alcotest.int "three tuples" 3 (List.length scan1);
+  check (Alcotest.list tuple_t) "unknown relation" [] (Db.scan db "nothing")
+
+let test_db_size_bytes_grows () =
+  let db = Db.create () in
+  let s0 = Db.size_bytes db in
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  let s1 = Db.size_bytes db in
+  check Alcotest.bool "grows" true (s1 > s0)
+
+(* ------------------------------------------------------------------ *)
+(* Eval *)
+
+let rule_of src =
+  match Parser.parse_rule src with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let forwarding_r1 = rule_of "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N)."
+let forwarding_r2 = rule_of "r2 recv(@L, S, D, DT) :- packet(@L, S, D, DT), D == L."
+
+let pkt ~at ~src ~dst ~payload =
+  Tuple.make "packet" [ Value.Addr at; Value.Addr src; Value.Addr dst; Value.Str payload ]
+
+let test_eval_match_atom () =
+  let atom = forwarding_r1.event in
+  match Eval.match_atom atom (pkt ~at:0 ~src:0 ~dst:2 ~payload:"x") [] with
+  | None -> Alcotest.fail "should match"
+  | Some b ->
+      check Alcotest.bool "binds L" true (List.assoc "L" b = Value.Addr 0);
+      check Alcotest.bool "binds D" true (List.assoc "D" b = Value.Addr 2)
+
+let test_eval_match_atom_consistency () =
+  (* r2's event packet(@L, ...) with D == L later; but matching itself must
+     reject inconsistent repeated variables. *)
+  let atom = rule_of "r p(@X) :- q(@A, B, B)." in
+  let ok = Tuple.make "q" [ Value.Addr 0; Value.Int 1; Value.Int 1 ] in
+  let bad = Tuple.make "q" [ Value.Addr 0; Value.Int 1; Value.Int 2 ] in
+  check Alcotest.bool "consistent repeat" true (Eval.match_atom atom.event ok [] <> None);
+  check Alcotest.bool "inconsistent repeat" false (Eval.match_atom atom.event bad [] <> None)
+
+let test_eval_fire_join () =
+  let db = Db.create () in
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:3 ~next:1));
+  let results =
+    Eval.fire ~env:Env.empty ~db ~rule:forwarding_r1 ~event:(pkt ~at:0 ~src:0 ~dst:2 ~payload:"x")
+  in
+  check Alcotest.int "one result" 1 (List.length results);
+  let head, slow = List.hd results in
+  check tuple_t "forwarded packet" (pkt ~at:1 ~src:0 ~dst:2 ~payload:"x") head;
+  check (Alcotest.list tuple_t) "used route" [ route ~at:0 ~dst:2 ~next:1 ] slow
+
+let test_eval_fire_multiple_matches () =
+  let db = Db.create () in
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:3));
+  let results =
+    Eval.fire ~env:Env.empty ~db ~rule:forwarding_r1 ~event:(pkt ~at:0 ~src:0 ~dst:2 ~payload:"x")
+  in
+  check Alcotest.int "two derivations" 2 (List.length results)
+
+let test_eval_fire_comparison () =
+  let db = Db.create () in
+  let at_dst =
+    Eval.fire ~env:Env.empty ~db ~rule:forwarding_r2 ~event:(pkt ~at:2 ~src:0 ~dst:2 ~payload:"x")
+  in
+  check Alcotest.int "fires at destination" 1 (List.length at_dst);
+  let en_route =
+    Eval.fire ~env:Env.empty ~db ~rule:forwarding_r2 ~event:(pkt ~at:1 ~src:0 ~dst:2 ~payload:"x")
+  in
+  check Alcotest.int "silent elsewhere" 0 (List.length en_route)
+
+let test_eval_fire_wrong_event_relation () =
+  let db = Db.create () in
+  let results =
+    Eval.fire ~env:Env.empty ~db ~rule:forwarding_r2 ~event:(route ~at:0 ~dst:1 ~next:1)
+  in
+  check Alcotest.int "no match" 0 (List.length results)
+
+let test_eval_assignment_and_arith () =
+  let rule = rule_of "r1 out(@L, Y) :- ev(@L, A, B), Y := (A + B) * 2." in
+  let event = Tuple.make "ev" [ Value.Addr 0; Value.Int 3; Value.Int 4 ] in
+  match Eval.fire ~env:Env.empty ~db:(Db.create ()) ~rule ~event with
+  | [ (head, []) ] ->
+      check tuple_t "computed head" (Tuple.make "out" [ Value.Addr 0; Value.Int 14 ]) head
+  | _ -> Alcotest.fail "expected one derivation"
+
+let test_eval_division_by_zero () =
+  let rule = rule_of "r1 out(@L, Y) :- ev(@L, A), Y := A / 0." in
+  let event = Tuple.make "ev" [ Value.Addr 0; Value.Int 3 ] in
+  Alcotest.check_raises "division by zero" (Eval.Eval_error "division by zero") (fun () ->
+    ignore (Eval.fire ~env:Env.empty ~db:(Db.create ()) ~rule ~event))
+
+let test_eval_udf () =
+  let env =
+    Env.register Env.empty "f_double" (function
+      | [ Value.Int x ] -> Value.Int (2 * x)
+      | _ -> raise (Eval.Eval_error "f_double"))
+  in
+  let rule = rule_of "r1 out(@L, Y) :- ev(@L, A), Y := f_double(A)." in
+  let event = Tuple.make "ev" [ Value.Addr 0; Value.Int 21 ] in
+  match Eval.fire ~env ~db:(Db.create ()) ~rule ~event with
+  | [ (head, _) ] ->
+      check tuple_t "udf head" (Tuple.make "out" [ Value.Addr 0; Value.Int 42 ]) head
+  | _ -> Alcotest.fail "expected one derivation"
+
+let test_eval_unknown_udf () =
+  let rule = rule_of "r1 out(@L, Y) :- ev(@L, A), Y := f_missing(A)." in
+  let event = Tuple.make "ev" [ Value.Addr 0; Value.Int 1 ] in
+  Alcotest.check_raises "unknown function" (Eval.Eval_error "unknown function f_missing")
+    (fun () -> ignore (Eval.fire ~env:Env.empty ~db:(Db.create ()) ~rule ~event))
+
+let test_eval_string_ordering () =
+  let rule = rule_of "r1 out(@L, A) :- ev(@L, A, B), A < B." in
+  let fire a b =
+    Eval.fire ~env:Env.empty ~db:(Db.create ()) ~rule
+      ~event:(Tuple.make "ev" [ Value.Addr 0; Value.Str a; Value.Str b ])
+  in
+  check Alcotest.int "abc < abd" 1 (List.length (fire "abc" "abd"));
+  check Alcotest.int "abd not < abc" 0 (List.length (fire "abd" "abc"))
+
+let test_fire_with_slow_rederives () =
+  let event = pkt ~at:0 ~src:0 ~dst:2 ~payload:"x" in
+  let slow = [ route ~at:0 ~dst:2 ~next:1 ] in
+  match Eval.fire_with_slow ~env:Env.empty ~rule:forwarding_r1 ~event ~slow with
+  | Some head -> check tuple_t "re-derived" (pkt ~at:1 ~src:0 ~dst:2 ~payload:"x") head
+  | None -> Alcotest.fail "expected a head"
+
+let test_fire_with_slow_rejects_mismatched () =
+  let event = pkt ~at:0 ~src:0 ~dst:2 ~payload:"x" in
+  (* A route for a different destination no longer unifies. *)
+  let slow = [ route ~at:0 ~dst:3 ~next:1 ] in
+  check (Alcotest.option tuple_t) "no head" None
+    (Eval.fire_with_slow ~env:Env.empty ~rule:forwarding_r1 ~event ~slow)
+
+let test_fire_with_slow_wrong_count () =
+  let event = pkt ~at:0 ~src:0 ~dst:2 ~payload:"x" in
+  Alcotest.check_raises "arity mismatch"
+    (Eval.Eval_error "fire_with_slow: rule r1 expects 1 slow tuples, got 0") (fun () ->
+      ignore (Eval.fire_with_slow ~env:Env.empty ~rule:forwarding_r1 ~event ~slow:[]))
+
+(* ------------------------------------------------------------------ *)
+(* Env *)
+
+let test_env_shadowing () =
+  let env = Env.register Env.empty "f" (fun _ -> Value.Int 1) in
+  let env = Env.register env "f" (fun _ -> Value.Int 2) in
+  match Env.lookup env "f" with
+  | Some f -> check Alcotest.bool "latest wins" true (f [] = Value.Int 2)
+  | None -> Alcotest.fail "lookup failed"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+let line_world () =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e7 } in
+  Dpc_net.Topology.add_link topo 0 1 l;
+  Dpc_net.Topology.add_link topo 1 2 l;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let runtime =
+    Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null ()
+  in
+  Runtime.load_slow runtime
+    [ route ~at:0 ~dst:2 ~next:1; route ~at:1 ~dst:2 ~next:2 ];
+  (runtime, sim)
+
+let test_runtime_pipeline () =
+  let runtime, sim = line_world () in
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"hello");
+  Runtime.run runtime;
+  let outputs = Runtime.outputs runtime in
+  check Alcotest.int "one output" 1 (List.length outputs);
+  check tuple_t "recv at n2" (Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"hello")
+    (fst (List.hd outputs));
+  let stats = Runtime.stats runtime in
+  check Alcotest.int "injected" 1 stats.injected;
+  check Alcotest.int "fired" 3 stats.fired;
+  check Alcotest.int "outputs" 1 stats.outputs;
+  check Alcotest.int "no dead ends" 0 stats.dead_ends;
+  (* Two inter-node shipments of (tuple + overhead). *)
+  check Alcotest.bool "bytes on the wire" true (Dpc_net.Sim.total_bytes sim > 0)
+
+let test_runtime_dead_end () =
+  let runtime, _ = line_world () in
+  (* No route for destination 1 at node 0 and 0 <> 1: the event dies. *)
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:1 ~payload:"x");
+  Runtime.run runtime;
+  check Alcotest.int "no outputs" 0 (Runtime.stats runtime).outputs;
+  check Alcotest.int "one dead end" 1 (Runtime.stats runtime).dead_ends
+
+let test_runtime_rejects_non_event () =
+  let runtime, _ = line_world () in
+  Alcotest.check_raises "wrong relation"
+    (Invalid_argument "Runtime.inject: expected a \"packet\" tuple, got \"route\"") (fun () ->
+      Runtime.inject runtime (route ~at:0 ~dst:2 ~next:1))
+
+let test_runtime_sig_broadcast_reaches_all_nodes () =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e7 } in
+  Dpc_net.Topology.add_link topo 0 1 l;
+  Dpc_net.Topology.add_link topo 1 2 l;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let seen = ref [] in
+  let hook = { Prov_hook.null with on_slow_insert = (fun ~node _ -> seen := node :: !seen) } in
+  let runtime = Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
+  Runtime.insert_slow_runtime runtime (route ~at:1 ~dst:2 ~next:2);
+  Runtime.run runtime;
+  check (Alcotest.list Alcotest.int) "all nodes signalled" [ 0; 1; 2 ]
+    (List.sort compare !seen);
+  check Alcotest.bool "tuple stored" true (Db.mem (Runtime.db runtime 1) (route ~at:1 ~dst:2 ~next:2))
+
+let test_runtime_multipath_derivations () =
+  (* Two routes at n0 toward n2: the packet is duplicated (both derivations
+     execute), and two recv outputs arrive. *)
+  let topo = Dpc_net.Topology.create ~n:3 in
+  let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e7 } in
+  Dpc_net.Topology.add_link topo 0 1 l;
+  Dpc_net.Topology.add_link topo 1 2 l;
+  Dpc_net.Topology.add_link topo 0 2 l;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let runtime = Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null () in
+  Runtime.load_slow runtime
+    [ route ~at:0 ~dst:2 ~next:1; route ~at:0 ~dst:2 ~next:2; route ~at:1 ~dst:2 ~next:2 ];
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
+  Runtime.run runtime;
+  (* The two copies produce the same recv tuple; both executions complete. *)
+  check Alcotest.int "two deliveries" 2 (Runtime.stats runtime).outputs
+
+let () =
+  Alcotest.run "dpc_engine"
+    [
+      ( "db",
+        [
+          Alcotest.test_case "set semantics" `Quick test_db_set_semantics;
+          Alcotest.test_case "deterministic scan" `Quick test_db_scan_deterministic;
+          Alcotest.test_case "size bytes" `Quick test_db_size_bytes_grows;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "match atom" `Quick test_eval_match_atom;
+          Alcotest.test_case "repeated variables" `Quick test_eval_match_atom_consistency;
+          Alcotest.test_case "join" `Quick test_eval_fire_join;
+          Alcotest.test_case "multiple matches" `Quick test_eval_fire_multiple_matches;
+          Alcotest.test_case "comparison" `Quick test_eval_fire_comparison;
+          Alcotest.test_case "wrong event relation" `Quick test_eval_fire_wrong_event_relation;
+          Alcotest.test_case "assignment and arithmetic" `Quick test_eval_assignment_and_arith;
+          Alcotest.test_case "division by zero" `Quick test_eval_division_by_zero;
+          Alcotest.test_case "udf" `Quick test_eval_udf;
+          Alcotest.test_case "unknown udf" `Quick test_eval_unknown_udf;
+          Alcotest.test_case "string ordering" `Quick test_eval_string_ordering;
+          Alcotest.test_case "fire_with_slow rederives" `Quick test_fire_with_slow_rederives;
+          Alcotest.test_case "fire_with_slow rejects mismatch" `Quick
+            test_fire_with_slow_rejects_mismatched;
+          Alcotest.test_case "fire_with_slow wrong count" `Quick test_fire_with_slow_wrong_count;
+        ] );
+      ("env", [ Alcotest.test_case "shadowing" `Quick test_env_shadowing ]);
+      ( "runtime",
+        [
+          Alcotest.test_case "pipeline" `Quick test_runtime_pipeline;
+          Alcotest.test_case "dead end" `Quick test_runtime_dead_end;
+          Alcotest.test_case "rejects non-event" `Quick test_runtime_rejects_non_event;
+          Alcotest.test_case "sig broadcast" `Quick test_runtime_sig_broadcast_reaches_all_nodes;
+          Alcotest.test_case "multipath derivations" `Quick test_runtime_multipath_derivations;
+        ] );
+    ]

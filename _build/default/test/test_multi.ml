@@ -1,0 +1,221 @@
+(* Tests for Store_multi: cross-program provenance compression (the
+   paper's §8 future work). Two programs — packet forwarding and the
+   traffic-mirroring protocol that shares its forwarding rule — run
+   concurrently over the same routes and the same packet stream. *)
+
+open Dpc_core
+
+let check = Alcotest.check
+
+let line_link = { Dpc_net.Topology.latency = 0.002; bandwidth = 1e7 }
+
+(* n0 -> n1 -> n2. *)
+let topology () =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  Dpc_net.Topology.add_link topo 0 1 line_link;
+  Dpc_net.Topology.add_link topo 1 2 line_link;
+  topo
+
+let routes =
+  [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+    Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ]
+
+type world = {
+  store : Store_multi.t;
+  fwd : Store_multi.handle;
+  mirror : Store_multi.handle;
+  fwd_rt : Dpc_engine.Runtime.t;
+  mirror_rt : Dpc_engine.Runtime.t;
+  routing : Dpc_net.Routing.t;
+}
+
+let make_world () =
+  let topo = topology () in
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let store = Store_multi.create ~nodes:3 in
+  let fwd_delp = Dpc_apps.Forwarding.delp () in
+  let mirror_delp = Dpc_apps.Mirror.delp () in
+  let fwd = Store_multi.add_program store ~id:"forwarding" ~delp:fwd_delp ~env:Dpc_engine.Env.empty in
+  let mirror = Store_multi.add_program store ~id:"mirror" ~delp:mirror_delp ~env:Dpc_engine.Env.empty in
+  let fwd_rt =
+    Dpc_engine.Runtime.create ~sim ~delp:fwd_delp ~env:Dpc_engine.Env.empty
+      ~hook:(Store_multi.hook fwd) ()
+  in
+  let mirror_rt =
+    Dpc_engine.Runtime.create ~sim ~delp:mirror_delp ~env:Dpc_engine.Env.empty
+      ~hook:(Store_multi.hook mirror) ()
+  in
+  Dpc_engine.Runtime.load_slow fwd_rt routes;
+  Dpc_engine.Runtime.load_slow mirror_rt routes;
+  (sim, { store; fwd; mirror; fwd_rt; mirror_rt; routing })
+
+let send_both sim w ~payload =
+  Dpc_engine.Runtime.inject w.fwd_rt (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload);
+  Dpc_engine.Runtime.inject w.mirror_rt (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload);
+  Dpc_net.Sim.run sim
+
+let test_rule_signature_name_insensitive () =
+  let fwd_r1 = List.hd (Dpc_apps.Forwarding.delp ()).program.rules in
+  let mirror_r1 = List.hd (Dpc_apps.Mirror.delp ()).program.rules in
+  check Alcotest.string "shared forwarding rule" (Store_multi.rule_signature fwd_r1)
+    (Store_multi.rule_signature mirror_r1);
+  let fwd_r2 = List.nth (Dpc_apps.Forwarding.delp ()).program.rules 1 in
+  let mirror_r2 = List.nth (Dpc_apps.Mirror.delp ()).program.rules 1 in
+  check Alcotest.bool "final rules differ" false
+    (String.equal (Store_multi.rule_signature fwd_r2) (Store_multi.rule_signature mirror_r2))
+
+let test_rule_signature_alpha_insensitive () =
+  (* The same forwarding rule with every variable renamed. *)
+  let renamed =
+    match
+      Dpc_ndlog.Parser.parse_rule
+        "r9 packet(@Hop, Source, Dest, Body) :- packet(@Here, Source, Dest, Body), route(@Here, Dest, Hop)."
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  let fwd_r1 = List.hd (Dpc_apps.Forwarding.delp ()).program.rules in
+  check Alcotest.string "alpha-equivalent rules share a signature"
+    (Store_multi.rule_signature fwd_r1)
+    (Store_multi.rule_signature renamed);
+  (* But a structurally different rule does not. *)
+  let different =
+    match
+      Dpc_ndlog.Parser.parse_rule
+        "r9 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, S, N)."
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse error: %s" e
+  in
+  check Alcotest.bool "structural difference detected" false
+    (String.equal (Store_multi.rule_signature fwd_r1) (Store_multi.rule_signature different))
+
+let test_shared_rows_deduplicate () =
+  let sim, w = make_world () in
+  send_both sim w ~payload:"data";
+  (* One chain each: r1@0, r1@1, r2@2. The two r1 executions are shared
+     (same rule content, node, route tuple); the final rules differ. *)
+  let shared = Store_multi.shared_storage w.store in
+  check Alcotest.int "4 shared node rows (2 shared r1 + 2 distinct finals)" 4
+    shared.Rows.rule_exec_rows;
+  (* Each program keeps its own 3 link rows and 1 prov delta. *)
+  let fwd_private = Store_multi.program_storage w.fwd in
+  let mirror_private = Store_multi.program_storage w.mirror in
+  check Alcotest.int "fwd links" 3 fwd_private.Rows.rule_exec_rows;
+  check Alcotest.int "mirror links" 3 mirror_private.Rows.rule_exec_rows;
+  check Alcotest.int "fwd prov" 1 fwd_private.Rows.prov_rows;
+  check Alcotest.int "mirror prov" 1 mirror_private.Rows.prov_rows
+
+let test_queries_isolated_and_correct () =
+  let sim, w = make_world () in
+  send_both sim w ~payload:"data";
+  let fwd_out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"data" in
+  let mirror_out = Dpc_apps.Mirror.mirror_log ~at:2 ~src:0 ~dst:2 ~payload:"data" in
+  let fwd_result = Store_multi.query w.fwd ~cost:Query_cost.free ~routing:w.routing fwd_out in
+  check Alcotest.int "fwd finds its tree" 1 (List.length fwd_result.trees);
+  check (Alcotest.list Alcotest.string) "fwd rule names" [ "r2"; "r1"; "r1" ]
+    (Prov_tree.rules_root_to_leaf (List.hd fwd_result.trees));
+  let mirror_result =
+    Store_multi.query w.mirror ~cost:Query_cost.free ~routing:w.routing mirror_out
+  in
+  check Alcotest.int "mirror finds its tree" 1 (List.length mirror_result.trees);
+  (* Isolation: neither program can see the other's outputs. *)
+  let cross = Store_multi.query w.fwd ~cost:Query_cost.free ~routing:w.routing mirror_out in
+  check Alcotest.int "no cross-program leakage" 0 (List.length cross.trees)
+
+let test_sharing_beats_separate_stores () =
+  let sim, w = make_world () in
+  for i = 1 to 10 do
+    send_both sim w ~payload:(Printf.sprintf "p%d" i)
+  done;
+  let multi_bytes = Rows.provenance_bytes (Store_multi.total_storage w.store) in
+  (* The same workload in two separate Advanced+interclass stores. *)
+  let separate scheme delp env packet_out =
+    ignore packet_out;
+    let topo = topology () in
+    let routing = Dpc_net.Routing.compute topo in
+    let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+    let backend = Backend.make scheme ~delp ~env ~nodes:3 in
+    let rt = Dpc_engine.Runtime.create ~sim ~delp ~env ~hook:(Backend.hook backend) () in
+    Dpc_engine.Runtime.load_slow rt routes;
+    for i = 1 to 10 do
+      Dpc_engine.Runtime.inject rt
+        (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "p%d" i))
+    done;
+    Dpc_engine.Runtime.run rt;
+    Rows.provenance_bytes (Backend.total_storage backend)
+  in
+  let fwd_alone =
+    separate Backend.S_advanced_interclass (Dpc_apps.Forwarding.delp ()) Dpc_engine.Env.empty ()
+  in
+  let mirror_alone =
+    separate Backend.S_advanced_interclass (Dpc_apps.Mirror.delp ()) Dpc_engine.Env.empty ()
+  in
+  check Alcotest.bool "multi < sum of separate stores" true
+    (multi_bytes < fwd_alone + mirror_alone)
+
+let test_flush_is_per_program () =
+  let sim, w = make_world () in
+  send_both sim w ~payload:"one";
+  (* A slow-changing insert via the forwarding runtime flushes only the
+     forwarding program's htequi (each runtime broadcasts to its own
+     hook). *)
+  Dpc_engine.Runtime.insert_slow_runtime w.fwd_rt (Dpc_apps.Forwarding.route ~at:1 ~dst:0 ~next:0);
+  Dpc_net.Sim.run sim;
+  send_both sim w ~payload:"two";
+  (* Forwarding re-materialized (flag was false after flush): its hmap list
+     is unchanged (same chain), still 1 prov per packet. Mirror unaffected. *)
+  let fwd_out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"two" in
+  let result = Store_multi.query w.fwd ~cost:Query_cost.free ~routing:w.routing fwd_out in
+  check Alcotest.int "still queryable after flush" 1 (List.length result.trees)
+
+let test_duplicate_program_id_rejected () =
+  let store = Store_multi.create ~nodes:3 in
+  let delp = Dpc_apps.Forwarding.delp () in
+  ignore (Store_multi.add_program store ~id:"p" ~delp ~env:Dpc_engine.Env.empty);
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Store_multi.add_program: duplicate program id \"p\"") (fun () ->
+      ignore (Store_multi.add_program store ~id:"p" ~delp ~env:Dpc_engine.Env.empty))
+
+let test_trees_match_single_program_advanced () =
+  (* The multi store's reconstruction for forwarding equals the plain
+     Advanced scheme's. *)
+  let sim, w = make_world () in
+  send_both sim w ~payload:"data";
+  let topo = topology () in
+  let routing = Dpc_net.Routing.compute topo in
+  let sim2 = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_engine.Env.empty ~nodes:3 in
+  let rt = Dpc_engine.Runtime.create ~sim:sim2 ~delp ~env:Dpc_engine.Env.empty
+             ~hook:(Backend.hook backend) () in
+  Dpc_engine.Runtime.load_slow rt routes;
+  Dpc_engine.Runtime.inject rt (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"data");
+  Dpc_engine.Runtime.run rt;
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"data" in
+  let multi_trees = (Store_multi.query w.fwd ~cost:Query_cost.free ~routing:w.routing out).trees in
+  let single_trees = (Backend.query backend ~cost:Query_cost.free ~routing out).trees in
+  check (Alcotest.list (Alcotest.testable Prov_tree.pp Prov_tree.equal)) "same trees"
+    single_trees multi_trees
+
+let () =
+  Alcotest.run "dpc_multi"
+    [
+      ( "cross-program compression",
+        [
+          Alcotest.test_case "signature is name-insensitive" `Quick
+            test_rule_signature_name_insensitive;
+          Alcotest.test_case "signature is alpha-insensitive" `Quick
+            test_rule_signature_alpha_insensitive;
+          Alcotest.test_case "shared rows deduplicate" `Quick test_shared_rows_deduplicate;
+          Alcotest.test_case "queries isolated and correct" `Quick
+            test_queries_isolated_and_correct;
+          Alcotest.test_case "sharing beats separate stores" `Quick
+            test_sharing_beats_separate_stores;
+          Alcotest.test_case "flush is per program" `Quick test_flush_is_per_program;
+          Alcotest.test_case "duplicate id rejected" `Quick test_duplicate_program_id_rejected;
+          Alcotest.test_case "trees match single-program Advanced" `Quick
+            test_trees_match_single_program_advanced;
+        ] );
+    ]

@@ -1,0 +1,320 @@
+(* Tests for dpc_net: topology invariants, the transit-stub and tree
+   generators, routing, and the discrete-event simulator. *)
+
+open Dpc_net
+
+let check = Alcotest.check
+let link = { Topology.latency = 0.01; bandwidth = 1e6 }
+let fast_link = { Topology.latency = 0.001; bandwidth = 1e6 }
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_links () =
+  let t = Topology.create ~n:3 in
+  Topology.add_link t 0 1 link;
+  check Alcotest.bool "connected" true (Topology.connected t 0 1);
+  check Alcotest.bool "symmetric" true (Topology.connected t 1 0);
+  check Alcotest.bool "absent" false (Topology.connected t 0 2);
+  check Alcotest.int "degree" 1 (Topology.degree t 0);
+  check Alcotest.int "one undirected link" 1 (List.length (Topology.links t))
+
+let test_topology_rejects_bad_links () =
+  let t = Topology.create ~n:2 in
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.add_link: self-link")
+    (fun () -> Topology.add_link t 0 0 link);
+  Alcotest.check_raises "out of range" (Invalid_argument "Topology: node 5 out of range")
+    (fun () -> Topology.add_link t 0 5 link)
+
+let test_topology_connectivity () =
+  let t = Topology.create ~n:3 in
+  Topology.add_link t 0 1 link;
+  check Alcotest.bool "disconnected" false (Topology.is_connected t);
+  Topology.add_link t 1 2 link;
+  check Alcotest.bool "connected" true (Topology.is_connected t)
+
+(* ------------------------------------------------------------------ *)
+(* Transit-stub generator *)
+
+let test_transit_stub_shape () =
+  let rng = Dpc_util.Rng.create ~seed:7 in
+  let ts = Transit_stub.generate ~rng Transit_stub.paper_params in
+  check Alcotest.int "100 nodes" 100 (Topology.size ts.topology);
+  check Alcotest.int "4 transit" 4 (List.length ts.transit_nodes);
+  check Alcotest.int "96 stubs" 96 (List.length ts.stub_nodes);
+  check Alcotest.bool "connected" true (Topology.is_connected ts.topology);
+  (* Transit mesh. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> if a <> b then check Alcotest.bool "transit mesh" true (Topology.connected ts.topology a b))
+        ts.transit_nodes)
+    ts.transit_nodes
+
+let test_transit_stub_link_classes () =
+  let rng = Dpc_util.Rng.create ~seed:7 in
+  let p = Transit_stub.paper_params in
+  let ts = Transit_stub.generate ~rng p in
+  (match Topology.link ts.topology 0 1 with
+  | Some l -> check (Alcotest.float 1e-9) "transit latency" p.transit_link.latency l.latency
+  | None -> Alcotest.fail "transit link missing");
+  (* Every stub-stub link uses the stub class. *)
+  List.iter
+    (fun (a, b, (l : Topology.link)) ->
+      let is_transit v = v < p.transit in
+      if (not (is_transit a)) && not (is_transit b) then
+        check (Alcotest.float 1e-9) "stub latency" p.stub_link.latency l.latency)
+    (Topology.links ts.topology)
+
+let test_transit_stub_path_stats_close_to_paper () =
+  (* The paper reports diameter 12 and mean pair distance 5.3 for its
+     GT-ITM topology; ours should be in the same regime. *)
+  let rng = Dpc_util.Rng.create ~seed:11 in
+  let ts = Transit_stub.generate ~rng Transit_stub.paper_params in
+  let routing = Routing.compute ts.topology in
+  let diameter = Routing.diameter routing in
+  let mean = Routing.mean_pair_distance routing in
+  if diameter < 6 || diameter > 16 then Alcotest.failf "diameter %d out of regime" diameter;
+  if mean < 3.0 || mean > 8.0 then Alcotest.failf "mean distance %.2f out of regime" mean
+
+let test_transit_stub_deterministic () =
+  let gen seed =
+    let rng = Dpc_util.Rng.create ~seed in
+    Topology.links (Transit_stub.generate ~rng Transit_stub.paper_params).topology
+    |> List.map (fun (a, b, _) -> (a, b))
+  in
+  check Alcotest.bool "same seed, same topology" true (gen 3 = gen 3);
+  check Alcotest.bool "different seed, different topology" true (gen 3 <> gen 4)
+
+(* ------------------------------------------------------------------ *)
+(* Tree generator *)
+
+let test_tree_shape () =
+  let rng = Dpc_util.Rng.create ~seed:5 in
+  let tr = Tree_topo.generate ~rng ~n:100 ~backbone_depth:27 ~link in
+  check Alcotest.int "100 nodes" 100 (Topology.size tr.topology);
+  check Alcotest.bool "connected" true (Topology.is_connected tr.topology);
+  check Alcotest.int "root has no parent" (-1) tr.parent.(0);
+  check Alcotest.int "max depth from backbone" 27 (Tree_topo.max_depth tr);
+  (* A tree: n-1 links. *)
+  check Alcotest.int "99 links" 99 (List.length (Topology.links tr.topology))
+
+let test_tree_children_inverse_of_parent () =
+  let rng = Dpc_util.Rng.create ~seed:5 in
+  let tr = Tree_topo.generate ~rng ~n:30 ~backbone_depth:5 ~link in
+  for v = 1 to 29 do
+    if not (List.mem v (Tree_topo.children tr tr.parent.(v))) then
+      Alcotest.failf "node %d missing from its parent's children" v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+let line_topology n =
+  let t = Topology.create ~n in
+  for v = 0 to n - 2 do
+    Topology.add_link t v (v + 1) link
+  done;
+  t
+
+let test_routing_line () =
+  let t = line_topology 5 in
+  let r = Routing.compute t in
+  check (Alcotest.option Alcotest.int) "next hop" (Some 1) (Routing.next_hop r ~src:0 ~dst:4);
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "path" (Some [ 0; 1; 2; 3; 4 ]) (Routing.path r ~src:0 ~dst:4);
+  check (Alcotest.option Alcotest.int) "hops" (Some 4) (Routing.hop_count r ~src:0 ~dst:4);
+  check (Alcotest.option (Alcotest.float 1e-9)) "distance" (Some 0.04)
+    (Routing.distance r ~src:0 ~dst:4);
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "self path" (Some [ 2 ])
+    (Routing.path r ~src:2 ~dst:2)
+
+let test_routing_prefers_low_latency () =
+  (* 0-1-2 with fast links vs direct slow 0-2. *)
+  let t = Topology.create ~n:3 in
+  Topology.add_link t 0 1 fast_link;
+  Topology.add_link t 1 2 fast_link;
+  Topology.add_link t 0 2 { Topology.latency = 0.1; bandwidth = 1e6 };
+  let r = Routing.compute t in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.int))
+    "two fast hops beat one slow hop" (Some [ 0; 1; 2 ]) (Routing.path r ~src:0 ~dst:2)
+
+let test_routing_unreachable () =
+  let t = Topology.create ~n:3 in
+  Topology.add_link t 0 1 link;
+  let r = Routing.compute t in
+  check (Alcotest.option Alcotest.int) "no hop" None (Routing.next_hop r ~src:0 ~dst:2);
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "no path" None (Routing.path r ~src:0 ~dst:2)
+
+let test_routing_paths_follow_links () =
+  let rng = Dpc_util.Rng.create ~seed:13 in
+  let ts = Transit_stub.generate ~rng Transit_stub.paper_params in
+  let r = Routing.compute ts.topology in
+  let g = Dpc_util.Rng.create ~seed:1 in
+  for _ = 1 to 50 do
+    let src = Dpc_util.Rng.int g 100 and dst = Dpc_util.Rng.int g 100 in
+    match Routing.path r ~src ~dst with
+    | None -> Alcotest.fail "transit-stub should be connected"
+    | Some p ->
+        let rec ok = function
+          | a :: (b :: _ as rest) -> Topology.connected ts.topology a b && ok rest
+          | [ _ ] | [] -> true
+        in
+        if not (ok p) then Alcotest.fail "path uses a non-existent link";
+        (* Loop-free. *)
+        if List.length (List.sort_uniq compare p) <> List.length p then
+          Alcotest.fail "path revisits a node"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Simulator *)
+
+let test_sim_event_ordering () =
+  let t = line_topology 2 in
+  let r = Routing.compute t in
+  let sim = Sim.create ~topology:t ~routing:r () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:0.3 (fun () -> log := 3 :: !log);
+  Sim.schedule sim ~delay:0.1 (fun () -> log := 1 :: !log);
+  Sim.schedule sim ~delay:0.2 (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "timestamp order" [ 1; 2; 3 ] (List.rev !log);
+  check Alcotest.int "events processed" 3 (Sim.events_processed sim)
+
+let test_sim_fifo_at_equal_time () =
+  let t = line_topology 2 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:0.5 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "FIFO" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_send_accounts_bytes_per_hop () =
+  let t = line_topology 3 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  let arrived = ref false in
+  Sim.send sim ~src:0 ~dst:2 ~bytes:1000 (fun () -> arrived := true);
+  Sim.run sim;
+  check Alcotest.bool "arrived" true !arrived;
+  (* 1000 bytes over two hops. *)
+  check Alcotest.int "total bytes" 2000 (Sim.total_bytes sim);
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.pair Alcotest.int Alcotest.int) Alcotest.int))
+    "per link" [ ((0, 1), 1000); ((1, 2), 1000) ] (Sim.link_bytes sim);
+  (* Arrival time = 2 * (latency + bytes / bandwidth). *)
+  check (Alcotest.float 1e-9) "clock" (2.0 *. (0.01 +. 0.001)) (Sim.now sim)
+
+let test_sim_self_send () =
+  let t = line_topology 2 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  let arrived = ref false in
+  Sim.send sim ~src:0 ~dst:0 ~bytes:100 (fun () -> arrived := true);
+  Sim.run sim;
+  check Alcotest.bool "delivered" true !arrived;
+  check Alcotest.int "no bytes on the wire" 0 (Sim.total_bytes sim)
+
+let test_sim_until_limit () =
+  let t = line_topology 2 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:1.0 (fun () -> incr fired);
+  Sim.schedule sim ~delay:3.0 (fun () -> incr fired);
+  Sim.run ~until:2.0 sim;
+  check Alcotest.int "only the first event" 1 !fired;
+  Sim.run sim;
+  check Alcotest.int "rest runs later" 2 !fired
+
+let test_sim_bucket_accounting () =
+  let t = line_topology 2 in
+  let sim = Sim.create ~bucket_width:1.0 ~topology:t ~routing:(Routing.compute t) () in
+  Sim.schedule sim ~delay:0.5 (fun () -> Sim.send sim ~src:0 ~dst:1 ~bytes:10 (fun () -> ()));
+  Sim.schedule sim ~delay:2.5 (fun () -> Sim.send sim ~src:0 ~dst:1 ~bytes:20 (fun () -> ()));
+  Sim.run sim;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "buckets" [ (0, 10); (2, 20) ] (Sim.bucket_bytes sim)
+
+let test_sim_unreachable_send_fails () =
+  let t = Topology.create ~n:2 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  Alcotest.check_raises "unreachable" (Failure "Sim.send: node 1 unreachable from 0")
+    (fun () -> Sim.send sim ~src:0 ~dst:1 ~bytes:1 (fun () -> ()))
+
+let prop_sim_heap_order =
+  QCheck.Test.make ~name:"random delays fire in order" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_bound_inclusive 10.0))
+    (fun delays ->
+      delays = [] ||
+      begin
+        let t = line_topology 2 in
+        let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+        let fired = ref [] in
+        List.iter (fun d -> Sim.schedule sim ~delay:d (fun () -> fired := Sim.now sim :: !fired)) delays;
+        Sim.run sim;
+        let order = List.rev !fired in
+        List.sort compare order = order
+      end)
+
+let test_tree_invalid_args () =
+  let rng = Dpc_util.Rng.create ~seed:1 in
+  Alcotest.check_raises "n = 0" (Invalid_argument "Tree_topo.generate: n must be positive")
+    (fun () -> ignore (Tree_topo.generate ~rng ~n:0 ~backbone_depth:0 ~link));
+  Alcotest.check_raises "backbone too deep"
+    (Invalid_argument "Tree_topo.generate: backbone_depth out of range") (fun () ->
+      ignore (Tree_topo.generate ~rng ~n:5 ~backbone_depth:5 ~link))
+
+let test_transit_stub_invalid_args () =
+  let rng = Dpc_util.Rng.create ~seed:1 in
+  Alcotest.check_raises "zero transit"
+    (Invalid_argument "Transit_stub.generate: counts must be positive") (fun () ->
+      ignore (Transit_stub.generate ~rng { Transit_stub.paper_params with transit = 0 }))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dpc_net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "links" `Quick test_topology_links;
+          Alcotest.test_case "rejects bad links" `Quick test_topology_rejects_bad_links;
+          Alcotest.test_case "connectivity" `Quick test_topology_connectivity;
+        ] );
+      ( "transit_stub",
+        [
+          Alcotest.test_case "shape" `Quick test_transit_stub_shape;
+          Alcotest.test_case "link classes" `Quick test_transit_stub_link_classes;
+          Alcotest.test_case "path stats near paper" `Quick
+            test_transit_stub_path_stats_close_to_paper;
+          Alcotest.test_case "deterministic" `Quick test_transit_stub_deterministic;
+          Alcotest.test_case "invalid args" `Quick test_transit_stub_invalid_args;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "shape" `Quick test_tree_shape;
+          Alcotest.test_case "children inverse" `Quick test_tree_children_inverse_of_parent;
+          Alcotest.test_case "invalid args" `Quick test_tree_invalid_args;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "line" `Quick test_routing_line;
+          Alcotest.test_case "prefers low latency" `Quick test_routing_prefers_low_latency;
+          Alcotest.test_case "unreachable" `Quick test_routing_unreachable;
+          Alcotest.test_case "paths follow links" `Quick test_routing_paths_follow_links;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "event ordering" `Quick test_sim_event_ordering;
+          Alcotest.test_case "FIFO at equal time" `Quick test_sim_fifo_at_equal_time;
+          Alcotest.test_case "per-hop byte accounting" `Quick test_sim_send_accounts_bytes_per_hop;
+          Alcotest.test_case "self send" `Quick test_sim_self_send;
+          Alcotest.test_case "until limit" `Quick test_sim_until_limit;
+          Alcotest.test_case "bucket accounting" `Quick test_sim_bucket_accounting;
+          Alcotest.test_case "unreachable send" `Quick test_sim_unreachable_send_fails;
+        ]
+        @ qsuite [ prop_sim_heap_order ] );
+    ]

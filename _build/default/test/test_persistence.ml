@@ -1,0 +1,168 @@
+(* Checkpoint/restore tests: a store serialized to bytes and rebuilt must
+   answer every query identically, storage accounting must survive the
+   round-trip, and the Advanced store must be able to CONTINUE maintenance
+   (its equivalence tables are part of the checkpoint). *)
+
+open Dpc_core
+
+let check = Alcotest.check
+let tree_t = Alcotest.testable Prov_tree.pp Prov_tree.equal
+
+let line_link = { Dpc_net.Topology.latency = 0.002; bandwidth = 1e7 }
+
+let topology () =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  Dpc_net.Topology.add_link topo 0 1 line_link;
+  Dpc_net.Topology.add_link topo 1 2 line_link;
+  topo
+
+let routes =
+  [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+    Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ]
+
+let run_workload scheme payloads =
+  let topo = topology () in
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
+  let runtime =
+    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+      ~hook:(Backend.hook backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime routes;
+  List.iter
+    (fun payload ->
+      Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload))
+    payloads;
+  Dpc_engine.Runtime.run runtime;
+  (backend, routing)
+
+let payloads = [ "a"; "b"; "c" ]
+
+let storage_t =
+  Alcotest.testable
+    (fun fmt (s : Rows.storage) ->
+      Format.fprintf fmt "prov=%dB/%d rows, ruleExec=%dB/%d rows, equi=%dB, events=%dB"
+        s.prov_bytes s.prov_rows s.rule_exec_bytes s.rule_exec_rows s.equi_bytes
+        s.event_bytes)
+    ( = )
+
+let test_roundtrip_queries name scheme =
+  let backend, routing = run_workload scheme payloads in
+  let blob = Backend.checkpoint backend in
+  let restored =
+    Backend.restore scheme ~delp:(Dpc_apps.Forwarding.delp ()) ~env:Dpc_apps.Forwarding.env blob
+  in
+  List.iter
+    (fun payload ->
+      let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload in
+      let before = (Backend.query backend ~cost:Query_cost.free ~routing out).trees in
+      let after = (Backend.query restored ~cost:Query_cost.free ~routing out).trees in
+      check (Alcotest.list tree_t) (name ^ ": trees for " ^ payload) before after;
+      check Alcotest.bool (name ^ ": found something") true (before <> []))
+    payloads
+
+let test_roundtrip_storage name scheme =
+  let backend, _ = run_workload scheme payloads in
+  let blob = Backend.checkpoint backend in
+  let restored =
+    Backend.restore scheme ~delp:(Dpc_apps.Forwarding.delp ()) ~env:Dpc_apps.Forwarding.env blob
+  in
+  check storage_t (name ^ ": storage preserved") (Backend.total_storage backend)
+    (Backend.total_storage restored)
+
+let test_checkpoint_is_stable name scheme =
+  let backend, _ = run_workload scheme payloads in
+  let blob = Backend.checkpoint backend in
+  let restored =
+    Backend.restore scheme ~delp:(Dpc_apps.Forwarding.delp ()) ~env:Dpc_apps.Forwarding.env blob
+  in
+  check Alcotest.string (name ^ ": checkpoint of restore is identical") blob
+    (Backend.checkpoint restored)
+
+let test_advanced_continues_after_restore () =
+  (* The equivalence tables travel with the checkpoint: a packet of an
+     already-seen class processed after restore gets existFlag = true and
+     adds only a prov delta. *)
+  let backend, routing = run_workload Backend.S_advanced payloads in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let blob = Backend.checkpoint backend in
+  let restored = Backend.restore Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env blob in
+  let topo = topology () in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let runtime =
+    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+      ~hook:(Backend.hook restored) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime routes;
+  let before = Backend.total_storage restored in
+  Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"d");
+  Dpc_engine.Runtime.run runtime;
+  let after = Backend.total_storage restored in
+  check Alcotest.int "no new chain rows" before.rule_exec_rows after.rule_exec_rows;
+  check Alcotest.int "one new prov delta" (before.prov_rows + 1) after.prov_rows;
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"d" in
+  check Alcotest.int "new packet queryable via old chain" 1
+    (List.length (Backend.query restored ~cost:Query_cost.free ~routing out).trees)
+
+let test_wrong_magic_rejected () =
+  let backend, _ = run_workload Backend.S_basic payloads in
+  let blob = Backend.checkpoint backend in
+  Alcotest.check_raises "exspan magic on basic blob"
+    (Dpc_util.Serialize.Corrupt "not an ExSPAN checkpoint") (fun () ->
+      ignore
+        (Backend.restore Backend.S_exspan ~delp:(Dpc_apps.Forwarding.delp ())
+           ~env:Dpc_apps.Forwarding.env blob))
+
+let test_truncated_blob_rejected () =
+  let backend, _ = run_workload Backend.S_advanced payloads in
+  let blob = Backend.checkpoint backend in
+  let truncated = String.sub blob 0 (String.length blob / 2) in
+  match
+    Backend.restore Backend.S_advanced ~delp:(Dpc_apps.Forwarding.delp ())
+      ~env:Dpc_apps.Forwarding.env truncated
+  with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Dpc_util.Serialize.Corrupt _ -> ()
+  | exception Invalid_argument _ -> () (* a digest cut mid-way *)
+
+let test_interclass_layout_roundtrips () =
+  let backend, routing = run_workload Backend.S_advanced_interclass payloads in
+  let blob = Backend.checkpoint backend in
+  let restored =
+    Backend.restore Backend.S_advanced_interclass ~delp:(Dpc_apps.Forwarding.delp ())
+      ~env:Dpc_apps.Forwarding.env blob
+  in
+  (* The interclass flag is encoded in the blob, so the restored store uses
+     node/link tables and still answers queries. *)
+  check Alcotest.string "name" "Advanced+interclass" (Backend.name restored);
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"a" in
+  check Alcotest.int "query works" 1
+    (List.length (Backend.query restored ~cost:Query_cost.free ~routing out).trees)
+
+let scheme_cases f =
+  List.map
+    (fun s ->
+      Alcotest.test_case (Backend.scheme_name s) `Quick (fun () ->
+        f (Backend.scheme_name s) s))
+    [ Backend.S_exspan; Backend.S_basic; Backend.S_advanced; Backend.S_advanced_interclass ]
+
+let () =
+  Alcotest.run "dpc_persistence"
+    [
+      ("round-trip queries", scheme_cases test_roundtrip_queries);
+      ("round-trip storage", scheme_cases test_roundtrip_storage);
+      ("checkpoint stable", scheme_cases test_checkpoint_is_stable);
+      ( "advanced",
+        [
+          Alcotest.test_case "continues after restore" `Quick
+            test_advanced_continues_after_restore;
+          Alcotest.test_case "interclass layout" `Quick test_interclass_layout_roundtrips;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "wrong magic" `Quick test_wrong_magic_rejected;
+          Alcotest.test_case "truncated blob" `Quick test_truncated_blob_rejected;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Unit tests for the dpc_core storage building blocks: row serialization,
+   the deduplicating multi-map, size accounting, side stores, and the
+   storage record arithmetic. *)
+
+open Dpc_core
+
+let check = Alcotest.check
+
+let d1 = Dpc_util.Sha1.digest_string "one"
+let d2 = Dpc_util.Sha1.digest_string "two"
+let d3 = Dpc_util.Sha1.digest_string "three"
+
+let prov_row = { Rows.loc = 3; vid = d1; rid = Some (1, d2); evid = Some d3 }
+let base_row = { Rows.loc = 0; vid = d1; rid = None; evid = None }
+
+let exec_row =
+  { Rows.rloc = 2; rid = d1; rule = "r1"; vids = [ d2; d3 ]; next = Some (1, d2) }
+
+let link_row = { Rows.link_rloc = 2; link_rid = d1; link_next = None }
+
+(* ------------------------------------------------------------------ *)
+(* Row serialization *)
+
+let roundtrip write read v =
+  let w = Dpc_util.Serialize.writer () in
+  write w v;
+  let r = Dpc_util.Serialize.reader (Dpc_util.Serialize.contents w) in
+  let v' = read r in
+  check Alcotest.bool "consumed everything" true (Dpc_util.Serialize.at_end r);
+  v'
+
+let test_prov_row_roundtrip () =
+  check Alcotest.bool "full row" true
+    (roundtrip Rows.write_prov_row Rows.read_prov_row prov_row = prov_row);
+  check Alcotest.bool "base row" true
+    (roundtrip Rows.write_prov_row Rows.read_prov_row base_row = base_row)
+
+let test_exec_row_roundtrip () =
+  check Alcotest.bool "exec row" true
+    (roundtrip Rows.write_rule_exec_row Rows.read_rule_exec_row exec_row = exec_row);
+  let leaf = { exec_row with Rows.next = None; vids = [] } in
+  check Alcotest.bool "leaf row" true
+    (roundtrip Rows.write_rule_exec_row Rows.read_rule_exec_row leaf = leaf)
+
+let test_link_row_roundtrip () =
+  check Alcotest.bool "link row" true
+    (roundtrip Rows.write_link_row Rows.read_link_row link_row = link_row)
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting *)
+
+let test_row_bytes_reflect_contents () =
+  (* An evid column costs bytes; more vids cost more. *)
+  let without = Rows.prov_row_bytes ~with_evid:false prov_row in
+  let with_evid = Rows.prov_row_bytes ~with_evid:true prov_row in
+  check Alcotest.bool "evid costs ~21 bytes" true (with_evid - without >= 20);
+  let small = { exec_row with Rows.vids = [ d2 ] } in
+  check Alcotest.bool "vids cost bytes" true
+    (Rows.rule_exec_row_bytes ~with_next:true exec_row
+    > Rows.rule_exec_row_bytes ~with_next:true small);
+  check Alcotest.bool "next column costs bytes" true
+    (Rows.rule_exec_row_bytes ~with_next:true exec_row
+    > Rows.rule_exec_row_bytes ~with_next:false exec_row)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_dedup_and_multimap () =
+  let t = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) () in
+  check Alcotest.bool "first add" true (Rows.Table.add t ~key:"k" prov_row);
+  check Alcotest.bool "duplicate row" false (Rows.Table.add t ~key:"k" prov_row);
+  check Alcotest.bool "distinct row, same key" true (Rows.Table.add t ~key:"k" base_row);
+  check Alcotest.int "two rows" 2 (Rows.Table.rows t);
+  check Alcotest.int "find returns both, oldest first" 2 (List.length (Rows.Table.find t "k"));
+  check Alcotest.bool "order preserved" true (List.hd (Rows.Table.find t "k") = prov_row);
+  check (Alcotest.list Alcotest.bool) "unknown key" []
+    (List.map (fun _ -> true) (Rows.Table.find t "missing"))
+
+let test_table_byte_counter () =
+  let t = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) () in
+  ignore (Rows.Table.add t ~key:"a" prov_row);
+  let one = Rows.Table.bytes t in
+  ignore (Rows.Table.add t ~key:"a" prov_row);
+  check Alcotest.int "duplicates do not count" one (Rows.Table.bytes t);
+  ignore (Rows.Table.add t ~key:"b" base_row);
+  check Alcotest.int "sum of row sizes"
+    (one + Rows.prov_row_bytes ~with_evid:true base_row)
+    (Rows.Table.bytes t);
+  Rows.Table.clear t;
+  check Alcotest.int "clear resets rows" 0 (Rows.Table.rows t);
+  check Alcotest.int "clear resets bytes" 0 (Rows.Table.bytes t)
+
+let test_table_iter_visits_all () =
+  let t = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) () in
+  ignore (Rows.Table.add t ~key:"a" prov_row);
+  ignore (Rows.Table.add t ~key:"b" base_row);
+  let n = ref 0 in
+  Rows.Table.iter t (fun _ _ -> incr n);
+  check Alcotest.int "two visits" 2 !n
+
+(* ------------------------------------------------------------------ *)
+(* Side_store *)
+
+let tuple = Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:0
+
+let test_side_store_basics () =
+  let s = Side_store.create ~nodes:3 in
+  Side_store.put s ~node:1 ~key:d1 tuple;
+  Side_store.put s ~node:1 ~key:d1 tuple;
+  check Alcotest.int "idempotent put" 1 (Side_store.node_count s 1);
+  check Alcotest.bool "get hit" true (Side_store.get s ~node:1 ~key:d1 <> None);
+  check Alcotest.bool "get miss (other node)" true (Side_store.get s ~node:0 ~key:d1 = None);
+  check Alcotest.bool "get miss (other key)" true (Side_store.get s ~node:1 ~key:d2 = None);
+  check Alcotest.int "bytes = digest + tuple" (20 + Dpc_ndlog.Tuple.wire_size tuple)
+    (Side_store.node_bytes s 1);
+  check Alcotest.int "total" (Side_store.node_bytes s 1) (Side_store.total_bytes s)
+
+let test_side_store_iter () =
+  let s = Side_store.create ~nodes:3 in
+  Side_store.put s ~node:0 ~key:d1 tuple;
+  Side_store.put s ~node:2 ~key:d2 tuple;
+  let visited = ref [] in
+  Side_store.iter s (fun ~node ~key _ -> visited := (node, Dpc_util.Sha1.to_hex key) :: !visited);
+  check Alcotest.int "two entries" 2 (List.length !visited);
+  check Alcotest.bool "nodes correct" true
+    (List.mem (0, Dpc_util.Sha1.to_hex d1) !visited && List.mem (2, Dpc_util.Sha1.to_hex d2) !visited)
+
+(* ------------------------------------------------------------------ *)
+(* Storage record *)
+
+let test_storage_arithmetic () =
+  let a =
+    { Rows.prov_bytes = 1; rule_exec_bytes = 2; equi_bytes = 3; event_bytes = 4;
+      prov_rows = 5; rule_exec_rows = 6 }
+  in
+  let two = Rows.add_storage a a in
+  check Alcotest.int "prov" 2 two.prov_bytes;
+  check Alcotest.int "rows" 12 two.rule_exec_rows;
+  check Alcotest.int "paper metric" 3 (Rows.provenance_bytes a);
+  check Alcotest.int "identity" 1 (Rows.add_storage Rows.empty_storage a).prov_bytes
+
+let test_show_helpers () =
+  check Alcotest.string "null ref" "NULL" (Rows.show_ref None);
+  check Alcotest.bool "ref with node" true
+    (String.length (Rows.show_ref (Some (3, d1))) > 3);
+  check Alcotest.int "abbrev is 8 chars" 8 (String.length (Rows.show_digest d1))
+
+let prop_prov_row_roundtrip =
+  let digest_gen = QCheck.Gen.map Dpc_util.Sha1.digest_string QCheck.Gen.string in
+  let row_gen =
+    QCheck.Gen.(
+      map
+        (fun (loc, v, has_rid, rloc, has_evid) ->
+          {
+            Rows.loc;
+            vid = v;
+            rid = (if has_rid then Some (rloc, v) else None);
+            evid = (if has_evid then Some v else None);
+          })
+        (tup5 (int_bound 500) digest_gen bool (int_bound 500) bool))
+  in
+  QCheck.Test.make ~name:"prov row round-trip" ~count:200 (QCheck.make row_gen) (fun row ->
+    roundtrip Rows.write_prov_row Rows.read_prov_row row = row)
+
+let prop_exec_row_roundtrip =
+  let digest_gen = QCheck.Gen.map Dpc_util.Sha1.digest_string QCheck.Gen.string in
+  let row_gen =
+    QCheck.Gen.(
+      map
+        (fun (rloc, rid, rule, vids, has_next) ->
+          { Rows.rloc; rid; rule; vids; next = (if has_next then Some (rloc, rid) else None) })
+        (tup5 (int_bound 500) digest_gen (string_size (int_bound 10))
+           (list_size (int_bound 4) digest_gen) bool))
+  in
+  QCheck.Test.make ~name:"exec row round-trip" ~count:200 (QCheck.make row_gen) (fun row ->
+    roundtrip Rows.write_rule_exec_row Rows.read_rule_exec_row row = row)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dpc_rows"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "prov row" `Quick test_prov_row_roundtrip;
+          Alcotest.test_case "exec row" `Quick test_exec_row_roundtrip;
+          Alcotest.test_case "link row" `Quick test_link_row_roundtrip;
+        ]
+        @ qsuite [ prop_prov_row_roundtrip; prop_exec_row_roundtrip ] );
+      ( "sizing",
+        [ Alcotest.test_case "bytes reflect contents" `Quick test_row_bytes_reflect_contents ] );
+      ( "table",
+        [
+          Alcotest.test_case "dedup and multimap" `Quick test_table_dedup_and_multimap;
+          Alcotest.test_case "byte counter" `Quick test_table_byte_counter;
+          Alcotest.test_case "iter" `Quick test_table_iter_visits_all;
+        ] );
+      ( "side store",
+        [
+          Alcotest.test_case "basics" `Quick test_side_store_basics;
+          Alcotest.test_case "iter" `Quick test_side_store_iter;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_storage_arithmetic;
+          Alcotest.test_case "show helpers" `Quick test_show_helpers;
+        ] );
+    ]

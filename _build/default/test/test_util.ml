@@ -1,0 +1,341 @@
+(* Tests for dpc_util: SHA-1 vectors, heap ordering, RNG determinism,
+   Zipf distribution, serializer round-trips, statistics. *)
+
+open Dpc_util
+
+let check = Alcotest.check
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-1 *)
+
+let sha1_hex s = Sha1.to_hex (Sha1.digest_string s)
+
+(* Reference vectors from RFC 3174 and FIPS 180-1. *)
+let test_sha1_vectors () =
+  checks "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (sha1_hex "");
+  checks "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (sha1_hex "abc");
+  checks "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (sha1_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  checks "million-a"
+    "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (sha1_hex (String.make 1_000_000 'a'))
+
+let test_sha1_block_boundaries () =
+  (* Lengths straddling the 55/56/64-byte padding boundaries. *)
+  checks "55 bytes" "c1c8bbdc22796e28c0e15163d20899b65621d65a"
+    (sha1_hex (String.make 55 'a'));
+  checks "56 bytes" "c2db330f6083854c99d4b5bfb6e8f29f201be699"
+    (sha1_hex (String.make 56 'a'));
+  checks "64 bytes" "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+    (sha1_hex (String.make 64 'a'))
+
+let test_sha1_concat () =
+  check Alcotest.bool "separator disambiguates" false
+    (Sha1.equal (Sha1.digest_concat [ "ab"; "c" ]) (Sha1.digest_concat [ "a"; "bc" ]));
+  checks "concat = joined" (Sha1.to_hex (Sha1.digest_string "r1+n1+v2"))
+    (Sha1.to_hex (Sha1.digest_concat [ "r1"; "n1"; "v2" ]))
+
+let test_sha1_raw_roundtrip () =
+  let d = Sha1.digest_string "roundtrip" in
+  check Alcotest.bool "of_raw . to_raw = id" true (Sha1.equal d (Sha1.of_raw (Sha1.to_raw d)));
+  Alcotest.check_raises "of_raw rejects short input"
+    (Invalid_argument "Sha1.of_raw: expected 20 bytes") (fun () ->
+      ignore (Sha1.of_raw "short"))
+
+let prop_sha1_deterministic =
+  QCheck.Test.make ~name:"sha1 deterministic and 40 hex chars" ~count:200
+    QCheck.string (fun s ->
+      let d1 = sha1_hex s and d2 = sha1_hex s in
+      String.equal d1 d2 && String.length d1 = 40)
+
+let prop_sha1_injective_on_samples =
+  QCheck.Test.make ~name:"sha1 distinguishes distinct strings" ~count:200
+    (QCheck.pair QCheck.string QCheck.string) (fun (a, b) ->
+      String.equal a b || not (String.equal (sha1_hex a) (sha1_hex b)))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check Alcotest.bool "is_empty" true (Heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Heap.pop h);
+  check (Alcotest.option Alcotest.int) "peek empty" None (Heap.peek h)
+
+let test_heap_peek_and_clear () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 42;
+  Heap.push h 7;
+  check (Alcotest.option Alcotest.int) "peek min" (Some 7) (Heap.peek h);
+  check Alcotest.int "length" 2 (Heap.length h);
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list int) (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:17 and b = Rng.create ~seed:17 in
+  let xs g = List.init 20 (fun _ -> Rng.int g 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" (xs a) (xs b)
+
+let test_rng_bounds () =
+  let g = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float g 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create ~seed:9 in
+  let child = Rng.split g in
+  let xs = List.init 10 (fun _ -> Rng.int g 100) in
+  let ys = List.init 10 (fun _ -> Rng.int child 100) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let g = Rng.create ~seed:5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Zipf *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create 38 in
+  let total = ref 0.0 in
+  for k = 0 to 37 do
+    total := !total +. Zipf.pmf z k
+  done;
+  check (Alcotest.float 1e-9) "pmf sums to 1" 1.0 !total
+
+let test_zipf_rank_ordering () =
+  let z = Zipf.create 10 in
+  for k = 0 to 8 do
+    if Zipf.pmf z k < Zipf.pmf z (k + 1) then Alcotest.fail "pmf not decreasing"
+  done
+
+let test_zipf_samples_in_range () =
+  let z = Zipf.create 5 and g = Rng.create ~seed:1 in
+  for _ = 1 to 2000 do
+    let k = Zipf.sample z g in
+    if k < 0 || k >= 5 then Alcotest.fail "sample out of range"
+  done
+
+let test_zipf_empirical_matches_pmf () =
+  let n = 6 in
+  let z = Zipf.create n and g = Rng.create ~seed:11 in
+  let counts = Array.make n 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    let k = Zipf.sample z g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to n - 1 do
+    let emp = float_of_int counts.(k) /. float_of_int trials in
+    let expected = Zipf.pmf z k in
+    if abs_float (emp -. expected) > 0.02 then
+      Alcotest.failf "rank %d: empirical %.4f vs pmf %.4f" k emp expected
+  done
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create 0));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Zipf.create: exponent must be non-negative") (fun () ->
+      ignore (Zipf.create ~exponent:(-1.0) 5))
+
+(* ------------------------------------------------------------------ *)
+(* Serialize *)
+
+let test_serialize_scalars () =
+  let w = Serialize.writer () in
+  Serialize.write_int w 42;
+  Serialize.write_int w (-1);
+  Serialize.write_int w max_int;
+  Serialize.write_varint w 0;
+  Serialize.write_varint w 300;
+  Serialize.write_float w 3.14159;
+  Serialize.write_bool w true;
+  Serialize.write_bool w false;
+  Serialize.write_string w "hello";
+  let r = Serialize.reader (Serialize.contents w) in
+  check Alcotest.int "int" 42 (Serialize.read_int r);
+  check Alcotest.int "negative int" (-1) (Serialize.read_int r);
+  check Alcotest.int "max_int" max_int (Serialize.read_int r);
+  check Alcotest.int "varint 0" 0 (Serialize.read_varint r);
+  check Alcotest.int "varint 300" 300 (Serialize.read_varint r);
+  checkf "float" 3.14159 (Serialize.read_float r);
+  check Alcotest.bool "true" true (Serialize.read_bool r);
+  check Alcotest.bool "false" false (Serialize.read_bool r);
+  checks "string" "hello" (Serialize.read_string r);
+  check Alcotest.bool "at_end" true (Serialize.at_end r)
+
+let test_serialize_list () =
+  let w = Serialize.writer () in
+  Serialize.write_list w (Serialize.write_string w) [ "a"; "bb"; "ccc" ];
+  let r = Serialize.reader (Serialize.contents w) in
+  let xs = Serialize.read_list r (fun () -> Serialize.read_string r) in
+  check (Alcotest.list Alcotest.string) "list round-trip" [ "a"; "bb"; "ccc" ] xs
+
+let test_serialize_corrupt () =
+  let r = Serialize.reader "\x05ab" in
+  Alcotest.check_raises "string overrun" (Serialize.Corrupt "string overruns input")
+    (fun () -> ignore (Serialize.read_string r))
+
+let prop_serialize_roundtrip_ints =
+  QCheck.Test.make ~name:"int round-trip" ~count:500 QCheck.int (fun v ->
+    let w = Serialize.writer () in
+    Serialize.write_int w v;
+    Serialize.read_int (Serialize.reader (Serialize.contents w)) = v)
+
+let prop_serialize_roundtrip_strings =
+  QCheck.Test.make ~name:"string round-trip" ~count:500 QCheck.string (fun s ->
+    let w = Serialize.writer () in
+    Serialize.write_string w s;
+    String.equal (Serialize.read_string (Serialize.reader (Serialize.contents w))) s)
+
+let prop_serialize_roundtrip_varint =
+  QCheck.Test.make ~name:"varint round-trip" ~count:500 QCheck.(0 -- max_int)
+    (fun v ->
+      let w = Serialize.writer () in
+      Serialize.write_varint w v;
+      Serialize.read_varint (Serialize.reader (Serialize.contents w)) = v)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basics () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  checkf "mean" 2.5 (Stats.mean xs);
+  checkf "median" 2.5 (Stats.median xs);
+  checkf "min" 1.0 (Stats.minimum xs);
+  checkf "max" 4.0 (Stats.maximum xs);
+  checkf "p0" 1.0 (Stats.percentile xs 0.0);
+  checkf "p100" 4.0 (Stats.percentile xs 100.0);
+  checkf "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_stats_singleton () =
+  checkf "mean" 7.0 (Stats.mean [ 7.0 ]);
+  checkf "median" 7.0 (Stats.median [ 7.0 ]);
+  checkf "stddev" 0.0 (Stats.stddev [ 7.0 ])
+
+let test_stats_cdf () =
+  let xs = [ 3.0; 1.0; 2.0 ] in
+  let c = Stats.cdf xs in
+  check (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "cdf" [ (1.0, 1.0 /. 3.0); (2.0, 2.0 /. 3.0); (3.0, 1.0) ] c;
+  checkf "cdf_at below" 0.0 (Stats.cdf_at xs 0.5);
+  checkf "cdf_at mid" (2.0 /. 3.0) (Stats.cdf_at xs 2.0);
+  checkf "cdf_at above" 1.0 (Stats.cdf_at xs 10.0)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean []))
+
+(* ------------------------------------------------------------------ *)
+(* Table_fmt *)
+
+let test_table_fmt_alignment () =
+  let s = Table_fmt.render ~header:[ "a"; "bbb" ] ~rows:[ [ "xx"; "y" ]; [ "z" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "4 lines" 4 (List.length lines);
+  (* All lines padded to the same width. *)
+  match lines with
+  | h :: _ ->
+      List.iter
+        (fun l -> check Alcotest.int "width" (String.length h) (String.length l))
+        lines
+  | [] -> Alcotest.fail "no output"
+
+let test_table_human_units () =
+  checks "bytes" "512 B" (Table_fmt.human_bytes 512);
+  checks "kb" "2.05 KB" (Table_fmt.human_bytes 2048);
+  checks "mb" "1.50 MB" (Table_fmt.human_bytes 1_500_000);
+  checks "gb" "2.00 GB" (Table_fmt.human_bytes 2_000_000_000);
+  checks "rate" "10.30 MB/s" (Table_fmt.human_rate 10.3e6)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dpc_util"
+    [
+      ( "sha1",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_sha1_vectors;
+          Alcotest.test_case "padding boundaries" `Quick test_sha1_block_boundaries;
+          Alcotest.test_case "digest_concat" `Quick test_sha1_concat;
+          Alcotest.test_case "raw round-trip" `Quick test_sha1_raw_roundtrip;
+        ]
+        @ qsuite [ prop_sha1_deterministic; prop_sha1_injective_on_samples ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek and clear" `Quick test_heap_peek_and_clear;
+        ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf decreasing in rank" `Quick test_zipf_rank_ordering;
+          Alcotest.test_case "samples in range" `Quick test_zipf_samples_in_range;
+          Alcotest.test_case "empirical matches pmf" `Quick test_zipf_empirical_matches_pmf;
+          Alcotest.test_case "invalid arguments" `Quick test_zipf_invalid_args;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "scalars" `Quick test_serialize_scalars;
+          Alcotest.test_case "lists" `Quick test_serialize_list;
+          Alcotest.test_case "corrupt input" `Quick test_serialize_corrupt;
+        ]
+        @ qsuite
+            [
+              prop_serialize_roundtrip_ints;
+              prop_serialize_roundtrip_strings;
+              prop_serialize_roundtrip_varint;
+            ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        ] );
+      ( "table_fmt",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_fmt_alignment;
+          Alcotest.test_case "human units" `Quick test_table_human_units;
+        ] );
+    ]

@@ -1,0 +1,18 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+ci:
+	sh scripts/ci.sh
+
+clean:
+	dune clean

@@ -247,8 +247,8 @@ let fig11 cfg =
     let sim = Dpc_net.Sim.create ~topology:ts.topology ~routing () in
     let delp = Dpc_apps.Forwarding.delp () in
     let runtime =
-      Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
-        ~hook:Dpc_engine.Prov_hook.null ()
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+        ~env:Dpc_apps.Forwarding.env ~hook:Dpc_engine.Prov_hook.null ()
     in
     Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pair_list);
     let d : Forwarding_driver.t =
@@ -508,13 +508,14 @@ let ablation_cross_program cfg =
   let store = Store_multi.create ~nodes:100 in
   let fwd = Store_multi.add_program store ~id:"forwarding" ~delp:fwd_delp ~env:Dpc_engine.Env.empty in
   let mirror = Store_multi.add_program store ~id:"mirror" ~delp:mirror_delp ~env:Dpc_engine.Env.empty in
+  let transport = Dpc_net.Transport.of_sim sim in
   let fwd_rt =
-    Dpc_engine.Runtime.create ~sim ~delp:fwd_delp ~env:Dpc_engine.Env.empty
-      ~hook:(Store_multi.hook fwd) ()
+    Dpc_engine.Runtime.create ~transport ~delp:fwd_delp ~env:Dpc_engine.Env.empty
+      ~hook:(Store_multi.hook fwd) ~nodes:(Store_multi.nodes store) ()
   in
   let mirror_rt =
-    Dpc_engine.Runtime.create ~sim ~delp:mirror_delp ~env:Dpc_engine.Env.empty
-      ~hook:(Store_multi.hook mirror) ()
+    Dpc_engine.Runtime.create ~transport ~delp:mirror_delp ~env:Dpc_engine.Env.empty
+      ~hook:(Store_multi.hook mirror) ~nodes:(Store_multi.nodes store) ()
   in
   Dpc_engine.Runtime.load_slow fwd_rt routes;
   Dpc_engine.Runtime.load_slow mirror_rt routes;
@@ -527,8 +528,9 @@ let ablation_cross_program cfg =
     let sim = Dpc_net.Sim.create ~topology:ts.topology ~routing () in
     let backend = Backend.make Backend.S_advanced_interclass ~delp ~env:Dpc_engine.Env.empty ~nodes:100 in
     let rt =
-      Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_engine.Env.empty
-        ~hook:(Backend.hook backend) ()
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+        ~env:Dpc_engine.Env.empty ~hook:(Backend.hook backend)
+        ~nodes:(Backend.nodes backend) ()
     in
     Dpc_engine.Runtime.load_slow rt routes;
     inject rt;
@@ -576,7 +578,10 @@ let ablation_replay cfg =
       if with_replay then Replay.combine (Backend.hook backend) (Replay.hook replay)
       else Backend.hook backend
     in
-    let rt = Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
+    let rt =
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+        ~env:Dpc_apps.Forwarding.env ~hook ~nodes:(Backend.nodes backend) ()
+    in
     Dpc_engine.Runtime.load_slow rt routes;
     if with_replay then Replay.record_initial_slow replay routes;
     inject rt;
@@ -640,7 +645,10 @@ let ablation_overhead cfg =
   let events = 4000 in
   let run hook =
     let sim = Dpc_net.Sim.create ~topology:ts.topology ~routing () in
-    let rt = Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
+    let rt =
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+        ~env:Dpc_apps.Forwarding.env ~hook ()
+    in
     Dpc_engine.Runtime.load_slow rt routes;
     let pair_arr = Array.of_list pairs in
     for seq = 0 to events - 1 do
@@ -681,6 +689,50 @@ let ablation_overhead cfg =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Metrics registry dump: the 3-node quickstart forwarding workload under
+   both transports. The sim-backed run and the zero-latency direct run
+   process the same events, so the runtime.* and store.* counters must
+   agree; only shipped bytes differ (the direct backend charges each
+   message once instead of per hop). *)
+
+let metrics_report _cfg =
+  header "metrics" "Per-node metrics registry (quickstart under both transports)";
+  let delp = Dpc_apps.Forwarding.delp () in
+  let run transport =
+    let backend =
+      Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env
+        ~nodes:(Dpc_net.Transport.nodes transport)
+    in
+    let rt =
+      Dpc_engine.Runtime.create ~transport ~delp ~env:Dpc_apps.Forwarding.env
+        ~hook:(Backend.hook backend) ~nodes:(Backend.nodes backend) ()
+    in
+    Dpc_engine.Runtime.load_slow rt
+      [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+        Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ];
+    for seq = 0 to 9 do
+      Dpc_engine.Runtime.inject rt
+        (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "p%d" seq))
+    done;
+    Dpc_engine.Runtime.run rt;
+    rt
+  in
+  let sim_transport =
+    let topo = Dpc_net.Topology.create ~n:3 in
+    let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e9 } in
+    Dpc_net.Topology.add_link topo 0 1 l;
+    Dpc_net.Topology.add_link topo 1 2 l;
+    Dpc_net.Transport.of_sim
+      (Dpc_net.Sim.create ~topology:topo ~routing:(Dpc_net.Routing.compute topo) ())
+  in
+  List.iter
+    (fun transport ->
+      let rt = run transport in
+      Printf.printf "\n-- transport: %s --\n" (Dpc_net.Transport.name transport);
+      Table_fmt.print ~header:[ "metric"; "kind"; "value" ] ~rows:(Measure.metrics_rows rt))
+    [ sim_transport; Dpc_net.Transport.direct ~nodes:3 () ]
+
 let all =
   [
     ("fig8", fig8);
@@ -696,4 +748,5 @@ let all =
     ("ablation_cross_program", ablation_cross_program);
     ("ablation_replay", ablation_replay);
     ("ablation_overhead", ablation_overhead);
+    ("metrics", metrics_report);
   ]

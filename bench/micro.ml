@@ -56,8 +56,9 @@ let record_scheme scheme =
         in
         let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
         let runtime =
-          Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
-            ~hook:(Dpc_core.Backend.hook backend) ()
+          Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+            ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
+            ~nodes:(Dpc_core.Backend.nodes backend) ()
         in
         Dpc_engine.Runtime.load_slow runtime
           [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;

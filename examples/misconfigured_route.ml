@@ -23,8 +23,9 @@ let () =
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
-      ~hook:(Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend)
+      ~nodes:(Backend.nodes backend) ()
   in
   (* The misconfiguration: n1 routes to n3 via n2 despite the direct link. *)
   Dpc_engine.Runtime.load_slow runtime

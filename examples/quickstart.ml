@@ -30,8 +30,9 @@ let () =
     let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
     let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
     let runtime =
-      Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
-        ~hook:(Backend.hook backend) ()
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+        ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend)
+        ~nodes:(Backend.nodes backend) ()
     in
     (* Routing state of Fig 2: n1 and n2 forward toward n3. *)
     Dpc_engine.Runtime.load_slow runtime

@@ -34,8 +34,9 @@ let () =
     Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Flood_routing.env ~nodes:4
   in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Flood_routing.env
-      ~hook:(Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Flood_routing.env ~hook:(Backend.hook backend)
+      ~nodes:(Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Flood_routing.link_costs_of_topology topo);
 

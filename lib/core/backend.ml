@@ -24,6 +24,11 @@ let make scheme ~delp ~env ~nodes =
       let keys = Dpc_analysis.Equi_keys.compute delp in
       Advanced (Store_advanced.create ~delp ~env ~keys ~interclass:true ~nodes ())
 
+let nodes = function
+  | Exspan s -> Store_exspan.nodes s
+  | Basic s -> Store_basic.nodes s
+  | Advanced s -> Store_advanced.nodes s
+
 let name = function
   | Exspan _ -> "ExSPAN"
   | Basic _ -> "Basic"

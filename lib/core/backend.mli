@@ -22,6 +22,11 @@ val make :
     analysis ({!Dpc_analysis.Equi_keys.compute}) first. *)
 
 val name : t -> string
+
+val nodes : t -> Dpc_engine.Node.t array
+(** The store's cluster; pass to [Runtime.create ~nodes] so the runtime
+    and the store share per-node state and metrics. *)
+
 val hook : t -> Dpc_engine.Prov_hook.t
 val node_storage : t -> int -> Rows.storage
 val total_storage : t -> Rows.storage

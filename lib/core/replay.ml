@@ -76,9 +76,11 @@ let replay_cost_per_entry = 0.0005
 let replay_and_query t ~topology ?evid target =
   let routing = Dpc_net.Routing.compute topology in
   let sim = Dpc_net.Sim.create ~topology ~routing () in
+  let transport = Dpc_net.Transport.of_sim sim in
   let store = Store_exspan.create ~delp:t.delp ~env:t.env ~nodes:t.nodes in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp:t.delp ~env:t.env ~hook:(Store_exspan.hook store) ()
+    Dpc_engine.Runtime.create ~transport ~delp:t.delp ~env:t.env
+      ~hook:(Store_exspan.hook store) ~nodes:(Store_exspan.nodes store) ()
   in
   Dpc_engine.Runtime.load_slow runtime t.initial_slow;
   (* Replay in arrival order, quiescing between entries so each update is

@@ -1,28 +1,18 @@
 open Dpc_ndlog
 
 (* Keyed by the raw 20-byte digest. *)
-type node_state = { tuples : (string, Tuple.t) Hashtbl.t; mutable bytes : int }
+type t = { tuples : (string, Tuple.t) Hashtbl.t; mutable bytes : int }
 
-type t = node_state array
+let create () = { tuples = Hashtbl.create 32; bytes = 0 }
 
-let create ~nodes = Array.init nodes (fun _ -> { tuples = Hashtbl.create 32; bytes = 0 })
-
-let put t ~node ~key tuple =
-  let st = t.(node) in
+let put t ~key tuple =
   let k = Dpc_util.Sha1.to_raw key in
-  if not (Hashtbl.mem st.tuples k) then begin
-    Hashtbl.add st.tuples k tuple;
-    st.bytes <- st.bytes + 20 + Tuple.wire_size tuple
+  if not (Hashtbl.mem t.tuples k) then begin
+    Hashtbl.add t.tuples k tuple;
+    t.bytes <- t.bytes + 20 + Tuple.wire_size tuple
   end
 
-let get t ~node ~key = Hashtbl.find_opt t.(node).tuples (Dpc_util.Sha1.to_raw key)
-
-let node_bytes t node = t.(node).bytes
-let node_count t node = Hashtbl.length t.(node).tuples
-let total_bytes t = Array.fold_left (fun acc st -> acc + st.bytes) 0 t
-
-let iter t f =
-  Array.iteri
-    (fun node st ->
-      Hashtbl.iter (fun k tuple -> f ~node ~key:(Dpc_util.Sha1.of_raw k) tuple) st.tuples)
-    t
+let get t ~key = Hashtbl.find_opt t.tuples (Dpc_util.Sha1.to_raw key)
+let bytes t = t.bytes
+let count t = Hashtbl.length t.tuples
+let iter t f = Hashtbl.iter (fun k tuple -> f ~key:(Dpc_util.Sha1.of_raw k) tuple) t.tuples

@@ -1,4 +1,4 @@
-(** Per-node materialized tuples, addressed by digest.
+(** One node's materialized tuples, addressed by digest.
 
     Query-time reconstruction needs actual tuple contents: ExSPAN resolves
     every body tuple by its [vid]; Basic and Advanced resolve slow-changing
@@ -6,20 +6,22 @@
     mirrors the tuples a declarative networking engine keeps in its node
     databases anyway; the paper's storage metric does not include it (it
     serializes only the [prov]/[ruleExec] tables), so we account for it
-    separately. *)
+    separately.
+
+    A store instance covers a single node; stores hang one off each
+    {!Dpc_engine.Node.t} they use. *)
 
 type t
 
-val create : nodes:int -> t
+val create : unit -> t
 
-val put : t -> node:int -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> unit
+val put : t -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> unit
 (** Idempotent for an existing key. *)
 
-val get : t -> node:int -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t option
+val get : t -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t option
 
-val node_bytes : t -> int -> int
-val node_count : t -> int -> int
-val total_bytes : t -> int
+val bytes : t -> int
+val count : t -> int
 
-val iter : t -> (node:int -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> unit) -> unit
+val iter : t -> (key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> unit) -> unit
 (** Visit every entry, in unspecified order. *)

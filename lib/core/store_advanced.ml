@@ -1,13 +1,16 @@
 open Dpc_ndlog
 open Dpc_util
+module Node = Dpc_engine.Node
 
-type node_tables = {
+type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* plain layout, keyed by rid hex *)
   exec_nodes : Rows.rule_exec_row Rows.Table.t;  (* §5.4 ruleExecNode *)
   exec_links : Rows.link_row Rows.Table.t;  (* §5.4 ruleExecLink, keyed by rid hex *)
   htequi : (string, unit) Hashtbl.t;  (* equivalence keys seen at this ingress *)
   hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;  (* class -> chain roots *)
+  slow_tuples : Side_store.t;
+  events : Side_store.t;  (* evid -> input event at ingress *)
 }
 
 type t = {
@@ -15,11 +18,22 @@ type t = {
   env : Dpc_engine.Env.t;
   keys : Dpc_analysis.Equi_keys.t;
   interclass : bool;
-  tables : node_tables array;
-  slow_tuples : Side_store.t;
-  events : Side_store.t;  (* evid -> input event at ingress *)
+  nodes : Node.t array;
+  key : node_state Node.key;
   mutable orphans : int;
 }
+
+let fresh_state () =
+  {
+    prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
+    rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
+    exec_nodes = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+    exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
+    htequi = Hashtbl.create 32;
+    hmap = Hashtbl.create 32;
+    slow_tuples = Side_store.create ();
+    events = Side_store.create ();
+  }
 
 let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
   {
@@ -27,22 +41,26 @@ let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
     env;
     keys;
     interclass;
-    tables =
-      Array.init nodes (fun _ ->
-        {
-          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
-          rule_exec =
-            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
-          exec_nodes =
-            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
-          exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
-          htequi = Hashtbl.create 32;
-          hmap = Hashtbl.create 32;
-        });
-    slow_tuples = Side_store.create ~nodes;
-    events = Side_store.create ~nodes;
+    nodes = Node.cluster nodes;
+    key = Node.key ~name:"store.advanced" ();
     orphans = 0;
   }
+
+let nodes t = t.nodes
+let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
+let tick t node name = Metrics.incr (Node.metrics t.nodes.(node)) name
+
+let add_prov t ~node ~key row =
+  if Rows.Table.add (state t node).prov ~key row then tick t node "store.prov_rows"
+
+let add_rule_exec t ~node ~key row =
+  if Rows.Table.add (state t node).rule_exec ~key row then tick t node "store.rule_exec_rows"
+
+let add_exec_node t ~node ~key row =
+  if Rows.Table.add (state t node).exec_nodes ~key row then tick t node "store.rule_exec_rows"
+
+let add_exec_link t ~node ~key row =
+  if Rows.Table.add (state t node).exec_links ~key row then tick t node "store.rule_exec_rows"
 
 (* Plain layout: the rid must identify the whole chain suffix, so it hashes
    the back-pointer too (Table 3's sha1(rule, vids) is ambiguous as soon as
@@ -64,10 +82,11 @@ let on_input t ~node event =
   let meta = Dpc_engine.Prov_hook.initial_meta event in
   let k = Dpc_analysis.Equi_keys.key_hash t.keys event in
   let k_hex = Rows.hex k in
-  let tables = t.tables.(node) in
-  let exist_flag = Hashtbl.mem tables.htequi k_hex in
-  if not exist_flag then Hashtbl.add tables.htequi k_hex ();
-  Side_store.put t.events ~node ~key:meta.evid event;
+  let st = state t node in
+  let exist_flag = Hashtbl.mem st.htequi k_hex in
+  tick t node (if exist_flag then "store.equi_hits" else "store.equi_misses");
+  if not exist_flag then Hashtbl.add st.htequi k_hex ();
+  Side_store.put st.events ~key:meta.evid event;
   { meta with exist_flag; eqkey = Some k }
 
 let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
@@ -75,29 +94,26 @@ let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
   if meta.exist_flag then meta
   else begin
     let slow_vids = List.map Rows.vid_of slow in
-    List.iter2 (fun tuple vid -> Side_store.put t.slow_tuples ~node ~key:vid tuple) slow slow_vids;
-    let tables = t.tables.(node) in
+    let st = state t node in
+    List.iter2 (fun tuple vid -> Side_store.put st.slow_tuples ~key:vid tuple) slow slow_vids;
     if t.interclass then begin
       let rid = node_rid ~rule_name:rule.name ~node ~slow_vids in
-      ignore
-        (Rows.Table.add tables.exec_nodes ~key:(Rows.hex rid)
-           { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = None });
-      ignore
-        (Rows.Table.add tables.exec_links ~key:(Rows.hex rid)
-           { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev });
+      add_exec_node t ~node ~key:(Rows.hex rid)
+        { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = None };
+      add_exec_link t ~node ~key:(Rows.hex rid)
+        { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev };
       { meta with prev = Some (node, rid) }
     end
     else begin
       let rid = chain_rid ~rule_name:rule.name ~node ~slow_vids ~prev:meta.prev in
-      ignore
-        (Rows.Table.add tables.rule_exec ~key:(Rows.hex rid)
-           { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = meta.prev });
+      add_rule_exec t ~node ~key:(Rows.hex rid)
+        { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = meta.prev };
       { meta with prev = Some (node, rid) }
     end
   end
 
 let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
-  let tables = t.tables.(node) in
+  let st = state t node in
   let k_hex =
     match meta.eqkey with
     | Some k -> Rows.hex k
@@ -109,32 +125,31 @@ let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
   let k_hex = k_hex ^ ":" ^ Tuple.rel output in
   let vid = Rows.vid_of output in
   let add_row rref =
-    ignore
-      (Rows.Table.add tables.prov ~key:(Rows.hex vid)
-         { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid })
+    add_prov t ~node ~key:(Rows.hex vid)
+      { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid }
   in
   if not meta.exist_flag then begin
     match meta.prev with
     | None -> invalid_arg "Store_advanced.on_output: materializing execution has no chain"
     | Some rref ->
         let refs =
-          match Hashtbl.find_opt tables.hmap k_hex with
+          match Hashtbl.find_opt st.hmap k_hex with
           | Some r -> r
           | None ->
               let r = ref [] in
-              Hashtbl.add tables.hmap k_hex r;
+              Hashtbl.add st.hmap k_hex r;
               r
         in
         if not (List.mem rref !refs) then refs := !refs @ [ rref ];
         add_row rref
   end
   else begin
-    match Hashtbl.find_opt tables.hmap k_hex with
+    match Hashtbl.find_opt st.hmap k_hex with
     | Some refs when !refs <> [] -> List.iter add_row !refs
     | Some _ | None -> t.orphans <- t.orphans + 1
   end
 
-let on_slow_insert t ~node _tuple = Hashtbl.reset t.tables.(node).htequi
+let on_slow_insert t ~node _tuple = Hashtbl.reset (state t node).htequi
 
 let hook t =
   {
@@ -147,32 +162,32 @@ let hook t =
     meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
   }
 
-let equi_bytes tables =
-  (Hashtbl.length tables.htequi * 20)
+let equi_bytes st =
+  (Hashtbl.length st.htequi * 20)
   + Hashtbl.fold (fun _ refs acc -> acc + 20 + (List.length !refs * Rows.ref_bytes))
-      tables.hmap 0
+      st.hmap 0
 
 let node_storage t node =
-  let tables = t.tables.(node) in
+  let st = state t node in
   {
-    Rows.prov_bytes = Rows.Table.bytes tables.prov;
+    Rows.prov_bytes = Rows.Table.bytes st.prov;
     rule_exec_bytes =
-      Rows.Table.bytes tables.rule_exec + Rows.Table.bytes tables.exec_nodes
-      + Rows.Table.bytes tables.exec_links;
-    equi_bytes = equi_bytes tables;
-    event_bytes = Side_store.node_bytes t.slow_tuples node + Side_store.node_bytes t.events node;
-    prov_rows = Rows.Table.rows tables.prov;
+      Rows.Table.bytes st.rule_exec + Rows.Table.bytes st.exec_nodes
+      + Rows.Table.bytes st.exec_links;
+    equi_bytes = equi_bytes st;
+    event_bytes = Side_store.bytes st.slow_tuples + Side_store.bytes st.events;
+    prov_rows = Rows.Table.rows st.prov;
     rule_exec_rows =
-      Rows.Table.rows tables.rule_exec + Rows.Table.rows tables.exec_nodes
-      + Rows.Table.rows tables.exec_links;
+      Rows.Table.rows st.rule_exec + Rows.Table.rows st.exec_nodes
+      + Rows.Table.rows st.exec_links;
   }
 
 let total_storage t =
-  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.nodes)
   |> List.fold_left Rows.add_storage Rows.empty_storage
 
 let classes_seen t =
-  Array.fold_left (fun acc tables -> acc + Hashtbl.length tables.htequi) 0 t.tables
+  Array.fold_left (fun acc node -> acc + Hashtbl.length (state t (Node.id node)).htequi) 0 t.nodes
 
 let orphan_outputs t = t.orphans
 
@@ -220,13 +235,13 @@ let fetch_chains t acct ~start rref =
       else begin
         let seen = key :: seen in
         if t.interclass then begin
-          match Rows.Table.find t.tables.(rloc).exec_nodes (Rows.hex rid) with
+          match Rows.Table.find (state t rloc).exec_nodes (Rows.hex rid) with
           | [] -> raise (Broken "missing ruleExecNode")
           | _ :: _ :: _ -> raise (Broken "duplicate ruleExecNode rid")
           | [ row ] ->
               charge_entries acct 1;
               charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
-              let links = Rows.Table.find t.tables.(rloc).exec_links (Rows.hex rid) in
+              let links = Rows.Table.find (state t rloc).exec_links (Rows.hex rid) in
               charge_entries acct (List.length links);
               List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
               if links = [] then raise (Broken "ruleExecNode with no link row");
@@ -238,7 +253,7 @@ let fetch_chains t acct ~start rref =
                 links
         end
         else begin
-          match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+          match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
           | [] -> raise (Broken "missing ruleExec")
           | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
           | [ row ] -> begin
@@ -256,7 +271,7 @@ let fetch_chains t acct ~start rref =
   !results
 
 let resolve_slow t acct ~node vid =
-  match Side_store.get t.slow_tuples ~node ~key:vid with
+  match Side_store.get (state t node).slow_tuples ~key:vid with
   | Some tuple ->
       charge_bytes acct (Tuple.wire_size tuple);
       tuple
@@ -269,7 +284,7 @@ let rederive t acct ~evid chain =
     | [] -> raise (Broken "empty chain")
     | [ (leaf : Rows.rule_exec_row) ] ->
         let event =
-          match Side_store.get t.events ~node:leaf.rloc ~key:evid with
+          match Side_store.get (state t leaf.rloc).events ~key:evid with
           | Some ev ->
               charge_bytes acct (Tuple.wire_size ev);
               ev
@@ -304,7 +319,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
   let rows =
     match evid with
     | None -> rows
@@ -346,16 +361,16 @@ let query t ~cost ~routing ?evid output =
     entries = acct.entries; bytes = acct.bytes }
 
 let dump t =
-  let n = Array.length t.tables in
+  let n = Array.length t.nodes in
   let collect table_of node =
     let acc = ref [] in
-    Rows.Table.iter (table_of t.tables.(node)) (fun _ r -> acc := r :: !acc);
+    Rows.Table.iter (table_of (state t node)) (fun _ r -> acc := r :: !acc);
     !acc
   in
-  let ph, pr = Rows.dump_prov ~with_evid:true (collect (fun tb -> tb.prov)) n in
+  let ph, pr = Rows.dump_prov ~with_evid:true (collect (fun st -> st.prov)) n in
   if t.interclass then begin
     let nh, nr =
-      Rows.dump_rule_exec ~with_next:false (collect (fun tb -> tb.exec_nodes)) n
+      Rows.dump_rule_exec ~with_next:false (collect (fun st -> st.exec_nodes)) n
     in
     let link_rows =
       List.concat_map
@@ -367,7 +382,7 @@ let dump t =
                 Rows.show_digest l.link_rid;
                 Rows.show_ref l.link_next;
               ])
-            (collect (fun tb -> tb.exec_links) node))
+            (collect (fun st -> st.exec_links) node))
         (List.init n (fun i -> i))
       |> List.sort compare
     in
@@ -378,7 +393,7 @@ let dump t =
     ]
   end
   else begin
-    let rh, rr = Rows.dump_rule_exec ~with_next:true (collect (fun tb -> tb.rule_exec)) n in
+    let rh, rr = Rows.dump_rule_exec ~with_next:true (collect (fun st -> st.rule_exec)) n in
     [ ("prov", ph, pr); ("ruleExec", rh, rr) ]
   end
 
@@ -388,42 +403,48 @@ let table_rows table =
   Rows.Table.iter table (fun _ r -> acc := r :: !acc);
   List.sort compare !acc
 
-let side_entries side =
+(* (node, key, tuple) entries across the cluster in canonical order; the
+   same wire shape as the old cluster-wide side store. *)
+let side_entries t select =
   let acc = ref [] in
-  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  Array.iteri
+    (fun node _ ->
+      Side_store.iter (select (state t node)) (fun ~key tuple -> acc := (node, key, tuple) :: !acc))
+    t.nodes;
   List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
 
-let write_side w side =
+let write_side w entries =
   let open Dpc_util.Serialize in
   write_list w
     (fun (node, key, tuple) ->
       write_varint w node;
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (side_entries side)
+    entries
 
-let read_side r side =
+let read_side r t select =
   let open Dpc_util.Serialize in
   ignore
     (read_list r (fun () ->
        let node = read_varint r in
        let key = Sha1.of_raw (read_string r) in
-       Side_store.put side ~node ~key (Tuple.deserialize r)))
+       Side_store.put (select (state t node)) ~key (Tuple.deserialize r)))
 
 let checkpoint t =
   let open Dpc_util.Serialize in
   let w = writer () in
   write_string w "dpc-advanced-v1";
   write_bool w t.interclass;
-  write_varint w (Array.length t.tables);
-  Array.iter
-    (fun tables ->
-      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
-      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec);
-      write_list w (Rows.write_rule_exec_row w) (table_rows tables.exec_nodes);
-      write_list w (Rows.write_link_row w) (table_rows tables.exec_links);
+  write_varint w (Array.length t.nodes);
+  Array.iteri
+    (fun node _ ->
+      let st = state t node in
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.exec_nodes);
+      write_list w (Rows.write_link_row w) (table_rows st.exec_links);
       write_list w (write_string w)
-        (Hashtbl.fold (fun k () acc -> k :: acc) tables.htequi [] |> List.sort compare);
+        (Hashtbl.fold (fun k () acc -> k :: acc) st.htequi [] |> List.sort compare);
       write_list w
         (fun (k, refs) ->
           write_string w k;
@@ -432,11 +453,11 @@ let checkpoint t =
               write_varint w node;
               write_string w (Sha1.to_raw d))
             refs)
-        (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) tables.hmap []
+        (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) st.hmap []
         |> List.sort compare))
-    t.tables;
-  write_side w t.slow_tuples;
-  write_side w t.events;
+    t.nodes;
+  write_side w (side_entries t (fun st -> st.slow_tuples));
+  write_side w (side_entries t (fun st -> st.events));
   write_varint w t.orphans;
   contents w
 
@@ -449,26 +470,21 @@ let restore ~delp ~env ~keys blob =
   let nodes = read_varint r in
   let t = create ~delp ~env ~keys ~interclass ~nodes () in
   for node = 0 to nodes - 1 do
-    let tables = t.tables.(node) in
+    let st = state t node in
     List.iter
-      (fun (row : Rows.prov_row) ->
-        ignore (Rows.Table.add t.tables.(row.loc).prov ~key:(Rows.hex row.vid) row))
+      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.hex row.vid) row)
       (read_list r (fun () -> Rows.read_prov_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) ->
-        ignore (Rows.Table.add t.tables.(row.rloc).rule_exec ~key:(Rows.hex row.rid) row))
+      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.hex row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) ->
-        ignore (Rows.Table.add t.tables.(row.rloc).exec_nodes ~key:(Rows.hex row.rid) row))
+      (fun (row : Rows.rule_exec_row) -> add_exec_node t ~node:row.rloc ~key:(Rows.hex row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r));
     List.iter
       (fun (row : Rows.link_row) ->
-        ignore
-          (Rows.Table.add t.tables.(row.link_rloc).exec_links
-             ~key:(Rows.hex row.link_rid) row))
+        add_exec_link t ~node:row.link_rloc ~key:(Rows.hex row.link_rid) row)
       (read_list r (fun () -> Rows.read_link_row r));
-    ignore (read_list r (fun () -> Hashtbl.replace tables.htequi (read_string r) ()));
+    ignore (read_list r (fun () -> Hashtbl.replace st.htequi (read_string r) ()));
     ignore
       (read_list r (fun () ->
          let k = read_string r in
@@ -477,9 +493,9 @@ let restore ~delp ~env ~keys blob =
              let node = read_varint r in
              (node, Sha1.of_raw (read_string r)))
          in
-         Hashtbl.replace tables.hmap k (ref refs)))
+         Hashtbl.replace st.hmap k (ref refs)))
   done;
-  read_side r t.slow_tuples;
-  read_side r t.events;
+  read_side r t (fun st -> st.slow_tuples);
+  read_side r t (fun st -> st.events);
   t.orphans <- read_varint r;
   t

@@ -27,6 +27,13 @@ val create :
   nodes:int ->
   unit ->
   t
+(** Builds a fresh [nodes]-node cluster; per-node tables hang off each
+    {!Dpc_engine.Node.t} and row writes tick its [store.*] counters
+    (including [store.equi_hits]/[store.equi_misses] at ingress). *)
+
+val nodes : t -> Dpc_engine.Node.t array
+(** The cluster owning all per-node state; pass to
+    [Runtime.create ~nodes] so the runtime shares it. *)
 
 val hook : t -> Dpc_engine.Prov_hook.t
 

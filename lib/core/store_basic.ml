@@ -1,33 +1,42 @@
 open Dpc_ndlog
 open Dpc_util
+module Node = Dpc_engine.Node
 
-type node_tables = {
+type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex; outputs only *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+  slow_tuples : Side_store.t;  (* vid -> slow tuple, at the executing node *)
+  events : Side_store.t;  (* evid -> input event, at the ingress node *)
 }
 
 type t = {
   delp : Delp.t;
   env : Dpc_engine.Env.t;
-  tables : node_tables array;
-  slow_tuples : Side_store.t;  (* vid -> slow tuple, at the executing node *)
-  events : Side_store.t;  (* evid -> input event, at the ingress node *)
+  nodes : Node.t array;
+  key : node_state Node.key;
 }
 
-let create ~delp ~env ~nodes =
+let fresh_state () =
   {
-    delp;
-    env;
-    tables =
-      Array.init nodes (fun _ ->
-        {
-          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
-          rule_exec =
-            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
-        });
-    slow_tuples = Side_store.create ~nodes;
-    events = Side_store.create ~nodes;
+    prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
+    rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
+    slow_tuples = Side_store.create ();
+    events = Side_store.create ();
   }
+
+let create ~delp ~env ~nodes =
+  { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.basic" () }
+
+let nodes t = t.nodes
+let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
+
+let add_prov t ~node ~key row =
+  if Rows.Table.add (state t node).prov ~key row then
+    Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
+
+let add_rule_exec t ~node ~key row =
+  if Rows.Table.add (state t node).rule_exec ~key row then
+    Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
 
 let rid_of ~rule_name ~node ~vids =
   Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
@@ -40,17 +49,17 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.P
   (* The input event's vid is kept in the leaf row (Table 2's rid1 row);
      intermediate event vids are dropped — that is the optimization. *)
   let vids = if meta.prev = None then slow_vids @ [ event_vid ] else slow_vids in
-  ignore
-    (Rows.Table.add t.tables.(node).rule_exec ~key:(Rows.hex rid)
-       { Rows.rloc = node; rid; rule = rule.name; vids; next = meta.prev });
-  List.iter2 (fun tuple vid -> Side_store.put t.slow_tuples ~node ~key:vid tuple) slow slow_vids;
+  add_rule_exec t ~node ~key:(Rows.hex rid)
+    { Rows.rloc = node; rid; rule = rule.name; vids; next = meta.prev };
+  List.iter2
+    (fun tuple vid -> Side_store.put (state t node).slow_tuples ~key:vid tuple)
+    slow slow_vids;
   { meta with prev = Some (node, rid) }
 
 let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
-  ignore
-    (Rows.Table.add t.tables.(node).prov
-       ~key:(Rows.hex (Rows.vid_of output))
-       { Rows.loc = node; vid = Rows.vid_of output; rid = meta.prev; evid = None })
+  add_prov t ~node
+    ~key:(Rows.hex (Rows.vid_of output))
+    { Rows.loc = node; vid = Rows.vid_of output; rid = meta.prev; evid = None }
 
 let hook t =
   {
@@ -58,7 +67,7 @@ let hook t =
     on_input =
       (fun ~node event ->
         let meta = Dpc_engine.Prov_hook.initial_meta event in
-        Side_store.put t.events ~node ~key:meta.evid event;
+        Side_store.put (state t node).events ~key:meta.evid event;
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node output meta -> on_output t ~node output meta);
@@ -68,17 +77,18 @@ let hook t =
   }
 
 let node_storage t node =
+  let st = state t node in
   {
     Rows.empty_storage with
-    Rows.prov_bytes = Rows.Table.bytes t.tables.(node).prov;
-    rule_exec_bytes = Rows.Table.bytes t.tables.(node).rule_exec;
-    event_bytes = Side_store.node_bytes t.slow_tuples node + Side_store.node_bytes t.events node;
-    prov_rows = Rows.Table.rows t.tables.(node).prov;
-    rule_exec_rows = Rows.Table.rows t.tables.(node).rule_exec;
+    Rows.prov_bytes = Rows.Table.bytes st.prov;
+    rule_exec_bytes = Rows.Table.bytes st.rule_exec;
+    event_bytes = Side_store.bytes st.slow_tuples + Side_store.bytes st.events;
+    prov_rows = Rows.Table.rows st.prov;
+    rule_exec_rows = Rows.Table.rows st.rule_exec;
   }
 
 let total_storage t =
-  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.nodes)
   |> List.fold_left Rows.add_storage Rows.empty_storage
 
 exception Broken of string
@@ -127,7 +137,7 @@ let fetch_chains t acct ~start rref =
       if List.mem key seen then ()
       else begin
         let seen = key :: seen in
-        match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+        match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
         | [] ->
             raise
               (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
@@ -147,7 +157,7 @@ let fetch_chains t acct ~start rref =
   !results
 
 let resolve_slow t acct ~node vid =
-  match Side_store.get t.slow_tuples ~node ~key:vid with
+  match Side_store.get (state t node).slow_tuples ~key:vid with
   | Some tuple ->
       charge_bytes acct (Tuple.wire_size tuple);
       tuple
@@ -167,7 +177,7 @@ let rederive t acct chain =
           | [] -> raise (Broken "leaf ruleExec with no vids")
         in
         let event =
-          match Side_store.get t.events ~node:leaf.rloc ~key:event_vid with
+          match Side_store.get (state t leaf.rloc).events ~key:event_vid with
           | Some ev ->
               charge_bytes acct (Tuple.wire_size ev);
               ev
@@ -207,7 +217,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
   charge_entries acct (max 1 (List.length rows));
   let trees =
     List.concat_map
@@ -240,15 +250,15 @@ let query t ~cost ~routing ?evid output =
     entries = acct.entries; bytes = acct.bytes }
 
 let dump t =
-  let n = Array.length t.tables in
+  let n = Array.length t.nodes in
   let prov_rows node =
     let acc = ref [] in
-    Rows.Table.iter t.tables.(node).prov (fun _ r -> acc := r :: !acc);
+    Rows.Table.iter (state t node).prov (fun _ r -> acc := r :: !acc);
     !acc
   in
   let exec_rows node =
     let acc = ref [] in
-    Rows.Table.iter t.tables.(node).rule_exec (fun _ r -> acc := r :: !acc);
+    Rows.Table.iter (state t node).rule_exec (fun _ r -> acc := r :: !acc);
     !acc
   in
   let ph, pr = Rows.dump_prov ~with_evid:false prov_rows n in
@@ -261,40 +271,46 @@ let table_rows table =
   Rows.Table.iter table (fun _ r -> acc := r :: !acc);
   List.sort compare !acc
 
-let side_entries side =
+(* (node, key, tuple) entries across the cluster in canonical order; the
+   same wire shape as the old cluster-wide side store. *)
+let side_entries t select =
   let acc = ref [] in
-  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  Array.iteri
+    (fun node _ ->
+      Side_store.iter (select (state t node)) (fun ~key tuple -> acc := (node, key, tuple) :: !acc))
+    t.nodes;
   List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
 
-let write_side w side =
+let write_side w entries =
   let open Dpc_util.Serialize in
   write_list w
     (fun (node, key, tuple) ->
       write_varint w node;
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (side_entries side)
+    entries
 
-let read_side r side =
+let read_side r t select =
   let open Dpc_util.Serialize in
   ignore
     (read_list r (fun () ->
        let node = read_varint r in
        let key = Sha1.of_raw (read_string r) in
-       Side_store.put side ~node ~key (Tuple.deserialize r)))
+       Side_store.put (select (state t node)) ~key (Tuple.deserialize r)))
 
 let checkpoint t =
   let open Dpc_util.Serialize in
   let w = writer () in
   write_string w "dpc-basic-v1";
-  write_varint w (Array.length t.tables);
-  Array.iter
-    (fun tables ->
-      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
-      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec))
-    t.tables;
-  write_side w t.slow_tuples;
-  write_side w t.events;
+  write_varint w (Array.length t.nodes);
+  Array.iteri
+    (fun node _ ->
+      let st = state t node in
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec))
+    t.nodes;
+  write_side w (side_entries t (fun st -> st.slow_tuples));
+  write_side w (side_entries t (fun st -> st.events));
   contents w
 
 let restore ~delp ~env blob =
@@ -306,14 +322,12 @@ let restore ~delp ~env blob =
   let t = create ~delp ~env ~nodes in
   for _ = 1 to nodes do
     List.iter
-      (fun (row : Rows.prov_row) ->
-        ignore (Rows.Table.add t.tables.(row.loc).prov ~key:(Rows.hex row.vid) row))
+      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.hex row.vid) row)
       (read_list r (fun () -> Rows.read_prov_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) ->
-        ignore (Rows.Table.add t.tables.(row.rloc).rule_exec ~key:(Rows.hex row.rid) row))
+      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.hex row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r))
   done;
-  read_side r t.slow_tuples;
-  read_side r t.events;
+  read_side r t (fun st -> st.slow_tuples);
+  read_side r t (fun st -> st.events);
   t

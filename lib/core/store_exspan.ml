@@ -1,37 +1,40 @@
 open Dpc_ndlog
 open Dpc_util
+module Node = Dpc_engine.Node
 
-type node_tables = {
+type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+  tuples : Side_store.t;  (* vid -> materialized tuple *)
 }
 
 type t = {
   delp : Delp.t;
   env : Dpc_engine.Env.t;
-  tables : node_tables array;
-  tuples : Side_store.t;  (* vid -> materialized tuple, per node *)
+  nodes : Node.t array;
+  key : node_state Node.key;
 }
 
-let create ~delp ~env ~nodes =
+let fresh_state () =
   {
-    delp;
-    env;
-    tables =
-      Array.init nodes (fun _ ->
-        {
-          prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
-          rule_exec =
-            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
-        });
-    tuples = Side_store.create ~nodes;
+    prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
+    rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+    tuples = Side_store.create ();
   }
 
+let create ~delp ~env ~nodes =
+  { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.exspan" () }
+
+let nodes t = t.nodes
+let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
+
 let add_prov t ~node (row : Rows.prov_row) =
-  ignore (Rows.Table.add t.tables.(node).prov ~key:(Rows.hex row.vid) row)
+  if Rows.Table.add (state t node).prov ~key:(Rows.hex row.vid) row then
+    Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
 
 let add_rule_exec t ~node (row : Rows.rule_exec_row) =
-  ignore (Rows.Table.add t.tables.(node).rule_exec ~key:(Rows.hex row.rid) row)
+  if Rows.Table.add (state t node).rule_exec ~key:(Rows.hex row.rid) row then
+    Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
 
 let rid_of ~rule_name ~node ~vids =
   Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
@@ -46,19 +49,19 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head (meta : Dpc_engine.Pro
   List.iter2
     (fun tuple vid ->
       add_prov t ~node { Rows.loc = node; vid; rid = None; evid = None };
-      Side_store.put t.tuples ~node ~key:vid tuple)
+      Side_store.put (state t node).tuples ~key:vid tuple)
     slow slow_vids;
   (* The input event is a base tuple; intermediate events already got their
      prov row when they were derived. *)
   if meta.prev = None then begin
     add_prov t ~node { Rows.loc = node; vid = event_vid; rid = None; evid = None };
-    Side_store.put t.tuples ~node ~key:event_vid event
+    Side_store.put (state t node).tuples ~key:event_vid event
   end;
   let head_loc = Tuple.loc head in
   let head_vid = Rows.vid_of head in
   add_prov t ~node:head_loc
     { Rows.loc = head_loc; vid = head_vid; rid = Some (node, rid); evid = None };
-  Side_store.put t.tuples ~node:head_loc ~key:head_vid head;
+  Side_store.put (state t head_loc).tuples ~key:head_vid head;
   { meta with prev = Some (node, rid) }
 
 let hook t =
@@ -67,7 +70,7 @@ let hook t =
     on_input =
       (fun ~node event ->
         let meta = Dpc_engine.Prov_hook.initial_meta event in
-        Side_store.put t.tuples ~node ~key:(Rows.vid_of event) event;
+        Side_store.put (state t node).tuples ~key:(Rows.vid_of event) event;
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node:_ _ _ -> ());
@@ -78,17 +81,18 @@ let hook t =
   }
 
 let node_storage t node =
+  let st = state t node in
   {
     Rows.empty_storage with
-    Rows.prov_bytes = Rows.Table.bytes t.tables.(node).prov;
-    rule_exec_bytes = Rows.Table.bytes t.tables.(node).rule_exec;
-    event_bytes = Side_store.node_bytes t.tuples node;
-    prov_rows = Rows.Table.rows t.tables.(node).prov;
-    rule_exec_rows = Rows.Table.rows t.tables.(node).rule_exec;
+    Rows.prov_bytes = Rows.Table.bytes st.prov;
+    rule_exec_bytes = Rows.Table.bytes st.rule_exec;
+    event_bytes = Side_store.bytes st.tuples;
+    prov_rows = Rows.Table.rows st.prov;
+    rule_exec_rows = Rows.Table.rows st.rule_exec;
   }
 
 let total_storage t =
-  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.tables)
+  Array.to_list (Array.mapi (fun i _ -> node_storage t i) t.nodes)
   |> List.fold_left Rows.add_storage Rows.empty_storage
 
 exception Broken of string
@@ -114,7 +118,7 @@ let charge_hop acct ~src ~dst =
   acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
 
 let resolve_tuple t ~node vid =
-  match Side_store.get t.tuples ~node ~key:vid with
+  match Side_store.get (state t node).tuples ~key:vid with
   | Some tuple -> tuple
   | None -> raise (Broken (Printf.sprintf "tuple %s not materialized at node %d" (Rows.hex vid) node))
 
@@ -134,7 +138,7 @@ let max_derivations = 64
 let rec fetch_trees t acct ~at ~output (rloc, rid) =
   charge_hop acct ~src:at ~dst:rloc;
   let exec =
-    match Rows.Table.find t.tables.(rloc).rule_exec (Rows.hex rid) with
+    match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
     | [ row ] -> row
     | [] -> raise (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
     | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
@@ -150,7 +154,7 @@ let rec fetch_trees t acct ~at ~output (rloc, rid) =
   in
   let resolve_body vid =
     (* Each body tuple's prov row lives at the executing node. *)
-    let rows = Rows.Table.find t.tables.(rloc).prov (Rows.hex vid) in
+    let rows = Rows.Table.find (state t rloc).prov (Rows.hex vid) in
     charge_entries acct (max 1 (List.length rows));
     let tuple = resolve_tuple t ~node:rloc vid in
     charge_bytes acct (Tuple.wire_size tuple);
@@ -176,7 +180,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find t.tables.(querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
   charge_entries acct (max 1 (List.length rows));
   let trees =
     List.concat_map
@@ -205,15 +209,15 @@ let query t ~cost ~routing ?evid output =
     entries = acct.entries; bytes = acct.bytes }
 
 let dump t =
-  let n = Array.length t.tables in
+  let n = Array.length t.nodes in
   let prov_rows node =
     let acc = ref [] in
-    Rows.Table.iter t.tables.(node).prov (fun _ r -> acc := r :: !acc);
+    Rows.Table.iter (state t node).prov (fun _ r -> acc := r :: !acc);
     !acc
   in
   let exec_rows node =
     let acc = ref [] in
-    Rows.Table.iter t.tables.(node).rule_exec (fun _ r -> acc := r :: !acc);
+    Rows.Table.iter (state t node).rule_exec (fun _ r -> acc := r :: !acc);
     !acc
   in
   let ph, pr = Rows.dump_prov ~with_evid:false prov_rows n in
@@ -226,21 +230,27 @@ let table_rows table =
   Rows.Table.iter table (fun _ r -> acc := r :: !acc);
   List.sort compare !acc
 
-let side_entries side =
+(* Side entries across all nodes as (node, key, tuple), in canonical
+   order — the same wire shape as when the side store spanned the whole
+   cluster, so checkpoints stay byte-identical. *)
+let side_entries t =
   let acc = ref [] in
-  Side_store.iter side (fun ~node ~key tuple -> acc := (node, key, tuple) :: !acc);
+  Array.iteri
+    (fun node _ ->
+      Side_store.iter (state t node).tuples (fun ~key tuple -> acc := (node, key, tuple) :: !acc))
+    t.nodes;
   List.sort (fun (n1, k1, _) (n2, k2, _) -> compare (n1, Sha1.to_raw k1) (n2, Sha1.to_raw k2)) !acc
 
-let write_side w side =
+let write_side w entries =
   let open Dpc_util.Serialize in
   write_list w
     (fun (node, key, tuple) ->
       write_varint w node;
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (side_entries side)
+    entries
 
-let read_side r side =
+let read_side r put =
   let open Dpc_util.Serialize in
   List.iter
     (fun () -> ())
@@ -248,19 +258,20 @@ let read_side r side =
        let node = read_varint r in
        let key = Sha1.of_raw (read_string r) in
        let tuple = Tuple.deserialize r in
-       Side_store.put side ~node ~key tuple))
+       put ~node ~key tuple))
 
 let checkpoint t =
   let open Dpc_util.Serialize in
   let w = writer () in
   write_string w "dpc-exspan-v1";
-  write_varint w (Array.length t.tables);
-  Array.iter
-    (fun tables ->
-      write_list w (Rows.write_prov_row w) (table_rows tables.prov);
-      write_list w (Rows.write_rule_exec_row w) (table_rows tables.rule_exec))
-    t.tables;
-  write_side w t.tuples;
+  write_varint w (Array.length t.nodes);
+  Array.iteri
+    (fun node _ ->
+      let st = state t node in
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec))
+    t.nodes;
+  write_side w (side_entries t);
   contents w
 
 let restore ~delp ~env blob =
@@ -277,5 +288,5 @@ let restore ~delp ~env blob =
       (read_list r (fun () -> Rows.read_rule_exec_row r));
     ignore node
   done;
-  read_side r t.tuples;
+  read_side r (fun ~node ~key tuple -> Side_store.put (state t node).tuples ~key tuple);
   t

@@ -7,6 +7,12 @@
 type t
 
 val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
+(** Builds a fresh [nodes]-node cluster; per-node tables hang off each
+    {!Dpc_engine.Node.t} and row writes tick its [store.*] counters. *)
+
+val nodes : t -> Dpc_engine.Node.t array
+(** The cluster owning all per-node state; pass to
+    [Runtime.create ~nodes] so the runtime shares it. *)
 
 val hook : t -> Dpc_engine.Prov_hook.t
 

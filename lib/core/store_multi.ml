@@ -1,5 +1,6 @@
 open Dpc_ndlog
 open Dpc_util
+module Node = Dpc_engine.Node
 
 (* The sharing key is alpha-insensitive: variables are renamed to their
    order of first occurrence, so two programs whose rules differ only in
@@ -12,22 +13,23 @@ let rule_signature (r : Ast.rule) =
 
 (* Shared across programs: concrete rule-execution node rows and the
    slow-tuple materialization (both content-addressed). *)
-type shared_node = {
+type shared_state = {
   exec_nodes : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
+  slow_tuples : Side_store.t;
 }
 
 (* Private to one program at one node. *)
-type private_node = {
+type private_state = {
   prov : Rows.prov_row Rows.Table.t;
   exec_links : Rows.link_row Rows.Table.t;
   htequi : (string, unit) Hashtbl.t;
   hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;
+  events : Side_store.t;  (* evid -> input event at ingress *)
 }
 
 type t = {
-  nodes : int;
-  shared : shared_node array;
-  slow_tuples : Side_store.t;
+  cluster : Node.t array;
+  shared_key : shared_state Node.key;
   mutable program_ids : string list;
   mutable program_storages : (unit -> Rows.storage) list;
   (* Signatures are interned to short ids so shared rows cost the same as
@@ -42,26 +44,40 @@ type handle = {
   delp : Delp.t;
   env : Dpc_engine.Env.t;
   keys : Dpc_analysis.Equi_keys.t;
-  privates : private_node array;
-  events : Side_store.t;
+  private_key : private_state Node.key;
   signatures : (string, Ast.rule) Hashtbl.t;  (* signature -> this program's rule *)
 }
 
 let create ~nodes =
   {
-    nodes;
-    shared =
-      Array.init nodes (fun _ ->
-        {
-          exec_nodes =
-            Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
-        });
-    slow_tuples = Side_store.create ~nodes;
+    cluster = Node.cluster nodes;
+    shared_key = Node.key ~name:"store.multi.shared" ();
     program_ids = [];
     program_storages = [];
     sig_ids = Hashtbl.create 16;
     sig_of_id = Hashtbl.create 16;
   }
+
+let nodes t = t.cluster
+
+let shared t node =
+  Node.get_or_init t.cluster.(node) t.shared_key ~init:(fun () ->
+    {
+      exec_nodes = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
+      slow_tuples = Side_store.create ();
+    })
+
+let priv h node =
+  Node.get_or_init h.store.cluster.(node) h.private_key ~init:(fun () ->
+    {
+      prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
+      exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
+      htequi = Hashtbl.create 16;
+      hmap = Hashtbl.create 16;
+      events = Side_store.create ();
+    })
+
+let tick t node name = Metrics.incr (Node.metrics t.cluster.(node)) name
 
 let intern_signature t signature =
   match Hashtbl.find_opt t.sig_ids signature with
@@ -75,7 +91,8 @@ let intern_signature t signature =
 let program_storage h =
   let acc = ref Rows.empty_storage in
   Array.iteri
-    (fun node p ->
+    (fun node _ ->
+      let p = priv h node in
       let equi =
         (Hashtbl.length p.htequi * 20)
         + Hashtbl.fold (fun _ refs a -> a + 20 + (List.length !refs * Rows.ref_bytes))
@@ -87,11 +104,11 @@ let program_storage h =
             Rows.prov_bytes = Rows.Table.bytes p.prov;
             rule_exec_bytes = Rows.Table.bytes p.exec_links;
             equi_bytes = equi;
-            event_bytes = Side_store.node_bytes h.events node;
+            event_bytes = Side_store.bytes p.events;
             prov_rows = Rows.Table.rows p.prov;
             rule_exec_rows = Rows.Table.rows p.exec_links;
           })
-    h.privates;
+    h.store.cluster;
   !acc
 
 let add_program t ~id ~delp ~env =
@@ -109,15 +126,7 @@ let add_program t ~id ~delp ~env =
       delp;
       env;
       keys = Dpc_analysis.Equi_keys.compute delp;
-      privates =
-        Array.init t.nodes (fun _ ->
-          {
-            prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:true) ();
-            exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
-            htequi = Hashtbl.create 16;
-            hmap = Hashtbl.create 16;
-          });
-      events = Side_store.create ~nodes:t.nodes;
+      private_key = Node.key ~name:("store.multi." ^ id) ();
       signatures;
     }
   in
@@ -133,33 +142,37 @@ let on_input h ~node event =
   let meta = Dpc_engine.Prov_hook.initial_meta event in
   let k = Dpc_analysis.Equi_keys.key_hash h.keys event in
   let k_hex = Rows.hex k in
-  let p = h.privates.(node) in
+  let p = priv h node in
   let exist_flag = Hashtbl.mem p.htequi k_hex in
+  tick h.store node (if exist_flag then "store.equi_hits" else "store.equi_misses");
   if not exist_flag then Hashtbl.add p.htequi k_hex ();
-  Side_store.put h.events ~node ~key:meta.evid event;
+  Side_store.put p.events ~key:meta.evid event;
   { meta with exist_flag; eqkey = Some k }
 
 let on_fire h ~node ~(rule : Ast.rule) ~slow (meta : Dpc_engine.Prov_hook.meta) =
   if meta.exist_flag then meta
   else begin
     let slow_vids = List.map Rows.vid_of slow in
+    let sh = shared h.store node in
     List.iter2
-      (fun tuple vid -> Side_store.put h.store.slow_tuples ~node ~key:vid tuple)
+      (fun tuple vid -> Side_store.put sh.slow_tuples ~key:vid tuple)
       slow slow_vids;
     let signature = rule_signature rule in
     let rid = node_rid ~signature ~node ~slow_vids in
     let sig_id = intern_signature h.store signature in
-    ignore
-      (Rows.Table.add h.store.shared.(node).exec_nodes ~key:(Rows.hex rid)
-         { Rows.rloc = node; rid; rule = sig_id; vids = slow_vids; next = None });
-    ignore
-      (Rows.Table.add h.privates.(node).exec_links ~key:(Rows.hex rid)
-         { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev });
+    if
+      Rows.Table.add sh.exec_nodes ~key:(Rows.hex rid)
+        { Rows.rloc = node; rid; rule = sig_id; vids = slow_vids; next = None }
+    then tick h.store node "store.rule_exec_rows";
+    if
+      Rows.Table.add (priv h node).exec_links ~key:(Rows.hex rid)
+        { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev }
+    then tick h.store node "store.rule_exec_rows";
     { meta with prev = Some (node, rid) }
   end
 
 let on_output h ~node output (meta : Dpc_engine.Prov_hook.meta) =
-  let p = h.privates.(node) in
+  let p = priv h node in
   let k_hex =
     match meta.eqkey with
     | Some k -> Rows.hex k
@@ -171,9 +184,10 @@ let on_output h ~node output (meta : Dpc_engine.Prov_hook.meta) =
   let k_hex = k_hex ^ ":" ^ Tuple.rel output in
   let vid = Rows.vid_of output in
   let add_row rref =
-    ignore
-      (Rows.Table.add p.prov ~key:(Rows.hex vid)
-         { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid })
+    if
+      Rows.Table.add p.prov ~key:(Rows.hex vid)
+        { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid }
+    then tick h.store node "store.prov_rows"
   in
   if not meta.exist_flag then begin
     match meta.prev with
@@ -202,7 +216,7 @@ let hook h =
     on_input = (fun ~node event -> on_input h ~node event);
     on_fire = (fun ~node ~rule ~event:_ ~slow ~head:_ meta -> on_fire h ~node ~rule ~slow meta);
     on_output = (fun ~node output meta -> on_output h ~node output meta);
-    on_slow_insert = (fun ~node _ -> Hashtbl.reset h.privates.(node).htequi);
+    on_slow_insert = (fun ~node _ -> Hashtbl.reset (priv h node).htequi);
     meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
   }
 
@@ -210,17 +224,19 @@ let hook h =
 (* Storage *)
 
 let shared_storage t =
-  let rule_exec_bytes = ref 0 and rule_exec_rows = ref 0 in
-  Array.iter
-    (fun s ->
+  let rule_exec_bytes = ref 0 and rule_exec_rows = ref 0 and slow_bytes = ref 0 in
+  Array.iteri
+    (fun node _ ->
+      let s = shared t node in
       rule_exec_bytes := !rule_exec_bytes + Rows.Table.bytes s.exec_nodes;
-      rule_exec_rows := !rule_exec_rows + Rows.Table.rows s.exec_nodes)
-    t.shared;
+      rule_exec_rows := !rule_exec_rows + Rows.Table.rows s.exec_nodes;
+      slow_bytes := !slow_bytes + Side_store.bytes s.slow_tuples)
+    t.cluster;
   {
     Rows.empty_storage with
     Rows.rule_exec_bytes = !rule_exec_bytes;
     rule_exec_rows = !rule_exec_rows;
-    event_bytes = Side_store.total_bytes t.slow_tuples;
+    event_bytes = !slow_bytes;
   }
 
 let total_storage t =
@@ -277,13 +293,13 @@ let fetch_chains h acct ~start rref =
       if List.mem key seen then ()
       else begin
         let seen = key :: seen in
-        match Rows.Table.find h.store.shared.(rloc).exec_nodes (Rows.hex rid) with
+        match Rows.Table.find (shared h.store rloc).exec_nodes (Rows.hex rid) with
         | [] -> raise (Broken "missing shared ruleExecNode")
         | _ :: _ :: _ -> raise (Broken "duplicate shared rid")
         | [ row ] ->
             charge_entries acct 1;
             charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
-            let links = Rows.Table.find h.privates.(rloc).exec_links (Rows.hex rid) in
+            let links = Rows.Table.find (priv h rloc).exec_links (Rows.hex rid) in
             charge_entries acct (List.length links);
             List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
             if links = [] then raise (Broken "no link row for this program");
@@ -300,7 +316,7 @@ let fetch_chains h acct ~start rref =
   !results
 
 let resolve_slow h acct ~node vid =
-  match Side_store.get h.store.slow_tuples ~node ~key:vid with
+  match Side_store.get (shared h.store node).slow_tuples ~key:vid with
   | Some tuple ->
       charge_bytes acct (Tuple.wire_size tuple);
       tuple
@@ -311,7 +327,7 @@ let rederive h acct ~evid chain =
     | [] -> raise (Broken "empty chain")
     | [ (leaf : Rows.rule_exec_row) ] ->
         let event =
-          match Side_store.get h.events ~node:leaf.rloc ~key:evid with
+          match Side_store.get (priv h leaf.rloc).events ~key:evid with
           | Some ev ->
               charge_bytes acct (Tuple.wire_size ev);
               ev
@@ -345,7 +361,7 @@ let query h ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find h.privates.(querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (priv h querier).prov (Rows.hex htp) in
   let rows =
     match evid with
     | None -> rows

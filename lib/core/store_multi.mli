@@ -19,6 +19,12 @@
 type t
 
 val create : nodes:int -> t
+(** Builds a fresh [nodes]-node cluster shared by every registered
+    program. *)
+
+val nodes : t -> Dpc_engine.Node.t array
+(** The shared cluster; pass to [Runtime.create ~nodes] for each
+    program's runtime so they all share it. *)
 
 type handle
 (** One registered program's view of the shared store. *)

@@ -1,0 +1,64 @@
+type binding = ..
+
+type 'a key = {
+  uid : int;
+  key_name : string;
+  inj : 'a -> binding;
+  proj : binding -> 'a option;
+}
+
+let next_uid = ref 0
+
+let key (type a) ~name () : a key =
+  let module M = struct
+    type binding += K of a
+  end in
+  incr next_uid;
+  {
+    uid = !next_uid;
+    key_name = name;
+    inj = (fun v -> M.K v);
+    proj = (function M.K v -> Some v | _ -> None);
+  }
+
+let key_name k = k.key_name
+
+type t = {
+  id : int;
+  db : Db.t;
+  metrics : Dpc_util.Metrics.t;
+  props : (int, binding) Hashtbl.t;
+}
+
+let create ~id =
+  if id < 0 then invalid_arg "Node.create: negative id";
+  { id; db = Db.create (); metrics = Dpc_util.Metrics.create (); props = Hashtbl.create 8 }
+
+let cluster n =
+  if n <= 0 then invalid_arg "Node.cluster: size must be positive";
+  Array.init n (fun id -> create ~id)
+
+let id t = t.id
+let db t = t.db
+let metrics t = t.metrics
+
+let find t k =
+  match Hashtbl.find_opt t.props k.uid with
+  | None -> None
+  | Some b -> (
+      match k.proj b with
+      | Some _ as v -> v
+      | None ->
+          (* uids are unique per key, so a uid collision with a foreign
+             constructor can only be a bug in this module *)
+          assert false)
+
+let set t k v = Hashtbl.replace t.props k.uid (k.inj v)
+
+let get_or_init t k ~init =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = init () in
+      set t k v;
+      v

@@ -7,13 +7,13 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type stats = { injected : int; fired : int; outputs : int; dead_ends : int }
 
 type t = {
-  sim : Dpc_net.Sim.t;
+  transport : Dpc_net.Transport.t;
   delp : Delp.t;
   env : Env.t;
   hook : Prov_hook.t;
   msg_overhead : int;
   interest : string list;
-  dbs : Db.t array;
+  nodes : Node.t array;
   mutable outputs_rev : (Tuple.t * Prov_hook.meta) list;
   mutable injected : int;
   mutable fired : int;
@@ -21,23 +21,32 @@ type t = {
   mutable dead_ends : int;
 }
 
-let create ~sim ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) () =
-  List.iter
-    (fun rel ->
-      if not (Delp.is_event delp rel) then
-        invalid_arg
-          (Printf.sprintf "Runtime.create: interest relation %S is not derived by the program"
-             rel))
-    interest;
-  let n = Dpc_net.Topology.size (Dpc_net.Sim.topology sim) in
+let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) ?nodes () =
+  (match List.filter (fun rel -> not (Delp.is_event delp rel)) interest with
+  | [] -> ()
+  | bad ->
+      invalid_arg
+        (Printf.sprintf "Runtime.create: interest relations [%s] are not derived by the program"
+           (String.concat "; " (List.map (Printf.sprintf "%S") bad))));
+  let n = Dpc_net.Transport.nodes transport in
+  let nodes =
+    match nodes with
+    | None -> Node.cluster n
+    | Some nodes ->
+        if Array.length nodes <> n then
+          invalid_arg
+            (Printf.sprintf "Runtime.create: %d nodes supplied for a %d-node transport"
+               (Array.length nodes) n);
+        nodes
+  in
   {
-    sim;
+    transport;
     delp;
     env;
     hook;
     msg_overhead;
     interest;
-    dbs = Array.init n (fun _ -> Db.create ());
+    nodes;
     outputs_rev = [];
     injected = 0;
     fired = 0;
@@ -45,12 +54,15 @@ let create ~sim ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) () =
     dead_ends = 0;
   }
 
-let sim t = t.sim
+let transport t = t.transport
 let delp t = t.delp
-let db t node = t.dbs.(node)
+let nodes t = t.nodes
+let node t i = t.nodes.(i)
+let db t node = Node.db t.nodes.(node)
+let tick t node name = Dpc_util.Metrics.incr (Node.metrics t.nodes.(node)) name
 
 let load_slow t tuples =
-  List.iter (fun tuple -> ignore (Db.insert t.dbs.(Tuple.loc tuple) tuple)) tuples
+  List.iter (fun tuple -> ignore (Db.insert (db t (Tuple.loc tuple)) tuple)) tuples
 
 (* Process [event] arriving at [node] carrying [meta]: fire every rule the
    event relation triggers; ship each head to its location. A head whose
@@ -60,8 +72,9 @@ let rec process t ~input node event meta =
   | [] ->
       Log.debug (fun m -> m "output %s at n%d" (Tuple.to_string event) node);
       t.output_count <- t.output_count + 1;
+      tick t node "runtime.outputs";
       t.outputs_rev <- (event, meta) :: t.outputs_rev;
-      ignore (Db.insert t.dbs.(node) event);
+      ignore (Db.insert (db t node) event);
       t.hook.on_output ~node event meta
   | rules ->
       (* Extra relations of interest get a concrete provenance record on
@@ -69,7 +82,7 @@ let rec process t ~input node event meta =
          event itself is a base tuple (nothing derived it), so only derived
          arrivals are recorded. *)
       if (not input) && List.mem (Tuple.rel event) t.interest then begin
-        ignore (Db.insert t.dbs.(node) event);
+        ignore (Db.insert (db t node) event);
         t.hook.on_output ~node event meta
       end;
       let any_fired = ref false in
@@ -79,35 +92,42 @@ let rec process t ~input node event meta =
             (fun (head, slow) ->
               any_fired := true;
               t.fired <- t.fired + 1;
+              tick t node "runtime.fired";
               Log.debug (fun m ->
                 m "%s fired at n%d: %s -> %s" rule.Ast.name node (Tuple.to_string event)
                   (Tuple.to_string head));
               let meta' = t.hook.on_fire ~node ~rule ~event ~slow ~head meta in
               ship t node head meta')
-            (Eval.fire ~env:t.env ~db:t.dbs.(node) ~rule ~event))
+            (Eval.fire ~env:t.env ~db:(db t node) ~rule ~event))
         rules;
       if not !any_fired then begin
         Log.debug (fun m -> m "event %s died at n%d" (Tuple.to_string event) node);
-        t.dead_ends <- t.dead_ends + 1
+        t.dead_ends <- t.dead_ends + 1;
+        tick t node "runtime.dead_ends"
       end
 
 and ship t src head meta =
   let dst = Tuple.loc head in
   let bytes = Tuple.wire_size head + t.hook.meta_bytes meta + t.msg_overhead in
-  Dpc_net.Sim.send t.sim ~src ~dst ~bytes (fun () -> process t ~input:false dst head meta)
+  tick t src "runtime.shipped_msgs";
+  Dpc_util.Metrics.incr (Node.metrics t.nodes.(src)) ~by:bytes "runtime.shipped_bytes";
+  Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
+    process t ~input:false dst head meta)
 
 let insert_slow_runtime t tuple =
   let node = Tuple.loc tuple in
-  ignore (Db.insert t.dbs.(node) tuple);
+  ignore (Db.insert (db t node) tuple);
   (* Broadcast the sig control message to every node, including the origin
      (delivered locally through the queue to preserve event ordering). *)
-  let n = Array.length t.dbs in
-  for target = 0 to n - 1 do
-    Dpc_net.Sim.send t.sim ~src:node ~dst:target ~bytes:(t.msg_overhead + 4) (fun () ->
-      t.hook.on_slow_insert ~node:target tuple)
-  done
+  let bytes = t.msg_overhead + 4 in
+  Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
+    ~by:(Array.length t.nodes) "runtime.shipped_msgs";
+  Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
+    ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
+  Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
+    t.hook.on_slow_insert ~node:target tuple)
 
-let delete_slow_runtime t tuple = Db.remove t.dbs.(Tuple.loc tuple) tuple
+let delete_slow_runtime t tuple = Db.remove (db t (Tuple.loc tuple)) tuple
 
 let inject t ?(delay = 0.0) event =
   if not (String.equal (Tuple.rel event) t.delp.input_event) then
@@ -116,7 +136,8 @@ let inject t ?(delay = 0.0) event =
          (Tuple.rel event));
   t.injected <- t.injected + 1;
   let node = Tuple.loc event in
-  Dpc_net.Sim.schedule t.sim ~delay (fun () ->
+  tick t node "runtime.injected";
+  Dpc_net.Transport.schedule t.transport ~delay (fun () ->
     let meta = t.hook.on_input ~node event in
     process t ~input:true node event meta)
 
@@ -130,4 +151,9 @@ let stats t =
     dead_ends = t.dead_ends;
   }
 
-let run ?until t = Dpc_net.Sim.run ?until t.sim
+let metrics_snapshot t =
+  Array.fold_left
+    (fun acc node -> Dpc_util.Metrics.merge acc (Dpc_util.Metrics.snapshot (Node.metrics node)))
+    Dpc_util.Metrics.empty t.nodes
+
+let run ?until t = Dpc_net.Transport.run ?until t.transport

@@ -1,9 +1,14 @@
-(** Distributed pipelined semi-naïve evaluation of a DELP over the
-    simulated network (§3.1): an arriving event tuple triggers every rule
-    whose event relation matches; each derived head is shipped to its
+(** Distributed pipelined semi-naïve evaluation of a DELP over a message
+    {!Dpc_net.Transport} (§3.1): an arriving event tuple triggers every
+    rule whose event relation matches; each derived head is shipped to its
     location specifier and becomes the next event, until a tuple with no
     downstream rules is produced (the output) or no rule fires (the event
-    dies). Provenance maintenance piggybacks on this via {!Prov_hook}. *)
+    dies). Provenance maintenance piggybacks on this via {!Prov_hook}.
+
+    Per-node state lives in {!Node.t} values: the runtime reaches a
+    node's database and metrics through its [Node.t], never through a
+    parallel array of its own. Pass [?nodes] to share a cluster with the
+    provenance stores (the usual setup); omit it to get a fresh one. *)
 
 type t
 
@@ -15,12 +20,13 @@ type stats = {
 }
 
 val create :
-  sim:Dpc_net.Sim.t ->
+  transport:Dpc_net.Transport.t ->
   delp:Dpc_ndlog.Delp.t ->
   env:Env.t ->
   hook:Prov_hook.t ->
   ?msg_overhead:int ->
   ?interest:string list ->
+  ?nodes:Node.t array ->
   unit ->
   t
 (** [msg_overhead] (default 28 bytes) is the fixed per-message header
@@ -31,11 +37,18 @@ val create :
     derived tuple of an interest relation gets an [on_output] record when
     it arrives at its node — so its provenance is queryable directly —
     and execution continues through it as usual.
-    @raise Invalid_argument if a name is not a derived (event) relation of
-    the program. *)
 
-val sim : t -> Dpc_net.Sim.t
+    [nodes] defaults to [Node.cluster (Transport.nodes transport)].
+    @raise Invalid_argument if any [interest] name is not a derived
+    (event) relation of the program (the message lists every offender),
+    or if [nodes] has the wrong length for the transport. *)
+
+val transport : t -> Dpc_net.Transport.t
 val delp : t -> Dpc_ndlog.Delp.t
+
+val nodes : t -> Node.t array
+val node : t -> int -> Node.t
+
 val db : t -> int -> Db.t
 (** The node-local database; load slow-changing tables through it before
     injecting events, or use {!load_slow}. *)
@@ -65,5 +78,11 @@ val outputs : t -> (Dpc_ndlog.Tuple.t * Prov_hook.meta) list
 
 val stats : t -> stats
 
+val metrics_snapshot : t -> Dpc_util.Metrics.snapshot
+(** The merge of every node's metrics. Counters recorded by the runtime:
+    [runtime.injected], [runtime.fired], [runtime.outputs],
+    [runtime.dead_ends], [runtime.shipped_msgs], [runtime.shipped_bytes];
+    the stores add their own [store.*] counters on the same nodes. *)
+
 val run : ?until:float -> t -> unit
-(** Drive the simulator until quiescence (or [until]). *)
+(** Drive the transport until quiescence (or [until]). *)

@@ -96,18 +96,17 @@ let send t ~src ~dst ~bytes k =
 let run ?until t =
   let limit = match until with None -> infinity | Some u -> u in
   let rec go () =
-    match Dpc_util.Heap.peek t.queue with
+    match Dpc_util.Heap.pop t.queue with
     | None -> ()
-    | Some ev when ev.at > limit -> ()
-    | Some _ -> begin
-        match Dpc_util.Heap.pop t.queue with
-        | None -> ()
-        | Some ev ->
-            t.clock <- max t.clock ev.at;
-            t.processed <- t.processed + 1;
-            ev.action ();
-            go ()
-      end
+    | Some ev when ev.at > limit ->
+        (* Overshot the horizon: put the event back (its seq is preserved,
+           so equal-time ordering survives) and stop. *)
+        Dpc_util.Heap.push t.queue ev
+    | Some ev ->
+        t.clock <- max t.clock ev.at;
+        t.processed <- t.processed + 1;
+        ev.action ();
+        go ()
   in
   go ()
 

@@ -1,0 +1,101 @@
+module type S = sig
+  val name : string
+  val nodes : int
+  val now : unit -> float
+  val schedule : delay:float -> (unit -> unit) -> unit
+  val send : src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+  val broadcast : src:int -> bytes:int -> (int -> unit) -> unit
+  val run : ?until:float -> unit -> unit
+  val total_bytes : unit -> int
+  val messages : unit -> int
+end
+
+type t = (module S)
+
+let name (module T : S) = T.name
+let nodes (module T : S) = T.nodes
+let now (module T : S) = T.now ()
+let schedule (module T : S) ~delay k = T.schedule ~delay k
+let send (module T : S) ~src ~dst ~bytes k = T.send ~src ~dst ~bytes k
+let broadcast (module T : S) ~src ~bytes k = T.broadcast ~src ~bytes k
+let run ?until (module T : S) = T.run ?until ()
+let total_bytes (module T : S) = T.total_bytes ()
+let messages (module T : S) = T.messages ()
+
+let of_sim sim : t =
+  (module struct
+    let name = "sim"
+    let nodes = Topology.size (Sim.topology sim)
+    let now () = Sim.now sim
+    let schedule ~delay k = Sim.schedule sim ~delay k
+    let send ~src ~dst ~bytes k = Sim.send sim ~src ~dst ~bytes k
+
+    (* The sig broadcast of §5.5: one message per node, the origin
+       included (delivered through the queue to preserve ordering). *)
+    let broadcast ~src ~bytes k =
+      for dst = 0 to nodes - 1 do
+        Sim.send sim ~src ~dst ~bytes (fun () -> k dst)
+      done
+
+    let run ?until () = Sim.run ?until sim
+    let total_bytes () = Sim.total_bytes sim
+    let messages () = Sim.messages_sent sim
+  end)
+
+type direct_event = { at : float; seq : int; action : unit -> unit }
+
+let direct ~nodes:n () : t =
+  if n <= 0 then invalid_arg "Transport.direct: nodes must be positive";
+  let queue =
+    Dpc_util.Heap.create ~cmp:(fun a b ->
+      match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c)
+  in
+  let clock = ref 0.0 in
+  let next_seq = ref 0 in
+  let bytes_total = ref 0 in
+  let msgs = ref 0 in
+  let schedule_at at action =
+    let seq = !next_seq in
+    incr next_seq;
+    Dpc_util.Heap.push queue { at; seq; action }
+  in
+  (module struct
+    let name = "direct"
+    let nodes = n
+    let now () = !clock
+
+    let schedule ~delay k =
+      if delay < 0.0 then invalid_arg "Transport.direct: negative delay";
+      schedule_at (!clock +. delay) k
+
+    (* Zero-latency delivery: the message arrives at the current time,
+       through the queue so ordering is preserved. Bytes are still
+       accounted (once per message; there are no hops). *)
+    let send ~src:_ ~dst ~bytes k =
+      if dst < 0 || dst >= n then
+        failwith (Printf.sprintf "Transport.direct: node %d out of range" dst);
+      incr msgs;
+      bytes_total := !bytes_total + bytes;
+      schedule_at !clock k
+
+    let broadcast ~src ~bytes k =
+      for dst = 0 to n - 1 do
+        send ~src ~dst ~bytes (fun () -> k dst)
+      done
+
+    let run ?until () =
+      let limit = match until with None -> infinity | Some u -> u in
+      let rec go () =
+        match Dpc_util.Heap.pop queue with
+        | None -> ()
+        | Some ev when ev.at > limit -> Dpc_util.Heap.push queue ev
+        | Some ev ->
+            clock := Float.max !clock ev.at;
+            ev.action ();
+            go ()
+      in
+      go ()
+
+    let total_bytes () = !bytes_total
+    let messages () = !msgs
+  end)

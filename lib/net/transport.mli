@@ -1,0 +1,65 @@
+(** Pluggable message transport between nodes.
+
+    The runtime ships tuples and control messages through this interface
+    only; how they travel — through the discrete-event simulator, directly
+    in process, or (later) over sockets — is the backend's business. Two
+    backends are provided:
+
+    - {!of_sim} wraps a {!Sim.t}: hop-by-hop latency and bandwidth,
+      per-link byte accounting. Behavior-identical to calling the
+      simulator directly.
+    - {!direct} is a zero-latency in-process backend for fast tests and
+      library embedding: messages are delivered at the current virtual
+      time (FIFO among equal times), [schedule] still honors its delay,
+      and total bytes/messages are counted.
+
+    All backends deliver callbacks through an event queue, never
+    synchronously from [send] — senders can rely on run-to-completion of
+    the current handler. *)
+
+module type S = sig
+  val name : string
+
+  val nodes : int
+  (** Number of addressable nodes; valid ids are [0 .. nodes-1]. *)
+
+  val now : unit -> float
+
+  val schedule : delay:float -> (unit -> unit) -> unit
+  (** Run a callback [delay] seconds from now. Events at equal times fire
+      in scheduling order. @raise Invalid_argument on a negative delay. *)
+
+  val send : src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+  (** Deliver a message of [bytes] to [dst]; the callback fires at the
+      arrival time. @raise Failure if [dst] is unreachable. *)
+
+  val broadcast : src:int -> bytes:int -> (int -> unit) -> unit
+  (** Send [bytes] from [src] to every node (the origin included); the
+      callback receives the destination node on each delivery. *)
+
+  val run : ?until:float -> unit -> unit
+  (** Process queued events in timestamp order until quiescence, or stop
+      before the first event past [until] (which stays queued). *)
+
+  val total_bytes : unit -> int
+  val messages : unit -> int
+end
+
+type t = (module S)
+
+val name : t -> string
+val nodes : t -> int
+val now : t -> float
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+val broadcast : t -> src:int -> bytes:int -> (int -> unit) -> unit
+val run : ?until:float -> t -> unit
+val total_bytes : t -> int
+val messages : t -> int
+
+val of_sim : Sim.t -> t
+(** The simulator-backed transport. [nodes] is the topology size. *)
+
+val direct : nodes:int -> unit -> t
+(** A fresh zero-latency in-process transport.
+    @raise Invalid_argument if [nodes] is not positive. *)

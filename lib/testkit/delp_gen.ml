@@ -186,8 +186,9 @@ let build_world instance scheme =
       ~nodes:instance.nodes
   in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp:instance.delp ~env:Dpc_engine.Env.empty
-      ~hook:(Dpc_core.Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp:instance.delp
+      ~env:Dpc_engine.Env.empty ~hook:(Dpc_core.Backend.hook backend)
+      ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime instance.slow_tuples;
   { runtime; backend; routing }

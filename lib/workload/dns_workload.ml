@@ -76,8 +76,9 @@ let setup ~scheme spec ?(bucket_width = 1.0) () =
       ~nodes:(Dpc_net.Topology.size topology)
   in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Dns.env
-      ~hook:(Dpc_core.Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Dns.env ~hook:(Dpc_core.Backend.hook backend)
+      ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (slow_tuples spec);
   { spec; sim; runtime; backend; routing }

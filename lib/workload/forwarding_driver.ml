@@ -14,8 +14,9 @@ let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) () =
       ~nodes:(Dpc_net.Topology.size topology)
   in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
-      ~hook:(Dpc_core.Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
+      ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
   { sim; runtime; backend; routing; pairs }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Continuous-integration entry point: formatting (when the tool is
+# available), full build, full test suite. Run from the repo root or via
+# `make ci`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Formatting is advisory-gated: ocamlformat is not part of the minimal
+# toolchain, so the check only runs where it is installed (and never
+# rewrites — CI must not mutate the tree).
+if command -v ocamlformat >/dev/null 2>&1; then
+    echo "== ocamlformat check =="
+    dune build @fmt
+else
+    echo "== ocamlformat not installed; skipping format check =="
+fi
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== ci ok =="

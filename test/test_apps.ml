@@ -35,7 +35,7 @@ let dns_world scheme =
   let delp = Dpc_apps.Dns.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Dns.env ~nodes:5 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Dns.env ~hook:(Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Dns.env ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime
     [
@@ -137,7 +137,7 @@ let dhcp_world scheme =
   let delp = Dpc_apps.Dhcp.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Dhcp.env ~nodes:3 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Dhcp.env ~hook:(Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Dhcp.env ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime
     [
@@ -170,7 +170,7 @@ let test_arp_round_trip () =
   let delp = Dpc_apps.Arp.delp () in
   let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Arp.env ~nodes:2 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Arp.env ~hook:(Backend.hook backend) ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Arp.env ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime
     [

@@ -37,7 +37,7 @@ let make_world ?(routes = true) scheme =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:4 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook backend) ()
   in
   if routes then

@@ -194,7 +194,7 @@ let line_world () =
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   let runtime =
-    Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null ()
+    Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null ()
   in
   Runtime.load_slow runtime
     [ route ~at:0 ~dst:2 ~next:1; route ~at:1 ~dst:2 ~next:2 ];
@@ -240,7 +240,7 @@ let test_runtime_sig_broadcast_reaches_all_nodes () =
   let delp = Dpc_apps.Forwarding.delp () in
   let seen = ref [] in
   let hook = { Prov_hook.null with on_slow_insert = (fun ~node _ -> seen := node :: !seen) } in
-  let runtime = Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
+  let runtime = Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
   Runtime.insert_slow_runtime runtime (route ~at:1 ~dst:2 ~next:2);
   Runtime.run runtime;
   check (Alcotest.list Alcotest.int) "all nodes signalled" [ 0; 1; 2 ]
@@ -258,13 +258,58 @@ let test_runtime_multipath_derivations () =
   let routing = Dpc_net.Routing.compute topo in
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
-  let runtime = Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null () in
+  let runtime = Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null () in
   Runtime.load_slow runtime
     [ route ~at:0 ~dst:2 ~next:1; route ~at:0 ~dst:2 ~next:2; route ~at:1 ~dst:2 ~next:2 ];
   Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
   Runtime.run runtime;
   (* The two copies produce the same recv tuple; both executions complete. *)
   check Alcotest.int "two deliveries" 2 (Runtime.stats runtime).outputs
+
+(* The quickstart pipeline must report work through the metrics registry
+   under either transport backend: the runtime records into per-node
+   registries (Node.metrics) and [metrics_snapshot] merges them. *)
+let run_quickstart transport =
+  let delp = Dpc_apps.Forwarding.delp () in
+  let runtime =
+    Runtime.create ~transport ~delp ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null ()
+  in
+  Runtime.load_slow runtime [ route ~at:0 ~dst:2 ~next:1; route ~at:1 ~dst:2 ~next:2 ];
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"hello");
+  Runtime.run runtime;
+  runtime
+
+let check_metrics_nonzero runtime =
+  let s = Runtime.metrics_snapshot runtime in
+  check Alcotest.int "injected" 1 (Dpc_util.Metrics.counter s "runtime.injected");
+  check Alcotest.int "fired" 3 (Dpc_util.Metrics.counter s "runtime.fired");
+  check Alcotest.int "outputs" 1 (Dpc_util.Metrics.counter s "runtime.outputs");
+  check Alcotest.bool "shipped msgs" true
+    (Dpc_util.Metrics.counter s "runtime.shipped_msgs" > 0);
+  check Alcotest.bool "shipped bytes" true
+    (Dpc_util.Metrics.counter s "runtime.shipped_bytes" > 0)
+
+let test_runtime_metrics_sim () =
+  let runtime, _ = line_world () in
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"hello");
+  Runtime.run runtime;
+  check_metrics_nonzero runtime
+
+let test_runtime_metrics_direct () =
+  let runtime = run_quickstart (Dpc_net.Transport.direct ~nodes:3 ()) in
+  check_metrics_nonzero runtime;
+  (* Same logical pipeline: stats agree with the sim-backed run. *)
+  check Alcotest.int "one output" 1 (Runtime.stats runtime).outputs;
+  check Alcotest.int "fired" 3 (Runtime.stats runtime).fired
+
+let test_runtime_metrics_live_on_nodes () =
+  (* Snapshots are per node: n0 forwards (fires), n2 receives (output). *)
+  let runtime = run_quickstart (Dpc_net.Transport.direct ~nodes:3 ()) in
+  let at n = Dpc_engine.Node.metrics (Runtime.node runtime n) in
+  check Alcotest.int "n0 fired" 1 (Dpc_util.Metrics.counter_value (at 0) "runtime.fired");
+  check Alcotest.int "n2 output" 1 (Dpc_util.Metrics.counter_value (at 2) "runtime.outputs");
+  check Alcotest.int "n2 no injections" 0
+    (Dpc_util.Metrics.counter_value (at 2) "runtime.injected")
 
 let () =
   Alcotest.run "dpc_engine"
@@ -301,5 +346,11 @@ let () =
           Alcotest.test_case "rejects non-event" `Quick test_runtime_rejects_non_event;
           Alcotest.test_case "sig broadcast" `Quick test_runtime_sig_broadcast_reaches_all_nodes;
           Alcotest.test_case "multipath derivations" `Quick test_runtime_multipath_derivations;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "quickstart counters (sim)" `Quick test_runtime_metrics_sim;
+          Alcotest.test_case "quickstart counters (direct)" `Quick test_runtime_metrics_direct;
+          Alcotest.test_case "per-node attribution" `Quick test_runtime_metrics_live_on_nodes;
         ] );
     ]

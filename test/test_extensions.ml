@@ -33,7 +33,7 @@ let replay_world () =
   let replay = Replay.create ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
   let hook = Replay.combine (Backend.hook backend) (Replay.hook replay) in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env ~hook ()
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env ~hook ()
   in
   Dpc_engine.Runtime.load_slow runtime routes;
   Replay.record_initial_slow replay routes;
@@ -73,7 +73,7 @@ let test_replay_matches_live_exspan () =
     let delp = Dpc_apps.Forwarding.delp () in
     let backend = Backend.make Backend.S_exspan ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
     let rt =
-      Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+      Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
         ~hook:(Backend.hook backend) ()
     in
     Dpc_engine.Runtime.load_slow rt routes;
@@ -136,7 +136,7 @@ let test_replay_storage_is_small () =
     let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
     let delp = Dpc_apps.Forwarding.delp () in
     let b = Backend.make Backend.S_exspan ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
-    let rt = Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    let rt = Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
                ~hook:(Backend.hook b) () in
     Dpc_engine.Runtime.load_slow rt routes;
     for i = 1 to 50 do
@@ -230,7 +230,7 @@ let flood_world scheme =
   let delp = Dpc_apps.Flood_routing.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Flood_routing.env ~nodes:4 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Flood_routing.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Flood_routing.env
       ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Flood_routing.link_costs_of_topology topo);
@@ -282,7 +282,7 @@ let interest_world scheme =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook backend) ~interest:[ "packet" ] ()
   in
   Dpc_engine.Runtime.load_slow runtime routes;
@@ -338,10 +338,11 @@ let test_interest_rejects_unknown_relation () =
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   Alcotest.check_raises "route is not derived"
-    (Invalid_argument "Runtime.create: interest relation \"route\" is not derived by the program")
+    (Invalid_argument
+       "Runtime.create: interest relations [\"route\"] are not derived by the program")
     (fun () ->
       ignore
-        (Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+        (Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
            ~hook:Dpc_engine.Prov_hook.null ~interest:[ "route" ] ()))
 
 let interest_cases =

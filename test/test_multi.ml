@@ -39,11 +39,11 @@ let make_world () =
   let fwd = Store_multi.add_program store ~id:"forwarding" ~delp:fwd_delp ~env:Dpc_engine.Env.empty in
   let mirror = Store_multi.add_program store ~id:"mirror" ~delp:mirror_delp ~env:Dpc_engine.Env.empty in
   let fwd_rt =
-    Dpc_engine.Runtime.create ~sim ~delp:fwd_delp ~env:Dpc_engine.Env.empty
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp:fwd_delp ~env:Dpc_engine.Env.empty
       ~hook:(Store_multi.hook fwd) ()
   in
   let mirror_rt =
-    Dpc_engine.Runtime.create ~sim ~delp:mirror_delp ~env:Dpc_engine.Env.empty
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp:mirror_delp ~env:Dpc_engine.Env.empty
       ~hook:(Store_multi.hook mirror) ()
   in
   Dpc_engine.Runtime.load_slow fwd_rt routes;
@@ -137,7 +137,7 @@ let test_sharing_beats_separate_stores () =
     let routing = Dpc_net.Routing.compute topo in
     let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
     let backend = Backend.make scheme ~delp ~env ~nodes:3 in
-    let rt = Dpc_engine.Runtime.create ~sim ~delp ~env ~hook:(Backend.hook backend) () in
+    let rt = Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env ~hook:(Backend.hook backend) () in
     Dpc_engine.Runtime.load_slow rt routes;
     for i = 1 to 10 do
       Dpc_engine.Runtime.inject rt
@@ -188,7 +188,7 @@ let test_trees_match_single_program_advanced () =
   let sim2 = Dpc_net.Sim.create ~topology:topo ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_engine.Env.empty ~nodes:3 in
-  let rt = Dpc_engine.Runtime.create ~sim:sim2 ~delp ~env:Dpc_engine.Env.empty
+  let rt = Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim2) ~delp ~env:Dpc_engine.Env.empty
              ~hook:(Backend.hook backend) () in
   Dpc_engine.Runtime.load_slow rt routes;
   Dpc_engine.Runtime.inject rt (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"data");

@@ -259,6 +259,122 @@ let prop_sim_heap_order =
         List.sort compare order = order
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Transport — one conformance suite, run against both backends. *)
+
+(* Each case takes a factory so every test gets a fresh transport. *)
+let conformance mk =
+  let test name f = Alcotest.test_case name `Quick (fun () -> f (mk ())) in
+  [
+    test "three nodes" (fun tr -> check Alcotest.int "nodes" 3 (Transport.nodes tr));
+    test "schedule fires in timestamp order" (fun tr ->
+        let log = ref [] in
+        Transport.schedule tr ~delay:0.3 (fun () -> log := 3 :: !log);
+        Transport.schedule tr ~delay:0.1 (fun () -> log := 1 :: !log);
+        Transport.schedule tr ~delay:0.2 (fun () -> log := 2 :: !log);
+        Transport.run tr;
+        check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log));
+    test "FIFO at equal time" (fun tr ->
+        let log = ref [] in
+        for i = 1 to 5 do
+          Transport.schedule tr ~delay:0.5 (fun () -> log := i :: !log)
+        done;
+        Transport.run tr;
+        check (Alcotest.list Alcotest.int) "FIFO" [ 1; 2; 3; 4; 5 ] (List.rev !log));
+    test "negative delay rejected" (fun tr ->
+        match Transport.schedule tr ~delay:(-1.0) (fun () -> ()) with
+        | () -> Alcotest.fail "negative delay accepted"
+        | exception Invalid_argument _ -> ());
+    test "send delivers through the queue, never synchronously" (fun tr ->
+        let arrived = ref false in
+        Transport.send tr ~src:0 ~dst:2 ~bytes:100 (fun () -> arrived := true);
+        check Alcotest.bool "not yet" false !arrived;
+        Transport.run tr;
+        check Alcotest.bool "delivered" true !arrived);
+    test "send counts messages and bytes" (fun tr ->
+        Transport.send tr ~src:0 ~dst:2 ~bytes:100 (fun () -> ());
+        Transport.send tr ~src:0 ~dst:1 ~bytes:50 (fun () -> ());
+        Transport.run tr;
+        check Alcotest.bool "messages" true (Transport.messages tr >= 2);
+        check Alcotest.bool "bytes" true (Transport.total_bytes tr >= 150));
+    test "broadcast reaches every node, origin included" (fun tr ->
+        let seen = ref [] in
+        Transport.broadcast tr ~src:1 ~bytes:10 (fun dst -> seen := dst :: !seen);
+        Transport.run tr;
+        check (Alcotest.list Alcotest.int) "all nodes" [ 0; 1; 2 ]
+          (List.sort compare !seen));
+    test "run ?until keeps future events queued" (fun tr ->
+        let fired = ref 0 in
+        Transport.schedule tr ~delay:1.0 (fun () -> incr fired);
+        Transport.schedule tr ~delay:3.0 (fun () -> incr fired);
+        Transport.run ~until:2.0 tr;
+        check Alcotest.int "only the first" 1 !fired;
+        check Alcotest.bool "clock within limit" true (Transport.now tr <= 2.0);
+        Transport.run tr;
+        check Alcotest.int "rest runs later" 2 !fired);
+    test "clock is monotone across deliveries" (fun tr ->
+        let times = ref [] in
+        Transport.schedule tr ~delay:0.2 (fun () -> times := Transport.now tr :: !times);
+        Transport.send tr ~src:0 ~dst:2 ~bytes:10 (fun () ->
+            times := Transport.now tr :: !times);
+        Transport.run tr;
+        let order = List.rev !times in
+        check Alcotest.bool "sorted" true (List.sort compare order = order));
+  ]
+
+let sim_transport () =
+  let t = line_topology 3 in
+  Transport.of_sim (Sim.create ~topology:t ~routing:(Routing.compute t) ())
+
+let direct_transport () = Transport.direct ~nodes:3 ()
+
+let test_of_sim_shares_sim_accounting () =
+  let t = line_topology 3 in
+  let sim = Sim.create ~topology:t ~routing:(Routing.compute t) () in
+  let tr = Transport.of_sim sim in
+  check Alcotest.string "name" "sim" (Transport.name tr);
+  Transport.send tr ~src:0 ~dst:2 ~bytes:1000 (fun () -> ());
+  Transport.run tr;
+  (* Per-hop accounting is the simulator's: two hops on the line. *)
+  check Alcotest.int "bytes via transport" (Sim.total_bytes sim) (Transport.total_bytes tr);
+  check Alcotest.int "two hops charged" 2000 (Transport.total_bytes tr);
+  check (Alcotest.float 1e-9) "same clock" (Sim.now sim) (Transport.now tr)
+
+let test_direct_zero_latency () =
+  let tr = direct_transport () in
+  check Alcotest.string "name" "direct" (Transport.name tr);
+  let at = ref (-1.0) in
+  Transport.send tr ~src:0 ~dst:2 ~bytes:500 (fun () -> at := Transport.now tr);
+  Transport.run tr;
+  check (Alcotest.float 1e-9) "arrives now" 0.0 !at;
+  (* Flat per-message accounting: no hops, each message charged once. *)
+  check Alcotest.int "bytes once" 500 (Transport.total_bytes tr);
+  check Alcotest.int "one message" 1 (Transport.messages tr)
+
+let test_direct_rejects_bad_args () =
+  (match Transport.direct ~nodes:0 () with
+  | _ -> Alcotest.fail "nodes = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  let tr = direct_transport () in
+  Alcotest.check_raises "dst out of range"
+    (Failure "Transport.direct: node 5 out of range") (fun () ->
+      Transport.send tr ~src:0 ~dst:5 ~bytes:1 (fun () -> ()))
+
+let prop_direct_random_schedule_order =
+  QCheck.Test.make ~name:"direct: random delays fire in order" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_bound_inclusive 10.0))
+    (fun delays ->
+      delays = []
+      ||
+      let tr = direct_transport () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> Transport.schedule tr ~delay:d (fun () -> fired := Transport.now tr :: !fired))
+        delays;
+      Transport.run tr;
+      let order = List.rev !fired in
+      List.sort compare order = order)
+
 let test_tree_invalid_args () =
   let rng = Dpc_util.Rng.create ~seed:1 in
   Alcotest.check_raises "n = 0" (Invalid_argument "Tree_topo.generate: n must be positive")
@@ -317,4 +433,13 @@ let () =
           Alcotest.test_case "unreachable send" `Quick test_sim_unreachable_send_fails;
         ]
         @ qsuite [ prop_sim_heap_order ] );
+      ("transport conformance (sim)", conformance sim_transport);
+      ("transport conformance (direct)", conformance direct_transport);
+      ( "transport backends",
+        [
+          Alcotest.test_case "of_sim shares accounting" `Quick test_of_sim_shares_sim_accounting;
+          Alcotest.test_case "direct zero latency" `Quick test_direct_zero_latency;
+          Alcotest.test_case "direct rejects bad args" `Quick test_direct_rejects_bad_args;
+        ]
+        @ qsuite [ prop_direct_random_schedule_order ] );
     ]

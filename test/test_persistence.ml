@@ -27,7 +27,7 @@ let run_workload scheme payloads =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime routes;
@@ -92,7 +92,7 @@ let test_advanced_continues_after_restore () =
   let topo = topology () in
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook restored) ()
   in
   Dpc_engine.Runtime.load_slow runtime routes;

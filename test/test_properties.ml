@@ -213,7 +213,7 @@ let prop_replay_matches_live =
       in
       let hook = Replay.combine (Backend.hook backend) (Replay.hook replay) in
       let rt =
-        Dpc_engine.Runtime.create ~sim ~delp:instance.delp ~env:Dpc_engine.Env.empty ~hook ()
+        Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp:instance.delp ~env:Dpc_engine.Env.empty ~hook ()
       in
       Dpc_engine.Runtime.load_slow rt instance.slow_tuples;
       Replay.record_initial_slow replay instance.slow_tuples;

@@ -59,7 +59,7 @@ let jittery_world scheme =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:4 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime
@@ -112,7 +112,7 @@ let test_query_with_wrong_program_is_empty () =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend = Backend.make Backend.S_basic ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
   let runtime =
-    Dpc_engine.Runtime.create ~sim ~delp ~env:Dpc_apps.Forwarding.env
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env
       ~hook:(Backend.hook backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime

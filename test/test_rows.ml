@@ -104,26 +104,26 @@ let test_table_iter_visits_all () =
 let tuple = Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:0
 
 let test_side_store_basics () =
-  let s = Side_store.create ~nodes:3 in
-  Side_store.put s ~node:1 ~key:d1 tuple;
-  Side_store.put s ~node:1 ~key:d1 tuple;
-  check Alcotest.int "idempotent put" 1 (Side_store.node_count s 1);
-  check Alcotest.bool "get hit" true (Side_store.get s ~node:1 ~key:d1 <> None);
-  check Alcotest.bool "get miss (other node)" true (Side_store.get s ~node:0 ~key:d1 = None);
-  check Alcotest.bool "get miss (other key)" true (Side_store.get s ~node:1 ~key:d2 = None);
+  let s = Side_store.create () in
+  Side_store.put s ~key:d1 tuple;
+  Side_store.put s ~key:d1 tuple;
+  check Alcotest.int "idempotent put" 1 (Side_store.count s);
+  check Alcotest.bool "get hit" true (Side_store.get s ~key:d1 <> None);
+  check Alcotest.bool "get miss (other key)" true (Side_store.get s ~key:d2 = None);
   check Alcotest.int "bytes = digest + tuple" (20 + Dpc_ndlog.Tuple.wire_size tuple)
-    (Side_store.node_bytes s 1);
-  check Alcotest.int "total" (Side_store.node_bytes s 1) (Side_store.total_bytes s)
+    (Side_store.bytes s);
+  check Alcotest.bool "fresh store independent" true
+    (Side_store.get (Side_store.create ()) ~key:d1 = None)
 
 let test_side_store_iter () =
-  let s = Side_store.create ~nodes:3 in
-  Side_store.put s ~node:0 ~key:d1 tuple;
-  Side_store.put s ~node:2 ~key:d2 tuple;
+  let s = Side_store.create () in
+  Side_store.put s ~key:d1 tuple;
+  Side_store.put s ~key:d2 tuple;
   let visited = ref [] in
-  Side_store.iter s (fun ~node ~key _ -> visited := (node, Dpc_util.Sha1.to_hex key) :: !visited);
+  Side_store.iter s (fun ~key _ -> visited := Dpc_util.Sha1.to_hex key :: !visited);
   check Alcotest.int "two entries" 2 (List.length !visited);
-  check Alcotest.bool "nodes correct" true
-    (List.mem (0, Dpc_util.Sha1.to_hex d1) !visited && List.mem (2, Dpc_util.Sha1.to_hex d2) !visited)
+  check Alcotest.bool "keys correct" true
+    (List.mem (Dpc_util.Sha1.to_hex d1) !visited && List.mem (Dpc_util.Sha1.to_hex d2) !visited)
 
 (* ------------------------------------------------------------------ *)
 (* Storage record *)

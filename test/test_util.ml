@@ -88,6 +88,115 @@ let prop_heap_sorts =
       let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
       drain [] = List.sort compare xs)
 
+(* The event queues (Sim, Transport.direct) key entries by
+   [(priority, insertion seq)] to get FIFO among equal priorities. Check
+   that the pattern actually yields a stable sort: draining equals a
+   stable sort of the insertion order by priority alone. *)
+let prop_heap_seq_breaks_ties_in_insertion_order =
+  QCheck.Test.make ~name:"equal priorities pop in insertion order" ~count:200
+    QCheck.(list (int_bound 5)) (fun priorities ->
+      let h = Heap.create ~cmp:(fun (pa, sa) (pb, sb) ->
+        match compare pa pb with 0 -> compare sa sb | c -> c)
+      in
+      let items = List.mapi (fun seq p -> (p, seq)) priorities in
+      List.iter (Heap.push h) items;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+      drain [] = List.stable_sort (fun (pa, _) (pb, _) -> compare pa pb) items)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  check Alcotest.int "unknown counter is 0" 0 (Metrics.counter_value m "x");
+  Metrics.incr m "x";
+  Metrics.incr m "x" ~by:4;
+  Metrics.incr m "y";
+  check Alcotest.int "accumulates" 5 (Metrics.counter_value m "x");
+  let s = Metrics.snapshot m in
+  check Alcotest.int "snapshot reads" 5 (Metrics.counter s "x");
+  check Alcotest.int "absent in snapshot" 0 (Metrics.counter s "z");
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted by name" [ ("x", 5); ("y", 1) ] s.counters;
+  Metrics.clear m;
+  check Alcotest.int "clear resets" 0 (Metrics.counter_value m "x")
+
+let test_metrics_gauges_and_histograms () =
+  let m = Metrics.create () in
+  Metrics.set_gauge m "g" 2.0;
+  Metrics.set_gauge m "g" 7.5;
+  Metrics.observe m "h" 1.0;
+  Metrics.observe m "h" 3.0;
+  let s = Metrics.snapshot m in
+  check (Alcotest.option (Alcotest.float 1e-9)) "gauge keeps last" (Some 7.5)
+    (Metrics.gauge s "g");
+  check (Alcotest.option (Alcotest.float 1e-9)) "absent gauge" None (Metrics.gauge s "nope");
+  (match Metrics.histogram s "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check Alcotest.int "count" 2 h.Metrics.count;
+      checkf "sum" 4.0 h.sum;
+      checkf "min" 1.0 h.min;
+      checkf "max" 3.0 h.max;
+      checkf "mean" 2.0 (Metrics.mean h));
+  check Alcotest.bool "absent histogram" true (Metrics.histogram s "nope" = None)
+
+let test_metrics_snapshot_immutable () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  let s = Metrics.snapshot m in
+  Metrics.incr m "x" ~by:10;
+  check Alcotest.int "snapshot is a copy" 1 (Metrics.counter s "x");
+  check Alcotest.int "registry moved on" 11 (Metrics.counter_value m "x")
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "shared" ~by:2;
+  Metrics.incr a "only_a";
+  Metrics.incr b "shared" ~by:3;
+  Metrics.incr b "only_b" ~by:7;
+  Metrics.set_gauge a "g" 1.5;
+  Metrics.set_gauge b "g" 2.5;
+  Metrics.observe a "h" 1.0;
+  Metrics.observe b "h" 5.0;
+  let s = Metrics.merge (Metrics.snapshot a) (Metrics.snapshot b) in
+  check Alcotest.int "counters add" 5 (Metrics.counter s "shared");
+  check Alcotest.int "left-only survives" 1 (Metrics.counter s "only_a");
+  check Alcotest.int "right-only survives" 7 (Metrics.counter s "only_b");
+  check (Alcotest.option (Alcotest.float 1e-9)) "gauges sum" (Some 4.0) (Metrics.gauge s "g");
+  (match Metrics.histogram s "h" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      check Alcotest.int "counts add" 2 h.Metrics.count;
+      checkf "min of mins" 1.0 h.min;
+      checkf "max of maxes" 5.0 h.max);
+  check Alcotest.bool "empty is identity" true
+    (Metrics.merge Metrics.empty (Metrics.snapshot a) = Metrics.snapshot a);
+  (* Merge result stays sorted, so further merges agree. *)
+  let names = List.map fst s.counters in
+  check Alcotest.bool "merged counters sorted" true (List.sort compare names = names)
+
+let test_metrics_to_rows () =
+  let m = Metrics.create () in
+  Metrics.incr m "c" ~by:3;
+  Metrics.set_gauge m "g" 1.0;
+  let rows = Metrics.to_rows (Metrics.snapshot m) in
+  check Alcotest.int "one row per metric" 2 (List.length rows);
+  List.iter (fun row -> check Alcotest.int "three columns" 3 (List.length row)) rows
+
+let prop_metrics_merge_commutes =
+  let snap_gen =
+    QCheck.Gen.map
+      (fun pairs ->
+        let m = Metrics.create () in
+        List.iter (fun (k, v) -> Metrics.incr m (String.make 1 (Char.chr (97 + k))) ~by:v) pairs;
+        Metrics.snapshot m)
+      QCheck.Gen.(list_size (int_bound 10) (tup2 (int_bound 5) (int_bound 100)))
+  in
+  QCheck.Test.make ~name:"merge commutes on counters" ~count:100
+    (QCheck.make (QCheck.Gen.tup2 snap_gen snap_gen)) (fun (a, b) ->
+      Metrics.merge a b = Metrics.merge b a)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -298,7 +407,16 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "peek and clear" `Quick test_heap_peek_and_clear;
         ]
-        @ qsuite [ prop_heap_sorts ] );
+        @ qsuite [ prop_heap_sorts; prop_heap_seq_breaks_ties_in_insertion_order ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "gauges and histograms" `Quick test_metrics_gauges_and_histograms;
+          Alcotest.test_case "snapshot immutable" `Quick test_metrics_snapshot_immutable;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "to_rows" `Quick test_metrics_to_rows;
+        ]
+        @ qsuite [ prop_metrics_merge_commutes ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;

@@ -12,9 +12,11 @@ open Dpc_util
 open Dpc_core
 open Dpc_workload
 
-type config = { paper_scale : bool; seed : int }
+type config = { paper_scale : bool; tiny : bool; seed : int }
 
-let default_config = { paper_scale = false; seed = 1 }
+let default_config = { paper_scale = false; tiny = false; seed = 1 }
+
+let scale_name cfg = if cfg.tiny then "tiny" else if cfg.paper_scale then "paper" else "scaled-down"
 
 let schemes = [ Backend.S_exspan; Backend.S_basic; Backend.S_advanced ]
 
@@ -47,12 +49,12 @@ let transit_stub cfg =
   (ts, routing, rng)
 
 let forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload ?bucket_width ?snapshots_every
-    () =
+    ?record_outputs () =
   let ts, routing, rng = transit_stub cfg in
   let pair_list = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:pairs in
   let d =
     Forwarding_driver.setup ~scheme ~topology:ts.topology ~routing ~pairs:pair_list
-      ?bucket_width ()
+      ?bucket_width ?record_outputs ()
   in
   let series =
     match snapshots_every with
@@ -65,10 +67,11 @@ let forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload ?bucket_width ?sn
   Forwarding_driver.run d;
   (d, injected, series, rng)
 
-let dns_run cfg ~scheme ~urls ~rate ~duration ?total ?bucket_width ?snapshots_every () =
+let dns_run cfg ~scheme ~urls ~rate ~duration ?total ?bucket_width ?snapshots_every
+    ?record_outputs () =
   let rng = Rng.create ~seed:cfg.seed in
   let spec = Dns_workload.generate ~rng ~servers:100 ~backbone_depth:27 ~urls ~clients:10 in
-  let t = Dns_workload.setup ~scheme spec ?bucket_width () in
+  let t = Dns_workload.setup ~scheme spec ?bucket_width ?record_outputs () in
   let series =
     match snapshots_every with
     | None -> ref []
@@ -95,7 +98,10 @@ let fig8 cfg =
   Printf.printf "workload: %d pairs, %.0f packets/s each, %.0fs, 100-node transit-stub\n"
     pairs rate duration;
   let rates_of scheme =
-    let d, _, _, _ = forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload:500 () in
+    let d, injected, _, _ =
+      forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload:500 ~record_outputs:false ()
+    in
+    Report.add_events "fig8" injected;
     Measure.per_node_rates ~backend:d.backend ~nodes:100 ~duration
   in
   let per_scheme = List.map (fun s -> (s, rates_of s)) schemes in
@@ -116,12 +122,12 @@ let fig8 cfg =
 
 let fig9 cfg =
   header "9" "Provenance storage growth over time (packet forwarding)";
-  let pairs = if cfg.paper_scale then 100 else 30 in
-  let rate = if cfg.paper_scale then 100.0 else 20.0 in
+  let pairs = if cfg.tiny then 5 else if cfg.paper_scale then 100 else 30 in
+  let rate = if cfg.tiny then 5.0 else if cfg.paper_scale then 100.0 else 20.0 in
   (* The paper ran 100 s (1M packets); ExSPAN's tables for that run need
      several GB, so even paper scale caps the duration — growth is linear,
      so the per-second rates are unaffected. *)
-  let duration = if cfg.paper_scale then 20.0 else 10.0 in
+  let duration = if cfg.tiny then 2.0 else if cfg.paper_scale then 20.0 else 10.0 in
   let every = if cfg.paper_scale then 2.0 else 1.0 in
   Printf.printf "workload: %d pairs, %.0f packets/s each, %.0fs, snapshots every %.0fs%s\n"
     pairs rate duration every
@@ -129,10 +135,12 @@ let fig9 cfg =
   let runs =
     List.map
       (fun scheme ->
-        let _, _, series, _ =
+        let _, injected, series, _ =
           forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload:500
-            ~snapshots_every:every ()
+            ~snapshots_every:every ~record_outputs:false ()
         in
+        Report.add_events "fig9" injected;
+        Report.add_series "fig9" (scheme_label scheme) !series;
         (scheme, !series))
       schemes
   in
@@ -180,6 +188,12 @@ let fig10 cfg =
   let results =
     List.map (fun pairs -> (pairs, List.map (fun s -> (s, storage s pairs)) schemes)) pair_counts
   in
+  Report.add_events "fig10" (total * List.length pair_counts * List.length schemes);
+  List.iter
+    (fun s ->
+      Report.add_series "fig10" (scheme_label s)
+        (List.map (fun (pairs, ps) -> (float_of_int pairs, List.assoc s ps)) results))
+    schemes;
   Table_fmt.print
     ~header:("pairs" :: List.map scheme_label schemes)
     ~rows:
@@ -219,10 +233,15 @@ let fig11 cfg =
     Pairs.select ~rng:(Rng.create ~seed:cfg.seed) ~eligible:ts.stub_nodes ~count:pairs
   in
   let run_driver d ~updates =
-    ignore (Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:500);
+    let injected =
+      Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:500
+    in
+    Report.add_events "fig11" injected;
     if updates then begin
       (* §5.5 variant: refresh one pair's routes periodically (the paper
-         updates a route every 10 seconds). *)
+         updates a route every 10 seconds). A refresh is a delete followed
+         by a reinsert — re-inserting a present tuple alone is a no-op and
+         would broadcast nothing. *)
       let update_every = 5.0 in
       let pair_arr = Array.of_list pair_list in
       for k = 0 to int_of_float (duration /. update_every) - 1 do
@@ -230,7 +249,9 @@ let fig11 cfg =
           ~delay:((float_of_int k +. 0.5) *. update_every) (fun () ->
           let src, dst = pair_arr.(k mod Array.length pair_arr) in
           List.iter
-            (fun t -> Dpc_engine.Runtime.insert_slow_runtime d.Forwarding_driver.runtime t)
+            (fun t ->
+              ignore (Dpc_engine.Runtime.delete_slow_runtime d.Forwarding_driver.runtime t);
+              Dpc_engine.Runtime.insert_slow_runtime d.Forwarding_driver.runtime t)
             (Dpc_apps.Forwarding.routes_for_pair routing ~src ~dst))
       done
     end;
@@ -334,7 +355,8 @@ let fig13 cfg =
   Printf.printf "workload: %.0f requests/s aggregate, %.0fs, 100 servers, 38 URLs (Zipf)\n"
     rate duration;
   let rates_of scheme =
-    let t, _, _ = dns_run cfg ~scheme ~urls:38 ~rate ~duration () in
+    let t, injected, _ = dns_run cfg ~scheme ~urls:38 ~rate ~duration () in
+    Report.add_events "fig13" injected;
     Measure.per_node_rates ~backend:t.backend ~nodes:100 ~duration
   in
   let per_scheme = List.map (fun s -> (s, rates_of s)) schemes in
@@ -352,12 +374,18 @@ let fig14 cfg =
   header "14" "DNS storage vs number of requested URLs (200 requests total)";
   let url_counts = if cfg.paper_scale then [ 5; 10; 20; 30; 38 ] else [ 5; 10; 20; 30; 38 ] in
   let storage scheme urls =
-    let t, _, _ = dns_run cfg ~scheme ~urls ~rate:0.0 ~duration:5.0 ~total:200 () in
+    let t, injected, _ = dns_run cfg ~scheme ~urls ~rate:0.0 ~duration:5.0 ~total:200 () in
+    Report.add_events "fig14" injected;
     Measure.total_provenance_bytes t.backend
   in
   let results =
     List.map (fun urls -> (urls, List.map (fun s -> (s, storage s urls)) schemes)) url_counts
   in
+  List.iter
+    (fun s ->
+      Report.add_series "fig14" (scheme_label s)
+        (List.map (fun (urls, ps) -> (float_of_int urls, List.assoc s ps)) results))
+    schemes;
   Table_fmt.print
     ~header:("URLs" :: List.map scheme_label schemes)
     ~rows:
@@ -385,9 +413,11 @@ let fig15 cfg =
   let duration = if cfg.paper_scale then 100.0 else 10.0 in
   Printf.printf "workload: %d requests over %.0fs\n" total duration;
   let run scheme =
-    let t, _, _ =
-      dns_run cfg ~scheme ~urls:38 ~rate:0.0 ~duration ~total ~bucket_width:1.0 ()
+    let t, injected, _ =
+      dns_run cfg ~scheme ~urls:38 ~rate:0.0 ~duration ~total ~bucket_width:1.0
+        ~record_outputs:false ()
     in
+    Report.add_events "fig15" injected;
     (Dpc_net.Sim.total_bytes t.sim, Measure.bandwidth_series t.sim)
   in
   let results = List.map (fun s -> (s, run s)) schemes in
@@ -422,7 +452,12 @@ let fig16 cfg =
   let runs =
     List.map
       (fun scheme ->
-        let _, _, series = dns_run cfg ~scheme ~urls:38 ~rate ~duration ~snapshots_every:every () in
+        let _, injected, series =
+          dns_run cfg ~scheme ~urls:38 ~rate ~duration ~snapshots_every:every
+            ~record_outputs:false ()
+        in
+        Report.add_events "fig16" injected;
+        Report.add_series "fig16" (scheme_label scheme) !series;
         (scheme, !series))
       schemes
   in

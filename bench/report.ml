@@ -1,0 +1,109 @@
+(* Machine-readable bench report (--json PATH): collects per-figure
+   wall-clock, injected-event counts, and storage series while the figures
+   print their human-readable tables, then writes one JSON document.
+
+   Schema ("dpc-bench-v1"):
+
+     { "schema": "dpc-bench-v1",
+       "scale": "scaled-down" | "paper" | "tiny",
+       "seed": <int>,
+       "figures": {
+         "<fig>": {
+           "wall_clock_s": <float>,
+           "events": <int>,
+           "events_per_s": <float>,
+           "series": { "<label>": [[<x>, <bytes>], ...], ... } } } }
+
+   [events] is 0 and [series] {} where a figure has nothing to report.
+   The writer is hand-rolled: the repo deliberately has no JSON dependency. *)
+
+type fig = {
+  mutable wall_s : float;
+  mutable events : int;
+  mutable series : (string * (float * int) list) list;
+}
+
+let path = ref None
+let figures : (string * fig) list ref = ref []
+
+let enable p = path := Some p
+
+let fig name =
+  match List.assoc_opt name !figures with
+  | Some f -> f
+  | None ->
+      let f = { wall_s = 0.0; events = 0; series = [] } in
+      figures := !figures @ [ (name, f) ];
+      f
+
+let set_wall name s = (fig name).wall_s <- s
+
+let add_events name n =
+  let f = fig name in
+  f.events <- f.events + n
+
+let add_series name label points =
+  let f = fig name in
+  f.series <- f.series @ [ (label, points) ]
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* %.6g keeps the file small and is lossless for the quantities involved
+   (sub-microsecond walls and whole-second snapshot times). *)
+let float_lit f =
+  let s = Printf.sprintf "%.6g" f in
+  (* Bare exponents and integers are valid JSON; "nan"/"inf" are not. *)
+  if Float.is_finite f then s else "null"
+
+let write ~scale ~seed =
+  match !path with
+  | None -> ()
+  | Some p ->
+      let buf = Buffer.create 4096 in
+      let add = Buffer.add_string buf in
+      add "{\n";
+      add (Printf.sprintf "  \"schema\": \"dpc-bench-v1\",\n");
+      add (Printf.sprintf "  \"scale\": \"%s\",\n" (escape scale));
+      add (Printf.sprintf "  \"seed\": %d,\n" seed);
+      add "  \"figures\": {";
+      List.iteri
+        (fun i (name, f) ->
+          if i > 0 then add ",";
+          add (Printf.sprintf "\n    \"%s\": {\n" (escape name));
+          add (Printf.sprintf "      \"wall_clock_s\": %s,\n" (float_lit f.wall_s));
+          add (Printf.sprintf "      \"events\": %d,\n" f.events);
+          let eps = if f.wall_s > 0.0 then float_of_int f.events /. f.wall_s else 0.0 in
+          add (Printf.sprintf "      \"events_per_s\": %s,\n" (float_lit eps));
+          add "      \"series\": {";
+          List.iteri
+            (fun j (label, points) ->
+              if j > 0 then add ",";
+              add (Printf.sprintf "\n        \"%s\": [" (escape label));
+              List.iteri
+                (fun k (x, v) ->
+                  if k > 0 then add ", ";
+                  add (Printf.sprintf "[%s, %d]" (float_lit x) v))
+                points;
+              add "]")
+            f.series;
+          if f.series <> [] then add "\n      ";
+          add "}\n    }")
+        !figures;
+      if !figures <> [] then add "\n  ";
+      add "}\n}\n";
+      let oc = open_out p in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nbench report written to %s\n" p

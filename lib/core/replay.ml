@@ -22,11 +22,15 @@ let hook t =
       (fun ~node:_ event ->
         record t (E_event event);
         Dpc_engine.Prov_hook.initial_meta event);
-    on_slow_insert =
-      (fun ~node tuple ->
-        (* The sig broadcast reaches every node; log the insert once, when
+    on_slow_update =
+      (fun ~node ~op tuple ->
+        (* The sig broadcast reaches every node; log the update once, when
            it arrives at the tuple's own location. *)
-        if node = Tuple.loc tuple then record t (E_insert tuple));
+        if node = Tuple.loc tuple then
+          record t
+            (match op with
+            | Dpc_engine.Prov_hook.Slow_insert -> E_insert tuple
+            | Dpc_engine.Prov_hook.Slow_delete -> E_delete tuple));
   }
 
 let combine (a : Dpc_engine.Prov_hook.t) (b : Dpc_engine.Prov_hook.t) =
@@ -44,15 +48,14 @@ let combine (a : Dpc_engine.Prov_hook.t) (b : Dpc_engine.Prov_hook.t) =
       (fun ~node output meta ->
         b.on_output ~node output meta;
         a.on_output ~node output meta);
-    on_slow_insert =
-      (fun ~node tuple ->
-        b.on_slow_insert ~node tuple;
-        a.on_slow_insert ~node tuple);
+    on_slow_update =
+      (fun ~node ~op tuple ->
+        b.on_slow_update ~node ~op tuple;
+        a.on_slow_update ~node ~op tuple);
     meta_bytes = (fun meta -> a.meta_bytes meta + b.meta_bytes meta);
   }
 
 let record_initial_slow t tuples = t.initial_slow <- t.initial_slow @ tuples
-let record_slow_delete t tuple = record t (E_delete tuple)
 
 let log_length t = List.length t.log_rev
 

@@ -24,7 +24,8 @@ type t
 val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
 
 val hook : t -> Dpc_engine.Prov_hook.t
-(** Records input events (at ingress) and runtime slow-changing inserts.
+(** Records input events (at ingress) and runtime slow-changing updates —
+    both inserts and deletes, via the [sig] broadcast each now carries.
     Compose it with another scheme's hook via {!combine} to run compressed
     maintenance and input logging side by side. *)
 
@@ -34,10 +35,6 @@ val combine : Dpc_engine.Prov_hook.t -> Dpc_engine.Prov_hook.t -> Dpc_engine.Pro
 
 val record_initial_slow : t -> Dpc_ndlog.Tuple.t list -> unit
 (** Call with the same tuples passed to {!Dpc_engine.Runtime.load_slow}. *)
-
-val record_slow_delete : t -> Dpc_ndlog.Tuple.t -> unit
-(** Deletions do not pass through provenance hooks; log them explicitly
-    alongside {!Dpc_engine.Runtime.delete_slow_runtime}. *)
 
 val log_length : t -> int
 val storage_bytes : t -> int

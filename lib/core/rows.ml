@@ -30,38 +30,44 @@ let write_ref w = function
       Serialize.write_varint w node;
       write_digest w d
 
+(* Row sizes are computed analytically rather than by running the writers
+   above through a scratch buffer: [Table.add] charges every new row on the
+   store hot path, and the buffer allocation showed up in profiles. Each
+   formula must agree byte-for-byte with the corresponding writer —
+   test_core's row-bytes test checks them against a real serialization. *)
+
+(* write_string of a 20-byte raw digest: 1-byte varint length + 20 bytes. *)
+let digest_size = 21
+
+let ref_size = function
+  | None -> 1
+  | Some (node, _) -> 1 + Serialize.varint_size node + digest_size
+
+let opt_digest_size = function None -> 1 | Some _ -> 1 + digest_size
+
 let prov_row_bytes ~with_evid r =
-  let w = Serialize.writer () in
-  Serialize.write_varint w r.loc;
-  write_digest w r.vid;
-  write_ref w r.rid;
-  if with_evid then begin
-    match r.evid with
-    | None -> Serialize.write_bool w false
-    | Some e ->
-        Serialize.write_bool w true;
-        write_digest w e
-  end;
-  Serialize.size w
+  Serialize.varint_size r.loc + digest_size + ref_size r.rid
+  + if with_evid then opt_digest_size r.evid else 0
 
 let rule_exec_row_bytes ~with_next r =
-  let w = Serialize.writer () in
-  Serialize.write_varint w r.rloc;
-  write_digest w r.rid;
-  Serialize.write_string w r.rule;
-  Serialize.write_list w (write_digest w) r.vids;
-  if with_next then write_ref w r.next;
-  Serialize.size w
+  let rule_len = String.length r.rule in
+  let nvids = List.length r.vids in
+  Serialize.varint_size r.rloc + digest_size
+  + Serialize.varint_size rule_len + rule_len
+  + Serialize.varint_size nvids + (nvids * digest_size)
+  + if with_next then ref_size r.next else 0
 
 let link_row_bytes r =
-  let w = Serialize.writer () in
-  Serialize.write_varint w r.link_rloc;
-  write_digest w r.link_rid;
-  write_ref w r.link_next;
-  Serialize.size w
+  Serialize.varint_size r.link_rloc + digest_size + ref_size r.link_next
 
-let vid_of t = Sha1.digest_string (Dpc_ndlog.Tuple.canonical t)
+let vid_of = Dpc_ndlog.Tuple.digest
 let hex = Sha1.to_hex
+
+(* Store-table key for a digest: the 20 raw bytes, not the hex rendering.
+   Identity on the representation, so keying costs no allocation on the
+   record hot path; [hex] is for human-readable output only. *)
+let key = Sha1.to_raw
+
 let ref_bytes = 4 + 20
 
 module Table = struct

@@ -36,6 +36,10 @@ val vid_of : Dpc_ndlog.Tuple.t -> Dpc_util.Sha1.t
 
 val hex : Dpc_util.Sha1.t -> string
 
+val key : Dpc_util.Sha1.t -> string
+(** Store-table key for a digest: the raw 20 bytes (no allocation), as
+    opposed to [hex], which renders 40 characters for display. *)
+
 val ref_bytes : int
 (** Wire size of a (node, digest) provenance reference. *)
 

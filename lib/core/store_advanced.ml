@@ -9,6 +9,7 @@ type node_state = {
   exec_links : Rows.link_row Rows.Table.t;  (* §5.4 ruleExecLink, keyed by rid hex *)
   htequi : (string, unit) Hashtbl.t;  (* equivalence keys seen at this ingress *)
   hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;  (* class -> chain roots *)
+  mutable hmap_refs : int;  (* total chain roots across hmap, for O(1) equi_bytes *)
   slow_tuples : Side_store.t;
   events : Side_store.t;  (* evid -> input event at ingress *)
 }
@@ -31,6 +32,7 @@ let fresh_state () =
     exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
     htequi = Hashtbl.create 32;
     hmap = Hashtbl.create 32;
+    hmap_refs = 0;
     slow_tuples = Side_store.create ();
     events = Side_store.create ();
   }
@@ -81,11 +83,11 @@ let node_rid ~rule_name ~node ~slow_vids =
 let on_input t ~node event =
   let meta = Dpc_engine.Prov_hook.initial_meta event in
   let k = Dpc_analysis.Equi_keys.key_hash t.keys event in
-  let k_hex = Rows.hex k in
+  let k_key = Rows.key k in
   let st = state t node in
-  let exist_flag = Hashtbl.mem st.htequi k_hex in
+  let exist_flag = Hashtbl.mem st.htequi k_key in
   tick t node (if exist_flag then "store.equi_hits" else "store.equi_misses");
-  if not exist_flag then Hashtbl.add st.htequi k_hex ();
+  if not exist_flag then Hashtbl.add st.htequi k_key ();
   Side_store.put st.events ~key:meta.evid event;
   { meta with exist_flag; eqkey = Some k }
 
@@ -98,15 +100,15 @@ let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
     List.iter2 (fun tuple vid -> Side_store.put st.slow_tuples ~key:vid tuple) slow slow_vids;
     if t.interclass then begin
       let rid = node_rid ~rule_name:rule.name ~node ~slow_vids in
-      add_exec_node t ~node ~key:(Rows.hex rid)
+      add_exec_node t ~node ~key:(Rows.key rid)
         { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = None };
-      add_exec_link t ~node ~key:(Rows.hex rid)
+      add_exec_link t ~node ~key:(Rows.key rid)
         { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev };
       { meta with prev = Some (node, rid) }
     end
     else begin
       let rid = chain_rid ~rule_name:rule.name ~node ~slow_vids ~prev:meta.prev in
-      add_rule_exec t ~node ~key:(Rows.hex rid)
+      add_rule_exec t ~node ~key:(Rows.key rid)
         { Rows.rloc = node; rid; rule = rule.name; vids = slow_vids; next = meta.prev };
       { meta with prev = Some (node, rid) }
     end
@@ -114,18 +116,18 @@ let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
 
 let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
   let st = state t node in
-  let k_hex =
+  let k_key =
     match meta.eqkey with
-    | Some k -> Rows.hex k
+    | Some k -> Rows.key k
     | None -> invalid_arg "Store_advanced.on_output: meta has no equivalence key"
   in
   (* hmap associations are per (equivalence class, output relation): with
      extra relations of interest one class has several recorded output
      relations, each with its own chain reference(s). *)
-  let k_hex = k_hex ^ ":" ^ Tuple.rel output in
+  let k_key = k_key ^ ":" ^ Tuple.rel output in
   let vid = Rows.vid_of output in
   let add_row rref =
-    add_prov t ~node ~key:(Rows.hex vid)
+    add_prov t ~node ~key:(Rows.key vid)
       { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid }
   in
   if not meta.exist_flag then begin
@@ -133,23 +135,28 @@ let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
     | None -> invalid_arg "Store_advanced.on_output: materializing execution has no chain"
     | Some rref ->
         let refs =
-          match Hashtbl.find_opt st.hmap k_hex with
+          match Hashtbl.find_opt st.hmap k_key with
           | Some r -> r
           | None ->
               let r = ref [] in
-              Hashtbl.add st.hmap k_hex r;
+              Hashtbl.add st.hmap k_key r;
               r
         in
-        if not (List.mem rref !refs) then refs := !refs @ [ rref ];
+        if not (List.mem rref !refs) then begin
+          refs := !refs @ [ rref ];
+          st.hmap_refs <- st.hmap_refs + 1
+        end;
         add_row rref
   end
   else begin
-    match Hashtbl.find_opt st.hmap k_hex with
+    match Hashtbl.find_opt st.hmap k_key with
     | Some refs when !refs <> [] -> List.iter add_row !refs
     | Some _ | None -> t.orphans <- t.orphans + 1
   end
 
-let on_slow_insert t ~node _tuple = Hashtbl.reset (state t node).htequi
+(* §5.5: any slow-table update — insert or delete — invalidates the
+   equivalence classes observed so far; incoming events re-materialize. *)
+let on_slow_update t ~node ~op:_ _tuple = Hashtbl.reset (state t node).htequi
 
 let hook t =
   {
@@ -157,15 +164,17 @@ let hook t =
     on_input = (fun ~node event -> on_input t ~node event);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node output meta -> on_output t ~node output meta);
-    on_slow_insert = (fun ~node tuple -> on_slow_insert t ~node tuple);
+    on_slow_update = (fun ~node ~op tuple -> on_slow_update t ~node ~op tuple);
     (* existFlag + equivalence-key hash + event hash + back-pointer. *)
     meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
   }
 
+(* O(1): hash-table lengths plus the maintained chain-root count; no fold
+   over hmap on the snapshot path. *)
 let equi_bytes st =
   (Hashtbl.length st.htequi * 20)
-  + Hashtbl.fold (fun _ refs acc -> acc + 20 + (List.length !refs * Rows.ref_bytes))
-      st.hmap 0
+  + (Hashtbl.length st.hmap * 20)
+  + (st.hmap_refs * Rows.ref_bytes)
 
 let node_storage t node =
   let st = state t node in
@@ -230,18 +239,18 @@ let fetch_chains t acct ~start rref =
     if List.length !results >= max_chains then ()
     else begin
       charge_hop acct ~src:at ~dst:rloc;
-      let key = (rloc, Rows.hex rid) in
+      let key = (rloc, Rows.key rid) in
       if List.mem key seen then () (* cycle through shared §5.4 rows *)
       else begin
         let seen = key :: seen in
         if t.interclass then begin
-          match Rows.Table.find (state t rloc).exec_nodes (Rows.hex rid) with
+          match Rows.Table.find (state t rloc).exec_nodes (Rows.key rid) with
           | [] -> raise (Broken "missing ruleExecNode")
           | _ :: _ :: _ -> raise (Broken "duplicate ruleExecNode rid")
           | [ row ] ->
               charge_entries acct 1;
               charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
-              let links = Rows.Table.find (state t rloc).exec_links (Rows.hex rid) in
+              let links = Rows.Table.find (state t rloc).exec_links (Rows.key rid) in
               charge_entries acct (List.length links);
               List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
               if links = [] then raise (Broken "ruleExecNode with no link row");
@@ -253,7 +262,7 @@ let fetch_chains t acct ~start rref =
                 links
         end
         else begin
-          match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
+          match Rows.Table.find (state t rloc).rule_exec (Rows.key rid) with
           | [] -> raise (Broken "missing ruleExec")
           | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
           | [ row ] -> begin
@@ -319,7 +328,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
   let rows =
     match evid with
     | None -> rows
@@ -472,17 +481,17 @@ let restore ~delp ~env ~keys blob =
   for node = 0 to nodes - 1 do
     let st = state t node in
     List.iter
-      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.hex row.vid) row)
+      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.key row.vid) row)
       (read_list r (fun () -> Rows.read_prov_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.hex row.rid) row)
+      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.key row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) -> add_exec_node t ~node:row.rloc ~key:(Rows.hex row.rid) row)
+      (fun (row : Rows.rule_exec_row) -> add_exec_node t ~node:row.rloc ~key:(Rows.key row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r));
     List.iter
       (fun (row : Rows.link_row) ->
-        add_exec_link t ~node:row.link_rloc ~key:(Rows.hex row.link_rid) row)
+        add_exec_link t ~node:row.link_rloc ~key:(Rows.key row.link_rid) row)
       (read_list r (fun () -> Rows.read_link_row r));
     ignore (read_list r (fun () -> Hashtbl.replace st.htequi (read_string r) ()));
     ignore
@@ -493,6 +502,7 @@ let restore ~delp ~env ~keys blob =
              let node = read_varint r in
              (node, Sha1.of_raw (read_string r)))
          in
+         st.hmap_refs <- st.hmap_refs + List.length refs;
          Hashtbl.replace st.hmap k (ref refs)))
   done;
   read_side r t (fun st -> st.slow_tuples);

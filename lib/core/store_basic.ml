@@ -49,7 +49,7 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.P
   (* The input event's vid is kept in the leaf row (Table 2's rid1 row);
      intermediate event vids are dropped — that is the optimization. *)
   let vids = if meta.prev = None then slow_vids @ [ event_vid ] else slow_vids in
-  add_rule_exec t ~node ~key:(Rows.hex rid)
+  add_rule_exec t ~node ~key:(Rows.key rid)
     { Rows.rloc = node; rid; rule = rule.name; vids; next = meta.prev };
   List.iter2
     (fun tuple vid -> Side_store.put (state t node).slow_tuples ~key:vid tuple)
@@ -58,7 +58,7 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.P
 
 let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
   add_prov t ~node
-    ~key:(Rows.hex (Rows.vid_of output))
+    ~key:(Rows.key (Rows.vid_of output))
     { Rows.loc = node; vid = Rows.vid_of output; rid = meta.prev; evid = None }
 
 let hook t =
@@ -71,7 +71,7 @@ let hook t =
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node output meta -> on_output t ~node output meta);
-    on_slow_insert = (fun ~node:_ _ -> ());
+    on_slow_update = (fun ~node:_ ~op:_ _ -> ());
     (* Ships the (NLoc, NRID) back-pointer. *)
     meta_bytes = (fun _ -> Rows.ref_bytes);
   }
@@ -133,11 +133,11 @@ let fetch_chains t acct ~start rref =
     if List.length !results >= max_chains then ()
     else begin
       charge_hop acct ~src:at ~dst:rloc;
-      let key = (rloc, Rows.hex rid) in
+      let key = (rloc, Rows.key rid) in
       if List.mem key seen then ()
       else begin
         let seen = key :: seen in
-        match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
+        match Rows.Table.find (state t rloc).rule_exec (Rows.key rid) with
         | [] ->
             raise
               (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
@@ -217,7 +217,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
   charge_entries acct (max 1 (List.length rows));
   let trees =
     List.concat_map
@@ -322,10 +322,10 @@ let restore ~delp ~env blob =
   let t = create ~delp ~env ~nodes in
   for _ = 1 to nodes do
     List.iter
-      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.hex row.vid) row)
+      (fun (row : Rows.prov_row) -> add_prov t ~node:row.loc ~key:(Rows.key row.vid) row)
       (read_list r (fun () -> Rows.read_prov_row r));
     List.iter
-      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.hex row.rid) row)
+      (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node:row.rloc ~key:(Rows.key row.rid) row)
       (read_list r (fun () -> Rows.read_rule_exec_row r))
   done;
   read_side r t (fun st -> st.slow_tuples);

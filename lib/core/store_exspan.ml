@@ -29,11 +29,11 @@ let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 
 let add_prov t ~node (row : Rows.prov_row) =
-  if Rows.Table.add (state t node).prov ~key:(Rows.hex row.vid) row then
+  if Rows.Table.add (state t node).prov ~key:(Rows.key row.vid) row then
     Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
 
 let add_rule_exec t ~node (row : Rows.rule_exec_row) =
-  if Rows.Table.add (state t node).rule_exec ~key:(Rows.hex row.rid) row then
+  if Rows.Table.add (state t node).rule_exec ~key:(Rows.key row.rid) row then
     Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
 
 let rid_of ~rule_name ~node ~vids =
@@ -74,7 +74,7 @@ let hook t =
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node:_ _ _ -> ());
-    on_slow_insert = (fun ~node:_ _ -> ());
+    on_slow_update = (fun ~node:_ ~op:_ _ -> ());
     (* ExSPAN ships the (RID, RLoc) reference so the receiver can store the
        prov row of the derived tuple. *)
     meta_bytes = (fun _ -> Rows.ref_bytes);
@@ -138,7 +138,7 @@ let max_derivations = 64
 let rec fetch_trees t acct ~at ~output (rloc, rid) =
   charge_hop acct ~src:at ~dst:rloc;
   let exec =
-    match Rows.Table.find (state t rloc).rule_exec (Rows.hex rid) with
+    match Rows.Table.find (state t rloc).rule_exec (Rows.key rid) with
     | [ row ] -> row
     | [] -> raise (Broken (Printf.sprintf "missing ruleExec %s at node %d" (Rows.hex rid) rloc))
     | _ :: _ :: _ -> raise (Broken "duplicate ruleExec rid")
@@ -154,7 +154,7 @@ let rec fetch_trees t acct ~at ~output (rloc, rid) =
   in
   let resolve_body vid =
     (* Each body tuple's prov row lives at the executing node. *)
-    let rows = Rows.Table.find (state t rloc).prov (Rows.hex vid) in
+    let rows = Rows.Table.find (state t rloc).prov (Rows.key vid) in
     charge_entries acct (max 1 (List.length rows));
     let tuple = resolve_tuple t ~node:rloc vid in
     charge_bytes acct (Tuple.wire_size tuple);
@@ -180,7 +180,7 @@ let query t ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (state t querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
   charge_entries acct (max 1 (List.length rows));
   let trees =
     List.concat_map

@@ -24,6 +24,7 @@ type private_state = {
   exec_links : Rows.link_row Rows.Table.t;
   htequi : (string, unit) Hashtbl.t;
   hmap : (string, (int * Sha1.t) list ref) Hashtbl.t;
+  mutable hmap_refs : int;  (* total chain roots across hmap, for O(1) storage *)
   events : Side_store.t;  (* evid -> input event at ingress *)
 }
 
@@ -74,6 +75,7 @@ let priv h node =
       exec_links = Rows.Table.create ~row_bytes:Rows.link_row_bytes ();
       htequi = Hashtbl.create 16;
       hmap = Hashtbl.create 16;
+      hmap_refs = 0;
       events = Side_store.create ();
     })
 
@@ -95,8 +97,8 @@ let program_storage h =
       let p = priv h node in
       let equi =
         (Hashtbl.length p.htequi * 20)
-        + Hashtbl.fold (fun _ refs a -> a + 20 + (List.length !refs * Rows.ref_bytes))
-            p.hmap 0
+        + (Hashtbl.length p.hmap * 20)
+        + (p.hmap_refs * Rows.ref_bytes)
       in
       acc :=
         Rows.add_storage !acc
@@ -141,11 +143,11 @@ let node_rid ~signature ~node ~slow_vids =
 let on_input h ~node event =
   let meta = Dpc_engine.Prov_hook.initial_meta event in
   let k = Dpc_analysis.Equi_keys.key_hash h.keys event in
-  let k_hex = Rows.hex k in
+  let k_key = Rows.key k in
   let p = priv h node in
-  let exist_flag = Hashtbl.mem p.htequi k_hex in
+  let exist_flag = Hashtbl.mem p.htequi k_key in
   tick h.store node (if exist_flag then "store.equi_hits" else "store.equi_misses");
-  if not exist_flag then Hashtbl.add p.htequi k_hex ();
+  if not exist_flag then Hashtbl.add p.htequi k_key ();
   Side_store.put p.events ~key:meta.evid event;
   { meta with exist_flag; eqkey = Some k }
 
@@ -161,11 +163,11 @@ let on_fire h ~node ~(rule : Ast.rule) ~slow (meta : Dpc_engine.Prov_hook.meta) 
     let rid = node_rid ~signature ~node ~slow_vids in
     let sig_id = intern_signature h.store signature in
     if
-      Rows.Table.add sh.exec_nodes ~key:(Rows.hex rid)
+      Rows.Table.add sh.exec_nodes ~key:(Rows.key rid)
         { Rows.rloc = node; rid; rule = sig_id; vids = slow_vids; next = None }
     then tick h.store node "store.rule_exec_rows";
     if
-      Rows.Table.add (priv h node).exec_links ~key:(Rows.hex rid)
+      Rows.Table.add (priv h node).exec_links ~key:(Rows.key rid)
         { Rows.link_rloc = node; link_rid = rid; link_next = meta.prev }
     then tick h.store node "store.rule_exec_rows";
     { meta with prev = Some (node, rid) }
@@ -173,19 +175,19 @@ let on_fire h ~node ~(rule : Ast.rule) ~slow (meta : Dpc_engine.Prov_hook.meta) 
 
 let on_output h ~node output (meta : Dpc_engine.Prov_hook.meta) =
   let p = priv h node in
-  let k_hex =
+  let k_key =
     match meta.eqkey with
-    | Some k -> Rows.hex k
+    | Some k -> Rows.key k
     | None -> invalid_arg "Store_multi.on_output: meta has no equivalence key"
   in
   (* hmap associations are per (equivalence class, output relation): with
      extra relations of interest one class has several recorded output
      relations, each with its own chain reference(s). *)
-  let k_hex = k_hex ^ ":" ^ Tuple.rel output in
+  let k_key = k_key ^ ":" ^ Tuple.rel output in
   let vid = Rows.vid_of output in
   let add_row rref =
     if
-      Rows.Table.add p.prov ~key:(Rows.hex vid)
+      Rows.Table.add p.prov ~key:(Rows.key vid)
         { Rows.loc = node; vid; rid = Some rref; evid = Some meta.evid }
     then tick h.store node "store.prov_rows"
   in
@@ -194,18 +196,21 @@ let on_output h ~node output (meta : Dpc_engine.Prov_hook.meta) =
     | None -> invalid_arg "Store_multi.on_output: materializing execution has no chain"
     | Some rref ->
         let refs =
-          match Hashtbl.find_opt p.hmap k_hex with
+          match Hashtbl.find_opt p.hmap k_key with
           | Some r -> r
           | None ->
               let r = ref [] in
-              Hashtbl.add p.hmap k_hex r;
+              Hashtbl.add p.hmap k_key r;
               r
         in
-        if not (List.mem rref !refs) then refs := !refs @ [ rref ];
+        if not (List.mem rref !refs) then begin
+          refs := !refs @ [ rref ];
+          p.hmap_refs <- p.hmap_refs + 1
+        end;
         add_row rref
   end
   else begin
-    match Hashtbl.find_opt p.hmap k_hex with
+    match Hashtbl.find_opt p.hmap k_key with
     | Some refs when !refs <> [] -> List.iter add_row !refs
     | Some _ | None -> ()
   end
@@ -216,7 +221,7 @@ let hook h =
     on_input = (fun ~node event -> on_input h ~node event);
     on_fire = (fun ~node ~rule ~event:_ ~slow ~head:_ meta -> on_fire h ~node ~rule ~slow meta);
     on_output = (fun ~node output meta -> on_output h ~node output meta);
-    on_slow_insert = (fun ~node _ -> Hashtbl.reset (priv h node).htequi);
+    on_slow_update = (fun ~node ~op:_ _ -> Hashtbl.reset (priv h node).htequi);
     meta_bytes = (fun _ -> 1 + 20 + 20 + Rows.ref_bytes);
   }
 
@@ -289,17 +294,17 @@ let fetch_chains h acct ~start rref =
     if List.length !results >= max_chains then ()
     else begin
       charge_hop acct ~src:at ~dst:rloc;
-      let key = (rloc, Rows.hex rid) in
+      let key = (rloc, Rows.key rid) in
       if List.mem key seen then ()
       else begin
         let seen = key :: seen in
-        match Rows.Table.find (shared h.store rloc).exec_nodes (Rows.hex rid) with
+        match Rows.Table.find (shared h.store rloc).exec_nodes (Rows.key rid) with
         | [] -> raise (Broken "missing shared ruleExecNode")
         | _ :: _ :: _ -> raise (Broken "duplicate shared rid")
         | [ row ] ->
             charge_entries acct 1;
             charge_bytes acct (Rows.rule_exec_row_bytes ~with_next:false row);
-            let links = Rows.Table.find (priv h rloc).exec_links (Rows.hex rid) in
+            let links = Rows.Table.find (priv h rloc).exec_links (Rows.key rid) in
             charge_entries acct (List.length links);
             List.iter (fun l -> charge_bytes acct (Rows.link_row_bytes l)) links;
             if links = [] then raise (Broken "no link row for this program");
@@ -361,7 +366,7 @@ let query h ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
   let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
   let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (priv h querier).prov (Rows.hex htp) in
+  let rows = Rows.Table.find (priv h querier).prov (Rows.key htp) in
   let rows =
     match evid with
     | None -> rows

@@ -1,33 +1,77 @@
 open Dpc_ndlog
 
-type t = { tables : (string, (string, Tuple.t) Hashtbl.t) Hashtbl.t }
+(* Per-relation state: the primary table keyed by canonical string, an
+   incrementally-maintained serialized-byte counter, and any secondary
+   indexes built so far. An index maps a key — the concatenated canonical
+   encodings of the tuple's values at [positions] — to the bucket of
+   tuples sharing those values. Value canonicals parse deterministically
+   (every constructor is tagged and strings are length-prefixed), so the
+   concatenation is collision-free for a fixed positions list. *)
+type index = (string, Tuple.t list ref) Hashtbl.t
+
+type rel_state = {
+  tuples : (string, Tuple.t) Hashtbl.t;
+  mutable bytes : int;
+  mutable indexes : (int list * index) list;
+}
+
+type t = { tables : (string, rel_state) Hashtbl.t }
 
 let create () = { tables = Hashtbl.create 8 }
 
-let table t rel =
+let debug_recount = ref false
+let set_debug_recount b = debug_recount := b
+
+let rel_state t rel =
   match Hashtbl.find_opt t.tables rel with
-  | Some tbl -> tbl
+  | Some rs -> rs
   | None ->
-      let tbl = Hashtbl.create 16 in
-      Hashtbl.add t.tables rel tbl;
-      tbl
+      let rs = { tuples = Hashtbl.create 16; bytes = 0; indexes = [] } in
+      Hashtbl.add t.tables rel rs;
+      rs
+
+let key_of_values values =
+  match values with
+  | [ v ] -> Value.canonical v
+  | _ ->
+      let buf = Buffer.create 32 in
+      List.iter (fun v -> Buffer.add_string buf (Value.canonical v)) values;
+      Buffer.contents buf
+
+let key_of_tuple tuple positions = key_of_values (List.map (Tuple.arg tuple) positions)
+
+let bucket_add (idx : index) key tuple =
+  match Hashtbl.find_opt idx key with
+  | Some bucket -> bucket := tuple :: !bucket
+  | None -> Hashtbl.add idx key (ref [ tuple ])
+
+let bucket_remove (idx : index) key tuple =
+  match Hashtbl.find_opt idx key with
+  | None -> ()
+  | Some bucket -> (
+      bucket := List.filter (fun u -> not (Tuple.equal u tuple)) !bucket;
+      match !bucket with [] -> Hashtbl.remove idx key | _ :: _ -> ())
 
 let insert t tuple =
-  let tbl = table t (Tuple.rel tuple) in
-  let key = Tuple.canonical tuple in
-  if Hashtbl.mem tbl key then false
+  let rs = rel_state t (Tuple.rel tuple) in
+  let ck = Tuple.canonical tuple in
+  if Hashtbl.mem rs.tuples ck then false
   else begin
-    Hashtbl.add tbl key tuple;
+    Hashtbl.add rs.tuples ck tuple;
+    rs.bytes <- rs.bytes + Tuple.serialized_size tuple;
+    List.iter (fun (ps, idx) -> bucket_add idx (key_of_tuple tuple ps) tuple) rs.indexes;
     true
   end
 
 let remove t tuple =
   match Hashtbl.find_opt t.tables (Tuple.rel tuple) with
   | None -> false
-  | Some tbl ->
-      let key = Tuple.canonical tuple in
-      if Hashtbl.mem tbl key then begin
-        Hashtbl.remove tbl key;
+  | Some rs ->
+      let ck = Tuple.canonical tuple in
+      if Hashtbl.mem rs.tuples ck then begin
+        Hashtbl.remove rs.tuples ck;
+        rs.bytes <- rs.bytes - Tuple.serialized_size tuple;
+        List.iter (fun (ps, idx) -> bucket_remove idx (key_of_tuple tuple ps) tuple) rs.indexes;
         true
       end
       else false
@@ -35,28 +79,67 @@ let remove t tuple =
 let mem t tuple =
   match Hashtbl.find_opt t.tables (Tuple.rel tuple) with
   | None -> false
-  | Some tbl -> Hashtbl.mem tbl (Tuple.canonical tuple)
+  | Some rs -> Hashtbl.mem rs.tuples (Tuple.canonical tuple)
 
-let scan t rel =
+let iter t rel f =
+  match Hashtbl.find_opt t.tables rel with
+  | None -> ()
+  | Some rs -> Hashtbl.iter (fun _ tuple -> f tuple) rs.tuples
+
+let all t rel =
   match Hashtbl.find_opt t.tables rel with
   | None -> []
-  | Some tbl ->
-      Hashtbl.fold (fun _ tuple acc -> tuple :: acc) tbl []
-      |> List.sort Tuple.compare
+  | Some rs -> Hashtbl.fold (fun _ tuple acc -> tuple :: acc) rs.tuples []
+
+let scan t rel = List.sort Tuple.compare (all t rel)
+
+let lookup t ~rel ~positions ~key =
+  match Hashtbl.find_opt t.tables rel with
+  | None -> []
+  | Some rs -> (
+      let idx =
+        match List.assoc_opt positions rs.indexes with
+        | Some idx -> idx
+        | None ->
+            (* Built lazily on the first keyed lookup, then kept current by
+               insert/remove. *)
+            let idx = Hashtbl.create (max 16 (Hashtbl.length rs.tuples)) in
+            Hashtbl.iter
+              (fun _ tuple -> bucket_add idx (key_of_tuple tuple positions) tuple)
+              rs.tuples;
+            rs.indexes <- (positions, idx) :: rs.indexes;
+            idx
+      in
+      match Hashtbl.find_opt idx (key_of_values key) with
+      | Some bucket -> !bucket
+      | None -> [])
 
 let relations t =
-  Hashtbl.fold (fun rel tbl acc -> if Hashtbl.length tbl > 0 then rel :: acc else acc)
+  Hashtbl.fold
+    (fun rel rs acc -> if Hashtbl.length rs.tuples > 0 then rel :: acc else acc)
     t.tables []
   |> List.sort String.compare
 
 let cardinality t rel =
-  match Hashtbl.find_opt t.tables rel with None -> 0 | Some tbl -> Hashtbl.length tbl
+  match Hashtbl.find_opt t.tables rel with
+  | None -> 0
+  | Some rs -> Hashtbl.length rs.tuples
 
-let total_tuples t = Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.tables 0
+let total_tuples t = Hashtbl.fold (fun _ rs acc -> acc + Hashtbl.length rs.tuples) t.tables 0
 
-let size_bytes t =
+let recount_bytes t =
   let w = Dpc_util.Serialize.writer () in
   List.iter
     (fun rel -> List.iter (fun tuple -> Tuple.serialize w tuple) (scan t rel))
     (relations t);
   Dpc_util.Serialize.size w
+
+let size_bytes t =
+  let n = Hashtbl.fold (fun _ rs acc -> acc + rs.bytes) t.tables 0 in
+  if !debug_recount then begin
+    let full = recount_bytes t in
+    if n <> full then
+      invalid_arg
+        (Printf.sprintf "Db.size_bytes: incremental counter %d <> recount %d" n full)
+  end;
+  n

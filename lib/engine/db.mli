@@ -1,5 +1,11 @@
 (** A node-local relational store with set semantics (the [DB_i] of the
-    system model, §3): slow-changing base tables plus derived tuples. *)
+    system model, §3): slow-changing base tables plus derived tuples.
+
+    Each relation carries secondary hash indexes keyed on attribute
+    positions (chosen at rule-compile time by {!Eval.plan}). Indexes are
+    built lazily on the first {!lookup} and maintained incrementally by
+    {!insert}/{!remove}, as is the per-relation serialized-byte counter
+    behind {!size_bytes}. *)
 
 type t
 
@@ -13,12 +19,38 @@ val remove : t -> Dpc_ndlog.Tuple.t -> bool
 
 val mem : t -> Dpc_ndlog.Tuple.t -> bool
 
+val iter : t -> string -> (Dpc_ndlog.Tuple.t -> unit) -> unit
+(** Visit every tuple of a relation, in unspecified order. *)
+
+val all : t -> string -> Dpc_ndlog.Tuple.t list
+(** All tuples of a relation, in unspecified order (no sort). *)
+
 val scan : t -> string -> Dpc_ndlog.Tuple.t list
-(** All tuples of a relation, in unspecified but deterministic order. *)
+(** All tuples of a relation, sorted — deterministic but O(n log n); use
+    {!iter}/{!all}/{!lookup} where order is not observable. *)
+
+val lookup :
+  t -> rel:string -> positions:int list -> key:Dpc_ndlog.Value.t list -> Dpc_ndlog.Tuple.t list
+(** The tuples of [rel] whose attributes at [positions] equal [key]
+    (element-wise, same order). Served from a secondary hash index: built
+    on first use for that positions list, updated on insert/remove
+    thereafter. [positions] must be non-empty and in range for every tuple
+    of the relation. *)
 
 val relations : t -> string list
 val cardinality : t -> string -> int
 val total_tuples : t -> int
 
 val size_bytes : t -> int
-(** Serialized size of the whole store. *)
+(** Serialized size of the whole store, maintained incrementally (O(1),
+    not O(store)). When {!set_debug_recount} is on, every call verifies
+    the counter against {!recount_bytes} and raises on divergence. *)
+
+val recount_bytes : t -> int
+(** Slow path: re-serialize everything and measure. Equals {!size_bytes}
+    by construction; retained as the oracle for the debug assertion and
+    tests. *)
+
+val set_debug_recount : bool -> unit
+(** Global toggle for the {!size_bytes} self-check (off by default; keep
+    it off on hot paths). *)

@@ -83,8 +83,9 @@ let instantiate (a : Ast.atom) binding =
   Tuple.make a.rel values
 
 (* Process conditions left to right, branching on slow-atom joins.
-   [lookup] supplies candidate tuples for a condition atom (database scan at
-   runtime, the recorded tuple at re-derivation time). *)
+   [lookup] supplies candidate tuples for a condition atom given the
+   binding accumulated so far (an index probe or scan at runtime, the
+   recorded tuple at re-derivation time). *)
 let run_conditions env conds binding ~lookup =
   let rec go binding used cond_idx = function
     | [] -> [ (binding, List.rev used) ]
@@ -94,7 +95,7 @@ let run_conditions env conds binding ~lookup =
             match match_atom a tuple binding with
             | None -> []
             | Some binding -> go binding (tuple :: used) (cond_idx + 1) rest)
-          (lookup cond_idx a)
+          (lookup cond_idx a binding)
     | Ast.C_cmp (op, lhs, rhs) :: rest ->
         if compare_values op (eval_expr env binding lhs) (eval_expr env binding rhs) then
           go binding used (cond_idx + 1) rest
@@ -113,7 +114,78 @@ let fire ~env ~db ~(rule : Ast.rule) ~event =
   match match_atom rule.event event [] with
   | None -> []
   | Some binding ->
-      run_conditions env rule.conds binding ~lookup:(fun _ (a : Ast.atom) -> Db.scan db a.rel)
+      run_conditions env rule.conds binding ~lookup:(fun _ (a : Ast.atom) _ -> Db.scan db a.rel)
+      |> List.map (fun (binding, slow) -> (instantiate rule.head binding, slow))
+
+(* Compile-time join planning: walk the conditions left to right tracking
+   which variables the event atom and earlier conditions have bound; for
+   each condition atom, the argument positions holding constants or
+   already-bound variables become the key of a {!Db.lookup} index probe.
+   An atom with no bound position falls back to the unsorted full
+   relation. *)
+type key_part = K_const of Value.t | K_var of string
+
+type source = S_all | S_keyed of { positions : int list; parts : key_part list }
+
+type plan = { rule : Ast.rule; sources : source array }
+
+let plan_rule p = p.rule
+
+let plan (rule : Ast.rule) =
+  let bound = Hashtbl.create 16 in
+  let bind_atom (a : Ast.atom) =
+    List.iter
+      (function Ast.Var v -> Hashtbl.replace bound v () | Ast.Const _ -> ())
+      a.args
+  in
+  bind_atom rule.event;
+  let source_of = function
+    | Ast.C_atom a ->
+        let keyed =
+          List.concat
+            (List.mapi
+               (fun i -> function
+                 | Ast.Const c -> [ (i, K_const c) ]
+                 | Ast.Var v -> if Hashtbl.mem bound v then [ (i, K_var v) ] else [])
+               a.args)
+        in
+        let s =
+          match keyed with
+          | [] -> S_all
+          | _ :: _ ->
+              S_keyed { positions = List.map fst keyed; parts = List.map snd keyed }
+        in
+        bind_atom a;
+        s
+    | Ast.C_cmp _ -> S_all
+    | Ast.C_assign (x, _) ->
+        Hashtbl.replace bound x ();
+        S_all
+  in
+  { rule; sources = Array.of_list (List.map source_of rule.conds) }
+
+let fire_planned ~env ~db ~plan ~event =
+  let rule = plan.rule in
+  match match_atom rule.event event [] with
+  | None -> []
+  | Some binding ->
+      let lookup cond_idx (a : Ast.atom) binding =
+        match plan.sources.(cond_idx) with
+        | S_all -> Db.all db a.rel
+        | S_keyed { positions; parts } ->
+            let key =
+              List.map
+                (function
+                  | K_const c -> c
+                  | K_var v -> (
+                      match List.assoc_opt v binding with
+                      | Some value -> value
+                      | None -> fail "fire_planned: unbound key variable %s in %s" v rule.name))
+                parts
+            in
+            Db.lookup db ~rel:a.rel ~positions ~key
+      in
+      run_conditions env rule.conds binding ~lookup
       |> List.map (fun (binding, slow) -> (instantiate rule.head binding, slow))
 
 let fire_with_slow ~env ~(rule : Ast.rule) ~event ~slow =
@@ -138,7 +210,7 @@ let fire_with_slow ~env ~(rule : Ast.rule) ~event ~slow =
             (Array.length slow_arr);
         tbl
       in
-      let lookup cond_idx (_ : Ast.atom) = [ slow_arr.(Hashtbl.find atom_positions cond_idx) ] in
+      let lookup cond_idx (_ : Ast.atom) _ = [ slow_arr.(Hashtbl.find atom_positions cond_idx) ] in
       begin
         match run_conditions env rule.conds binding ~lookup with
         | [] -> None

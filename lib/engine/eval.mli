@@ -38,6 +38,27 @@ val fire :
     [event]; empty if the event does not match or no join succeeds. Slow
     tuples are listed in condition-atom order. *)
 
+type plan
+(** A rule compiled for index-driven joins: for each condition atom, the
+    argument positions already bound by the event atom or earlier
+    conditions (constants included) form the key of a {!Db.lookup} probe;
+    atoms with no bound position fall back to a full-relation pass. *)
+
+val plan : Dpc_ndlog.Ast.rule -> plan
+
+val plan_rule : plan -> Dpc_ndlog.Ast.rule
+
+val fire_planned :
+  env:Env.t ->
+  db:Db.t ->
+  plan:plan ->
+  event:Dpc_ndlog.Tuple.t ->
+  (Dpc_ndlog.Tuple.t * Dpc_ndlog.Tuple.t list) list
+(** Same derivations as {!fire} on the planned rule (as a multiset —
+    candidate order, and hence result order, is unspecified), but each
+    condition atom probes an exact index bucket instead of scanning and
+    sorting the relation. *)
+
 val fire_with_slow :
   env:Env.t ->
   rule:Dpc_ndlog.Ast.rule ->

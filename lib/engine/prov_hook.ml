@@ -5,6 +5,8 @@ type meta = {
   prev : (int * Dpc_util.Sha1.t) option;
 }
 
+type slow_op = Slow_insert | Slow_delete
+
 type t = {
   name : string;
   on_input : node:int -> Dpc_ndlog.Tuple.t -> meta;
@@ -17,13 +19,13 @@ type t = {
     meta ->
     meta;
   on_output : node:int -> Dpc_ndlog.Tuple.t -> meta -> unit;
-  on_slow_insert : node:int -> Dpc_ndlog.Tuple.t -> unit;
+  on_slow_update : node:int -> op:slow_op -> Dpc_ndlog.Tuple.t -> unit;
   meta_bytes : meta -> int;
 }
 
 let initial_meta event =
   {
-    evid = Dpc_util.Sha1.digest_string (Dpc_ndlog.Tuple.canonical event);
+    evid = Dpc_ndlog.Tuple.digest event;
     exist_flag = false;
     eqkey = None;
     prev = None;
@@ -35,6 +37,6 @@ let null =
     on_input = (fun ~node:_ event -> initial_meta event);
     on_fire = (fun ~node:_ ~rule:_ ~event:_ ~slow:_ ~head:_ meta -> meta);
     on_output = (fun ~node:_ _ _ -> ());
-    on_slow_insert = (fun ~node:_ _ -> ());
+    on_slow_update = (fun ~node:_ ~op:_ _ -> ());
     meta_bytes = (fun _ -> 0);
   }

@@ -17,6 +17,9 @@ type meta = {
           derived the current event *)
 }
 
+type slow_op = Slow_insert | Slow_delete
+(** Which kind of slow-changing update a [sig] broadcast announces. *)
+
 type t = {
   name : string;
   on_input : node:int -> Dpc_ndlog.Tuple.t -> meta;
@@ -29,9 +32,10 @@ type t = {
     meta ->
     meta;
   on_output : node:int -> Dpc_ndlog.Tuple.t -> meta -> unit;
-  on_slow_insert : node:int -> Dpc_ndlog.Tuple.t -> unit;
+  on_slow_update : node:int -> op:slow_op -> Dpc_ndlog.Tuple.t -> unit;
       (** invoked at each node when it receives the [sig] broadcast after a
-          slow-changing insert (§5.5) *)
+          slow-changing insert or delete (§5.5 requires the reset on any
+          slow-table update) *)
   meta_bytes : meta -> int;  (** wire size of the piggybacked bookkeeping *)
 }
 

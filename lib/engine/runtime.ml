@@ -14,6 +14,8 @@ type t = {
   msg_overhead : int;
   interest : string list;
   nodes : Node.t array;
+  plans : (string, Eval.plan list) Hashtbl.t;  (* event relation -> rule plans, program order *)
+  record_outputs : bool;
   mutable outputs_rev : (Tuple.t * Prov_hook.meta) list;
   mutable injected : int;
   mutable fired : int;
@@ -21,7 +23,8 @@ type t = {
   mutable dead_ends : int;
 }
 
-let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) ?nodes () =
+let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
+    ?(record_outputs = true) ?nodes () =
   (match List.filter (fun rel -> not (Delp.is_event delp rel)) interest with
   | [] -> ()
   | bad ->
@@ -39,6 +42,14 @@ let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) ?no
                (Array.length nodes) n);
         nodes
   in
+  (* Compile every rule once; [process] fetches the plans for an event
+     relation with one hash lookup instead of filtering the program. *)
+  let plans = Hashtbl.create 8 in
+  List.iter
+    (fun (rule : Ast.rule) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt plans rule.event.rel) in
+      Hashtbl.replace plans rule.event.rel (existing @ [ Eval.plan rule ]))
+    delp.program.rules;
   {
     transport;
     delp;
@@ -47,6 +58,8 @@ let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = []) ?no
     msg_overhead;
     interest;
     nodes;
+    plans;
+    record_outputs;
     outputs_rev = [];
     injected = 0;
     fired = 0;
@@ -68,15 +81,15 @@ let load_slow t tuples =
    event relation triggers; ship each head to its location. A head whose
    relation triggers no rule is an output. *)
 let rec process t ~input node event meta =
-  match Delp.rules_for_event t.delp (Tuple.rel event) with
-  | [] ->
+  match Hashtbl.find_opt t.plans (Tuple.rel event) with
+  | None ->
       Log.debug (fun m -> m "output %s at n%d" (Tuple.to_string event) node);
       t.output_count <- t.output_count + 1;
       tick t node "runtime.outputs";
-      t.outputs_rev <- (event, meta) :: t.outputs_rev;
+      if t.record_outputs then t.outputs_rev <- (event, meta) :: t.outputs_rev;
       ignore (Db.insert (db t node) event);
       t.hook.on_output ~node event meta
-  | rules ->
+  | Some plans ->
       (* Extra relations of interest get a concrete provenance record on
          arrival, then execution continues through them. The injected input
          event itself is a base tuple (nothing derived it), so only derived
@@ -87,7 +100,8 @@ let rec process t ~input node event meta =
       end;
       let any_fired = ref false in
       List.iter
-        (fun rule ->
+        (fun plan ->
+          let rule = Eval.plan_rule plan in
           List.iter
             (fun (head, slow) ->
               any_fired := true;
@@ -98,8 +112,8 @@ let rec process t ~input node event meta =
                   (Tuple.to_string head));
               let meta' = t.hook.on_fire ~node ~rule ~event ~slow ~head meta in
               ship t node head meta')
-            (Eval.fire ~env:t.env ~db:(db t node) ~rule ~event))
-        rules;
+            (Eval.fire_planned ~env:t.env ~db:(db t node) ~plan ~event))
+        plans;
       if not !any_fired then begin
         Log.debug (fun m -> m "event %s died at n%d" (Tuple.to_string event) node);
         t.dead_ends <- t.dead_ends + 1;
@@ -114,20 +128,30 @@ and ship t src head meta =
   Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
     process t ~input:false dst head meta)
 
-let insert_slow_runtime t tuple =
-  let node = Tuple.loc tuple in
-  ignore (Db.insert (db t node) tuple);
-  (* Broadcast the sig control message to every node, including the origin
-     (delivered locally through the queue to preserve event ordering). *)
+(* Broadcast the sig control message to every node, including the origin
+   (delivered locally through the queue to preserve event ordering). *)
+let broadcast_sig t node op tuple =
   let bytes = t.msg_overhead + 4 in
   Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
     ~by:(Array.length t.nodes) "runtime.shipped_msgs";
   Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
     ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
   Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
-    t.hook.on_slow_insert ~node:target tuple)
+    t.hook.on_slow_update ~node:target ~op tuple)
 
-let delete_slow_runtime t tuple = Db.remove (db t (Tuple.loc tuple)) tuple
+let insert_slow_runtime t tuple =
+  let node = Tuple.loc tuple in
+  (* A duplicate insert changes nothing, so nothing is announced: no sig
+     broadcast, no message/byte accounting. *)
+  if Db.insert (db t node) tuple then broadcast_sig t node Prov_hook.Slow_insert tuple
+
+let delete_slow_runtime t tuple =
+  let node = Tuple.loc tuple in
+  if Db.remove (db t node) tuple then begin
+    broadcast_sig t node Prov_hook.Slow_delete tuple;
+    true
+  end
+  else false
 
 let inject t ?(delay = 0.0) event =
   if not (String.equal (Tuple.rel event) t.delp.input_event) then

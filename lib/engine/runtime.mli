@@ -26,11 +26,17 @@ val create :
   hook:Prov_hook.t ->
   ?msg_overhead:int ->
   ?interest:string list ->
+  ?record_outputs:bool ->
   ?nodes:Node.t array ->
   unit ->
   t
 (** [msg_overhead] (default 28 bytes) is the fixed per-message header
     charged on top of tuple and meta bytes.
+
+    [record_outputs] (default [true]) keeps every terminal output for
+    {!outputs}. Turn it off in long measurement runs that never read
+    them — otherwise the list grows without bound. Stats and metrics
+    still count outputs either way.
 
     [interest] adds relations of interest beyond the terminal outputs
     (§3.2: the user picks which relations get concrete provenance). A
@@ -60,11 +66,15 @@ val load_slow : t -> Dpc_ndlog.Tuple.t list -> unit
 val insert_slow_runtime : t -> Dpc_ndlog.Tuple.t -> unit
 (** §5.5: insert a slow-changing tuple at runtime — stores it and
     broadcasts the [sig] control message to every node, invoking each
-    node's [on_slow_insert] on delivery. *)
+    node's [on_slow_update] on delivery. Re-inserting a tuple already
+    present is a no-op: no broadcast, no message accounting. *)
 
 val delete_slow_runtime : t -> Dpc_ndlog.Tuple.t -> bool
-(** Deletion does not invalidate stored provenance (provenance is
-    monotone); no broadcast. *)
+(** §5.5: remove a slow-changing tuple at runtime. A deletion is a
+    slow-table update like any other, so it broadcasts [sig] (with the
+    same message/byte accounting as an insert) — equivalence-class trees
+    derived against the old table must not be served afterwards. Returns
+    [false] (and stays silent) if the tuple was not present. *)
 
 val inject : t -> ?delay:float -> Dpc_ndlog.Tuple.t -> unit
 (** Schedule an input event tuple for processing at its location.

@@ -1,9 +1,21 @@
-type t = { rel : string; args : Value.t array }
+(* The canonical string and its SHA-1 digest are memoized: the engine
+   re-canonicalizes the same tuple value at every hop (db keys, vids), and
+   the digest is the single most expensive per-firing operation. The memo
+   fields are invisible outside this module — [t] is abstract, and
+   [equal]/[compare]/[hash] look only at the relation and arguments. *)
+type t = {
+  rel : string;
+  args : Value.t array;
+  mutable canonical_memo : string;  (* "" = not yet computed *)
+  mutable digest_memo : Dpc_util.Sha1.t option;
+}
+
+let build rel args = { rel; args; canonical_memo = ""; digest_memo = None }
 
 let make rel args =
   match args with
   | [] -> invalid_arg "Tuple.make: empty argument list"
-  | Value.Addr _ :: _ -> { rel; args = Array.of_list args }
+  | Value.Addr _ :: _ -> build rel (Array.of_list args)
   | (Value.Int _ | Value.Str _ | Value.Bool _) :: _ ->
       invalid_arg "Tuple.make: first attribute must be a node address"
 
@@ -26,19 +38,52 @@ let compare a b =
   | 0 -> Stdlib.compare a.args b.args
   | c -> c
 
-let hash = Hashtbl.hash
+let hash t = Hashtbl.hash (t.rel, t.args)
 
-let canonical t =
-  let buf = Buffer.create 64 in
-  Buffer.add_string buf t.rel;
-  Buffer.add_char buf '(';
+(* Feed the canonical rendering piecewise: rel, "(", comma-separated value
+   pieces, ")". [canonical] and [digest] MUST observe the same byte
+   sequence — the digest streams these pieces without building the
+   string. *)
+let canonical_feed t f =
+  f t.rel;
+  f "(";
   Array.iteri
     (fun i v ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Value.canonical v))
+      if i > 0 then f ",";
+      Value.canonical_iter f v)
     t.args;
-  Buffer.add_char buf ')';
-  Buffer.contents buf
+  f ")"
+
+let canonical t =
+  if t.canonical_memo <> "" then t.canonical_memo
+  else begin
+    (* Size the buffer from the serialized form (same payload, small
+       per-field framing differences) so a large payload never forces
+       repeated doubling copies. *)
+    let estimate =
+      String.length t.rel + 2
+      + Array.fold_left (fun acc v -> acc + Value.wire_size v + 12) 0 t.args
+    in
+    let buf = Buffer.create estimate in
+    canonical_feed t (Buffer.add_string buf);
+    let s = Buffer.contents buf in
+    t.canonical_memo <- s;
+    s
+  end
+
+let digest t =
+  match t.digest_memo with
+  | Some d -> d
+  | None ->
+      (* Stream the canonical pieces straight into SHA-1: most tuples are
+         digested exactly once and never need the canonical string
+         itself, so don't materialize (or retain) it just to hash it. *)
+      let d =
+        if t.canonical_memo <> "" then Dpc_util.Sha1.digest_string t.canonical_memo
+        else Dpc_util.Sha1.digest_iter (canonical_feed t)
+      in
+      t.digest_memo <- Some d;
+      d
 
 let pp fmt t =
   Format.fprintf fmt "%s(@@%a" t.rel Value.pp t.args.(0);
@@ -58,12 +103,21 @@ let serialize w t =
   write_varint w (Array.length t.args);
   Array.iter (Value.serialize w) t.args
 
+(* Must agree byte-for-byte with [serialize]; Db's incremental byte
+   counters rely on per-tuple sizes summing to the whole-store size. *)
+let serialized_size t =
+  let open Dpc_util.Serialize in
+  let rel_len = String.length t.rel in
+  varint_size rel_len + rel_len
+  + varint_size (Array.length t.args)
+  + Array.fold_left (fun acc v -> acc + Value.serialized_size v) 0 t.args
+
 let deserialize r =
   let open Dpc_util.Serialize in
   let rel = read_string r in
   let n = read_varint r in
   let args = List.init n (fun _ -> Value.deserialize r) in
   match args with
-  | Value.Addr _ :: _ -> { rel; args = Array.of_list args }
+  | Value.Addr _ :: _ -> build rel (Array.of_list args)
   | [] | (Value.Int _ | Value.Str _ | Value.Bool _) :: _ ->
       raise (Corrupt "Tuple.deserialize: malformed tuple")

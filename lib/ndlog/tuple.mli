@@ -1,7 +1,7 @@
 (** Ground tuples: a relation name applied to values, with the first
     attribute as the location specifier. *)
 
-type t = private { rel : string; args : Value.t array }
+type t
 
 val make : string -> Value.t list -> t
 (** @raise Invalid_argument if the argument list is empty or the first
@@ -23,7 +23,12 @@ val hash : t -> int
 
 val canonical : t -> string
 (** Unambiguous rendering used as SHA-1 input; [vid = sha1 (canonical t)]
-    mirrors the paper's [sha1(packet(@n1, n1, n3, "data"))]. *)
+    mirrors the paper's [sha1(packet(@n1, n1, n3, "data"))]. Memoized per
+    tuple value. *)
+
+val digest : t -> Dpc_util.Sha1.t
+(** [sha1 (canonical t)], memoized per tuple value — the vid every
+    provenance scheme keys on. *)
 
 val pp : Format.formatter -> t -> unit
 (** e.g. [packet(@n1, n1, n3, "data")]. *)
@@ -32,6 +37,10 @@ val to_string : t -> string
 
 val wire_size : t -> int
 (** Serialized size in bytes, for bandwidth and storage accounting. *)
+
+val serialized_size : t -> int
+(** Exact byte count {!serialize} emits for this tuple, computed without
+    serializing — the unit of Db's incremental storage accounting. *)
 
 val serialize : Dpc_util.Serialize.writer -> t -> unit
 val deserialize : Dpc_util.Serialize.reader -> t

@@ -11,9 +11,27 @@ let equal a b =
 let compare = Stdlib.compare
 let hash = Hashtbl.hash
 
+(* [canonical_iter f v] feeds the canonical rendering of [v] to [f] in
+   pieces, so hashing a value never copies its payload (a [Str] payload is
+   passed through by reference). [canonical] must stay the concatenation
+   of exactly these pieces. *)
+let canonical_iter f = function
+  | Int i ->
+      f "i:";
+      f (string_of_int i)
+  | Str s ->
+      f "s:";
+      f (string_of_int (String.length s));
+      f ":";
+      f s
+  | Bool b -> f (if b then "b:true" else "b:false")
+  | Addr a ->
+      f "@";
+      f (string_of_int a)
+
 let canonical = function
   | Int i -> "i:" ^ string_of_int i
-  | Str s -> Printf.sprintf "s:%d:%s" (String.length s) s
+  | Str s -> "s:" ^ string_of_int (String.length s) ^ ":" ^ s
   | Bool b -> if b then "b:true" else "b:false"
   | Addr a -> "@" ^ string_of_int a
 
@@ -46,6 +64,16 @@ let wire_size = function
   | Str s -> 4 + String.length s
   | Bool _ -> 1
   | Addr _ -> 4
+
+(* Must agree byte-for-byte with [serialize]: a 1-byte tag varint followed
+   by the payload encoding. *)
+let serialized_size = function
+  | Int _ -> 1 + 8
+  | Str s ->
+      let len = String.length s in
+      1 + Dpc_util.Serialize.varint_size len + len
+  | Bool _ -> 1 + 1
+  | Addr a -> 1 + Dpc_util.Serialize.varint_size a
 
 let serialize w v =
   let open Dpc_util.Serialize in

@@ -18,6 +18,11 @@ val canonical : t -> string
 (** Unambiguous rendering used as SHA-1 input ("i:42", "s:<len>:...",
     "b:true", "@7"): distinct values never collide textually. *)
 
+val canonical_iter : (string -> unit) -> t -> unit
+(** [canonical_iter f v] feeds the pieces of [canonical v] to [f] in
+    order without concatenating them — a [Str] payload is passed through
+    by reference, so hashing a value never copies it. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering: [42], ["data"], [true], [n7]. *)
 
@@ -33,6 +38,10 @@ val str_exn : t -> string
 val wire_size : t -> int
 (** Bytes this value occupies in a serialized message (used for bandwidth
     accounting). *)
+
+val serialized_size : t -> int
+(** Exact byte count {!serialize} emits for this value, computed without
+    serializing. *)
 
 val serialize : Dpc_util.Serialize.writer -> t -> unit
 val deserialize : Dpc_util.Serialize.reader -> t

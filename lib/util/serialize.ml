@@ -17,6 +17,11 @@ let rec write_varint buf v =
     write_varint buf (v lsr 7)
   end
 
+let varint_size v =
+  if v < 0 then invalid_arg "Serialize.varint_size: negative";
+  let rec go n v = if v < 0x80 then n else go (n + 1) (v lsr 7) in
+  go 1 v
+
 let write_int64 buf v =
   for k = 0 to 7 do
     Buffer.add_char buf

@@ -14,6 +14,10 @@ val write_int : writer -> int -> unit
 val write_varint : writer -> int -> unit
 (** LEB128-style variable-length non-negative integer. *)
 
+val varint_size : int -> int
+(** Bytes {!write_varint} would emit, without writing — for analytic size
+    accounting that must match serialization exactly. *)
+
 val write_float : writer -> float -> unit
 val write_bool : writer -> bool -> unit
 val write_string : writer -> string -> unit

@@ -1,72 +1,395 @@
 type t = string
 
 let mask32 = 0xFFFFFFFF
-let rotl32 x n = ((x lsl n) lor ((x land mask32) lsr (32 - n))) land mask32
 
-(* Process one 64-byte block starting at [off] in [msg], updating state. *)
-let process_block h msg off =
-  let w = Array.make 80 0 in
+(* Process one 64-byte block starting at [off] in [msg], updating state.
+   [w] is the caller's 80-slot schedule scratch (hoisted out of the
+   per-block loop). Tuple digests sit on the engine's hot path and this
+   build has no flambda, so the 80 rounds are fully unrolled into
+   straight-line let-bound ints (no ref cells, no per-round closure
+   call), the rotates are open-coded on already-masked words, and the
+   bounds checks are elided — [w] is always 80 slots and [off + 63] is
+   in range. The state renaming per round uses a single simultaneous
+   [let ... and ...] so every right-hand side reads the previous
+   round's values. *)
+let process_block h w msg off =
   for i = 0 to 15 do
-    let b k = Char.code (Bytes.get msg (off + (i * 4) + k)) in
-    w.(i) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+    let j = off + (i * 4) in
+    Array.unsafe_set w i
+      ((Char.code (Bytes.unsafe_get msg j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get msg (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get msg (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get msg (j + 3)))
   done;
   for i = 16 to 79 do
-    w.(i) <- rotl32 (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
-  done;
-  let a = ref h.(0)
-  and b = ref h.(1)
-  and c = ref h.(2)
-  and d = ref h.(3)
-  and e = ref h.(4) in
-  for i = 0 to 79 do
-    let f, k =
-      if i < 20 then (!b land !c) lor (lnot !b land !d) land mask32, 0x5A827999
-      else if i < 40 then !b lxor !c lxor !d, 0x6ED9EBA1
-      else if i < 60 then (!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC
-      else !b lxor !c lxor !d, 0xCA62C1D6
+    (* All stored words are masked to 32 bits, so rotl-by-1 needs no mask
+       before the right shift. *)
+    let x =
+      Array.unsafe_get w (i - 3)
+      lxor Array.unsafe_get w (i - 8)
+      lxor Array.unsafe_get w (i - 14)
+      lxor Array.unsafe_get w (i - 16)
     in
-    let tmp = (rotl32 !a 5 + (f land mask32) + !e + k + w.(i)) land mask32 in
-    e := !d;
-    d := !c;
-    c := rotl32 !b 30;
-    b := !a;
-    a := tmp
+    Array.unsafe_set w i (((x lsl 1) lor (x lsr 31)) land mask32)
   done;
-  h.(0) <- (h.(0) + !a) land mask32;
-  h.(1) <- (h.(1) + !b) land mask32;
-  h.(2) <- (h.(2) + !c) land mask32;
-  h.(3) <- (h.(3) + !d) land mask32;
-  h.(4) <- (h.(4) + !e) land mask32
+  let a = h.(0) and b = h.(1) and c = h.(2) and d = h.(3) and e = h.(4) in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 0) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 1) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 2) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 3) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 4) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 5) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 6) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 7) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 8) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 9) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 10) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 11) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 12) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 13) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 14) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 15) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 16) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 17) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 18) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (lnot b land d)) + e + 0x5A827999 + Array.unsafe_get w 19) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 20) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 21) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 22) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 23) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 24) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 25) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 26) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 27) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 28) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 29) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 30) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 31) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 32) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 33) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 34) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 35) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 36) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 37) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 38) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0x6ED9EBA1 + Array.unsafe_get w 39) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 40) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 41) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 42) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 43) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 44) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 45) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 46) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 47) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 48) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 49) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 50) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 51) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 52) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 53) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 54) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 55) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 56) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 57) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 58) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + ((b land c) lor (b land d) lor (c land d)) + e + 0x8F1BBCDC + Array.unsafe_get w 59) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 60) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 61) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 62) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 63) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 64) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 65) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 66) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 67) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 68) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 69) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 70) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 71) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 72) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 73) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 74) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 75) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 76) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 77) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 78) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
+  let t = (((a lsl 5) lor (a lsr 27)) + (b lxor c lxor d) + e + 0xCA62C1D6 + Array.unsafe_get w 79) land mask32 in
+  let br = ((b lsl 30) lor (b lsr 2)) land mask32 in
+  let a = t and b = a and c = br and d = c and e = d in
 
-let digest_string s =
+  h.(0) <- (h.(0) + a) land mask32;
+  h.(1) <- (h.(1) + b) land mask32;
+  h.(2) <- (h.(2) + c) land mask32;
+  h.(3) <- (h.(3) + d) land mask32;
+  h.(4) <- (h.(4) + e) land mask32
+
+(* Streaming context. Hashing dominates the provenance hot path, so the
+   padded whole-message copy of the textbook formulation is replaced by a
+   context that consumes input in place: full 64-byte blocks are processed
+   straight out of the source string (via the read-only
+   [Bytes.unsafe_of_string] view), and only the sub-block tail ever hits
+   the 64-byte carry buffer. *)
+type ctx = {
+  st : int array;  (* 5-word chaining state *)
+  cw : int array;  (* 80-slot schedule scratch *)
+  cbuf : Bytes.t;  (* partial-block carry, 64 bytes *)
+  mutable fill : int;  (* bytes pending in [cbuf] *)
+  mutable total : int;  (* total message bytes fed *)
+}
+
+let init () =
+  { st = Array.make 5 0; cw = Array.make 80 0; cbuf = Bytes.create 64; fill = 0; total = 0 }
+
+let reset ctx =
+  ctx.st.(0) <- 0x67452301;
+  ctx.st.(1) <- 0xEFCDAB89;
+  ctx.st.(2) <- 0x98BADCFE;
+  ctx.st.(3) <- 0x10325476;
+  ctx.st.(4) <- 0xC3D2E1F0;
+  ctx.fill <- 0;
+  ctx.total <- 0
+
+let feed ctx s =
   let len = String.length s in
-  (* Padded length: message + 0x80 + zeros + 8-byte big-endian bit length. *)
-  let padded = ((len + 8) / 64 + 1) * 64 in
-  let msg = Bytes.make padded '\000' in
-  Bytes.blit_string s 0 msg 0 len;
-  Bytes.set msg len '\x80';
-  let bitlen = len * 8 in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  if ctx.fill > 0 then begin
+    let take = min (64 - ctx.fill) len in
+    Bytes.blit_string s 0 ctx.cbuf ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := take;
+    if ctx.fill = 64 then begin
+      process_block ctx.st ctx.cw ctx.cbuf 0;
+      ctx.fill <- 0
+    end
+  end;
+  if ctx.fill = 0 then begin
+    (* Read-only view: process_block never writes to [msg]. *)
+    let b = Bytes.unsafe_of_string s in
+    while len - !pos >= 64 do
+      process_block ctx.st ctx.cw b !pos;
+      pos := !pos + 64
+    done;
+    let rem = len - !pos in
+    if rem > 0 then begin
+      Bytes.blit_string s !pos ctx.cbuf 0 rem;
+      ctx.fill <- rem
+    end
+  end
+
+let final ctx =
+  (* Pad: 0x80, zeros to 56 mod 64, then the 8-byte big-endian bit count. *)
+  Bytes.set ctx.cbuf ctx.fill '\x80';
+  if ctx.fill >= 56 then begin
+    Bytes.fill ctx.cbuf (ctx.fill + 1) (63 - ctx.fill) '\000';
+    process_block ctx.st ctx.cw ctx.cbuf 0;
+    Bytes.fill ctx.cbuf 0 56 '\000'
+  end
+  else Bytes.fill ctx.cbuf (ctx.fill + 1) (55 - ctx.fill) '\000';
+  let bitlen = ctx.total * 8 in
   for k = 0 to 7 do
-    Bytes.set msg (padded - 1 - k) (Char.chr ((bitlen lsr (8 * k)) land 0xFF))
+    Bytes.set ctx.cbuf (63 - k) (Char.chr ((bitlen lsr (8 * k)) land 0xFF))
   done;
-  let h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |] in
-  for blk = 0 to (padded / 64) - 1 do
-    process_block h msg (blk * 64)
-  done;
+  process_block ctx.st ctx.cw ctx.cbuf 0;
   let out = Bytes.create 20 in
   for i = 0 to 4 do
     for k = 0 to 3 do
-      Bytes.set out ((i * 4) + k) (Char.chr ((h.(i) lsr (8 * (3 - k))) land 0xFF))
+      Bytes.set out ((i * 4) + k) (Char.chr ((ctx.st.(i) lsr (8 * (3 - k))) land 0xFF))
     done
   done;
   Bytes.unsafe_to_string out
 
-let digest_concat parts = digest_string (String.concat "+" parts)
+(* One shared context: digesting is never re-entered (the [digest_iter]
+   feeder only renders value pieces; it must not itself digest). *)
+let shared = init ()
+
+let digest_string s =
+  reset shared;
+  feed shared s;
+  final shared
+
+let digest_iter feeder =
+  reset shared;
+  feeder (feed shared);
+  final shared
+
+let digest_concat parts =
+  reset shared;
+  List.iteri
+    (fun i part ->
+      if i > 0 then feed shared "+";
+      feed shared part)
+    parts;
+  final shared
+
+let hex_digits = "0123456789abcdef"
 
 let to_hex t =
-  let buf = Buffer.create 40 in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
-  Buffer.contents buf
+  let out = Bytes.create 40 in
+  String.iteri
+    (fun i c ->
+      let b = Char.code c in
+      Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_digits (b lsr 4));
+      Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_digits (b land 0xF)))
+    t;
+  Bytes.unsafe_to_string out
 
 let to_raw t = t
 

@@ -10,6 +10,13 @@ type t
 val digest_string : string -> t
 (** [digest_string s] is the SHA-1 digest of [s]. *)
 
+val digest_iter : ((string -> unit) -> unit) -> t
+(** [digest_iter feeder] digests the concatenation of every string the
+    feeder passes to its callback, without materializing the whole
+    message. Equivalent to [digest_string] of the concatenation. The
+    feeder must not itself start another digest (the streaming context is
+    shared). *)
+
 val digest_concat : string list -> t
 (** [digest_concat parts] hashes the concatenation of [parts], inserting a
     ['+'] separator between parts (mirroring the paper's

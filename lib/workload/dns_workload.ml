@@ -66,7 +66,7 @@ type t = {
   routing : Dpc_net.Routing.t;
 }
 
-let setup ~scheme spec ?(bucket_width = 1.0) () =
+let setup ~scheme spec ?(bucket_width = 1.0) ?(record_outputs = true) () =
   let topology = spec.tree.topology in
   let routing = Dpc_net.Routing.compute topology in
   let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
@@ -78,7 +78,7 @@ let setup ~scheme spec ?(bucket_width = 1.0) () =
   let runtime =
     Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
       ~env:Dpc_apps.Dns.env ~hook:(Dpc_core.Backend.hook backend)
-      ~nodes:(Dpc_core.Backend.nodes backend) ()
+      ~record_outputs ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (slow_tuples spec);
   { spec; sim; runtime; backend; routing }

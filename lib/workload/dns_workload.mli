@@ -37,7 +37,15 @@ type t = {
   routing : Dpc_net.Routing.t;
 }
 
-val setup : scheme:Dpc_core.Backend.scheme -> spec -> ?bucket_width:float -> unit -> t
+val setup :
+  scheme:Dpc_core.Backend.scheme ->
+  spec ->
+  ?bucket_width:float ->
+  ?record_outputs:bool ->
+  unit ->
+  t
+(** [record_outputs] (default [true]) is passed to the runtime; turn it
+    off in long measurement runs that never call {!replies}. *)
 
 val inject_requests :
   t -> rng:Dpc_util.Rng.t -> rate:float -> duration:float -> int

@@ -6,7 +6,7 @@ type t = {
   pairs : (int * int) list;
 }
 
-let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) () =
+let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outputs = true) () =
   let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   let backend =
@@ -16,7 +16,7 @@ let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) () =
   let runtime =
     Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
       ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
-      ~nodes:(Dpc_core.Backend.nodes backend) ()
+      ~record_outputs ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
   { sim; runtime; backend; routing; pairs }

@@ -16,8 +16,12 @@ val setup :
   routing:Dpc_net.Routing.t ->
   pairs:(int * int) list ->
   ?bucket_width:float ->
+  ?record_outputs:bool ->
   unit ->
   t
+(** [record_outputs] (default [true]) is passed to the runtime; turn it
+    off in long measurement runs that never call {!received} or
+    {!query_random_outputs}. *)
 
 val inject_stream :
   t -> rate_per_pair:float -> duration:float -> payload_size:int -> int

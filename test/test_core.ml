@@ -246,6 +246,38 @@ let test_route_update_rematerializes () =
   check tree_testable "old tree is the Fig 3 tree" (fig3_tree "before")
     (List.hd old_result.trees)
 
+let test_delete_alone_invalidates_equivalence () =
+  (* Regression for the §5.5 fix: a deletion with no accompanying insert
+     must broadcast [sig] on its own. Here the class is materialized with
+     two derivations (both routes at n1), then one route is deleted; if the
+     delete were silent, the next packet would reuse the stale class and be
+     served a tree through the deleted route. *)
+  let w = make_world Backend.S_advanced in
+  send w ~payload:"before";
+  (* Add the alternate path n1 -> n4 -> n3 (both routes now live at n1). *)
+  Dpc_engine.Runtime.insert_slow_runtime w.runtime (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:3);
+  Dpc_engine.Runtime.insert_slow_runtime w.runtime (Dpc_apps.Forwarding.route ~at:3 ~dst:2 ~next:2);
+  Dpc_engine.Runtime.run w.runtime;
+  send w ~payload:"mid";
+  check Alcotest.int "both paths materialized" 2
+    (List.length (query w (expected_recv "mid")).trees);
+  (* Delete the original route. Nothing else updates afterwards. *)
+  ignore
+    (Dpc_engine.Runtime.delete_slow_runtime w.runtime
+       (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1));
+  Dpc_engine.Runtime.run w.runtime;
+  send w ~payload:"after";
+  let result = query w (expected_recv "after") in
+  check Alcotest.int "only the surviving path" 1 (List.length result.trees);
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun t ->
+          if Tuple.equal t (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1) then
+            Alcotest.failf "stale tree cites the deleted route: %s" (Prov_tree.to_string tree))
+        (Prov_tree.tuples tree))
+    result.trees
+
 let test_deletion_keeps_provenance () =
   let w = make_world Backend.S_advanced in
   send w ~payload:"data";
@@ -441,6 +473,8 @@ let () =
       ( "updates",
         [
           Alcotest.test_case "route update rematerializes" `Quick test_route_update_rematerializes;
+          Alcotest.test_case "delete alone invalidates classes" `Quick
+            test_delete_alone_invalidates_equivalence;
           Alcotest.test_case "deletion keeps provenance" `Quick test_deletion_keeps_provenance;
         ] );
       ( "theorems",

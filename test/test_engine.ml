@@ -40,6 +40,48 @@ let test_db_size_bytes_grows () =
   let s1 = Db.size_bytes db in
   check Alcotest.bool "grows" true (s1 > s0)
 
+let test_db_size_bytes_incremental () =
+  (* The O(1) counter must equal the serialize-everything recount at every
+     point of a random insert/remove interleaving (with duplicates and
+     misses). debug_recount additionally makes size_bytes self-check. *)
+  Db.set_debug_recount true;
+  Fun.protect
+    ~finally:(fun () -> Db.set_debug_recount false)
+    (fun () ->
+      let db = Db.create () in
+      let rng = Dpc_util.Rng.create ~seed:5 in
+      let tuple k = route ~at:(k mod 4) ~dst:(k mod 7) ~next:(k mod 3) in
+      for step = 0 to 199 do
+        let k = Dpc_util.Rng.int rng 25 in
+        if Dpc_util.Rng.float rng 1.0 < 0.6 then ignore (Db.insert db (tuple k))
+        else ignore (Db.remove db (tuple k));
+        check Alcotest.int
+          (Printf.sprintf "step %d" step)
+          (Db.recount_bytes db) (Db.size_bytes db)
+      done)
+
+let test_db_lookup_indexed () =
+  let db = Db.create () in
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:3 ~next:1));
+  ignore (Db.insert db (route ~at:1 ~dst:2 ~next:2));
+  let key_02 = [ Value.Addr 0; Value.Addr 2 ] in
+  (* First lookup builds the (0,1) index lazily over the existing tuples. *)
+  check (Alcotest.list tuple_t) "exact bucket" [ route ~at:0 ~dst:2 ~next:1 ]
+    (Db.lookup db ~rel:"route" ~positions:[ 0; 1 ] ~key:key_02);
+  (* ...and the index is maintained by subsequent inserts and removes. *)
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:4));
+  check Alcotest.int "sees later insert" 2
+    (List.length (Db.lookup db ~rel:"route" ~positions:[ 0; 1 ] ~key:key_02));
+  ignore (Db.remove db (route ~at:0 ~dst:2 ~next:1));
+  check (Alcotest.list tuple_t) "sees removal" [ route ~at:0 ~dst:2 ~next:4 ]
+    (Db.lookup db ~rel:"route" ~positions:[ 0; 1 ] ~key:key_02);
+  check (Alcotest.list tuple_t) "absent key" []
+    (Db.lookup db ~rel:"route" ~positions:[ 0; 1 ] ~key:[ Value.Addr 9; Value.Addr 9 ]);
+  (* A second index on different positions coexists with the first. *)
+  check Alcotest.int "single-position index" 2
+    (List.length (Db.lookup db ~rel:"route" ~positions:[ 0 ] ~key:[ Value.Addr 0 ]))
+
 (* ------------------------------------------------------------------ *)
 (* Eval *)
 
@@ -166,6 +208,38 @@ let test_fire_with_slow_rejects_mismatched () =
   check (Alcotest.option tuple_t) "no head" None
     (Eval.fire_with_slow ~env:Env.empty ~rule:forwarding_r1 ~event ~slow)
 
+let test_fire_planned_matches_fire () =
+  (* The index-driven join must produce the same derivations as the naive
+     scan join, as a multiset. *)
+  let db = Db.create () in
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:1));
+  ignore (Db.insert db (route ~at:0 ~dst:2 ~next:3));
+  ignore (Db.insert db (route ~at:0 ~dst:4 ~next:2));
+  ignore (Db.insert db (route ~at:1 ~dst:2 ~next:2));
+  let norm results =
+    List.sort compare
+      (List.map
+         (fun (head, slow) -> (Tuple.canonical head, List.map Tuple.canonical slow))
+         results)
+  in
+  List.iter
+    (fun event ->
+      List.iter
+        (fun rule ->
+          let naive = Eval.fire ~env:Env.empty ~db ~rule ~event in
+          let planned = Eval.fire_planned ~env:Env.empty ~db ~plan:(Eval.plan rule) ~event in
+          check
+            (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.list Alcotest.string)))
+            ("planned = naive on " ^ Tuple.to_string event)
+            (norm naive) (norm planned))
+        [ forwarding_r1; forwarding_r2 ])
+    [
+      pkt ~at:0 ~src:0 ~dst:2 ~payload:"x";
+      pkt ~at:0 ~src:0 ~dst:4 ~payload:"y";
+      pkt ~at:2 ~src:0 ~dst:2 ~payload:"z";
+      pkt ~at:3 ~src:0 ~dst:9 ~payload:"dead";
+    ]
+
 let test_fire_with_slow_wrong_count () =
   let event = pkt ~at:0 ~src:0 ~dst:2 ~payload:"x" in
   Alcotest.check_raises "arity mismatch"
@@ -239,13 +313,89 @@ let test_runtime_sig_broadcast_reaches_all_nodes () =
   let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   let seen = ref [] in
-  let hook = { Prov_hook.null with on_slow_insert = (fun ~node _ -> seen := node :: !seen) } in
+  let hook = { Prov_hook.null with on_slow_update = (fun ~node ~op:_ _ -> seen := node :: !seen) } in
   let runtime = Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp ~env:Dpc_apps.Forwarding.env ~hook () in
   Runtime.insert_slow_runtime runtime (route ~at:1 ~dst:2 ~next:2);
   Runtime.run runtime;
   check (Alcotest.list Alcotest.int) "all nodes signalled" [ 0; 1; 2 ]
     (List.sort compare !seen);
   check Alcotest.bool "tuple stored" true (Db.mem (Runtime.db runtime 1) (route ~at:1 ~dst:2 ~next:2))
+
+let test_runtime_duplicate_insert_is_silent () =
+  (* §5.5: re-inserting a slow tuple already present must neither broadcast
+     [sig] nor charge any message accounting. *)
+  let runtime, sim = line_world () in
+  let msgs () =
+    Dpc_util.Metrics.counter (Runtime.metrics_snapshot runtime) "runtime.shipped_msgs"
+  in
+  check Alcotest.int "load_slow ships nothing" 0 (msgs ());
+  Runtime.insert_slow_runtime runtime (route ~at:0 ~dst:2 ~next:1);
+  Runtime.run runtime;
+  check Alcotest.int "duplicate insert ships nothing" 0 (msgs ());
+  check Alcotest.int "no bytes on the wire" 0 (Dpc_net.Sim.total_bytes sim);
+  Runtime.insert_slow_runtime runtime (route ~at:0 ~dst:5 ~next:1);
+  Runtime.run runtime;
+  check Alcotest.bool "fresh insert broadcasts" true (msgs () > 0)
+
+let test_runtime_delete_broadcasts_sig () =
+  (* §5.5 fix: a deletion is a slow-table update and must broadcast [sig]
+     to every node, tagged with the delete op. *)
+  let topo = Dpc_net.Topology.create ~n:3 in
+  let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e7 } in
+  Dpc_net.Topology.add_link topo 0 1 l;
+  Dpc_net.Topology.add_link topo 1 2 l;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let seen = ref [] in
+  let hook =
+    { Prov_hook.null with
+      on_slow_update = (fun ~node ~op _ -> seen := (node, op) :: !seen)
+    }
+  in
+  let runtime =
+    Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook ()
+  in
+  Runtime.load_slow runtime [ route ~at:1 ~dst:2 ~next:2 ];
+  (* Deleting an absent tuple is a no-op: no signal, returns false. *)
+  check Alcotest.bool "absent delete" false
+    (Runtime.delete_slow_runtime runtime (route ~at:1 ~dst:9 ~next:2));
+  Runtime.run runtime;
+  check Alcotest.int "absent delete is silent" 0 (List.length !seen);
+  check Alcotest.bool "present delete" true
+    (Runtime.delete_slow_runtime runtime (route ~at:1 ~dst:2 ~next:2));
+  Runtime.run runtime;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.bool))
+    "delete signalled on every node"
+    [ (0, true); (1, true); (2, true) ]
+    (List.sort compare
+       (List.map (fun (n, op) -> (n, op = Prov_hook.Slow_delete)) !seen));
+  check Alcotest.bool "tuple gone" false
+    (Db.mem (Runtime.db runtime 1) (route ~at:1 ~dst:2 ~next:2));
+  check Alcotest.bool "sig bytes accounted" true
+    (Dpc_util.Metrics.counter (Runtime.metrics_snapshot runtime) "runtime.shipped_msgs" > 0)
+
+let test_runtime_record_outputs_off () =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e7 } in
+  Dpc_net.Topology.add_link topo 0 1 l;
+  Dpc_net.Topology.add_link topo 1 2 l;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let runtime =
+    Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:Prov_hook.null ~record_outputs:false ()
+  in
+  Runtime.load_slow runtime [ route ~at:0 ~dst:2 ~next:1; route ~at:1 ~dst:2 ~next:2 ];
+  Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
+  Runtime.run runtime;
+  check Alcotest.int "outputs not retained" 0 (List.length (Runtime.outputs runtime));
+  check Alcotest.int "stats still count" 1 (Runtime.stats runtime).outputs;
+  check Alcotest.int "metrics still count" 1
+    (Dpc_util.Metrics.counter (Runtime.metrics_snapshot runtime) "runtime.outputs")
 
 let test_runtime_multipath_derivations () =
   (* Two routes at n0 toward n2: the packet is duplicated (both derivations
@@ -319,6 +469,8 @@ let () =
           Alcotest.test_case "set semantics" `Quick test_db_set_semantics;
           Alcotest.test_case "deterministic scan" `Quick test_db_scan_deterministic;
           Alcotest.test_case "size bytes" `Quick test_db_size_bytes_grows;
+          Alcotest.test_case "incremental size bytes" `Quick test_db_size_bytes_incremental;
+          Alcotest.test_case "keyed lookup" `Quick test_db_lookup_indexed;
         ] );
       ( "eval",
         [
@@ -337,6 +489,7 @@ let () =
           Alcotest.test_case "fire_with_slow rejects mismatch" `Quick
             test_fire_with_slow_rejects_mismatched;
           Alcotest.test_case "fire_with_slow wrong count" `Quick test_fire_with_slow_wrong_count;
+          Alcotest.test_case "planned fire matches naive" `Quick test_fire_planned_matches_fire;
         ] );
       ("env", [ Alcotest.test_case "shadowing" `Quick test_env_shadowing ]);
       ( "runtime",
@@ -345,6 +498,9 @@ let () =
           Alcotest.test_case "dead end" `Quick test_runtime_dead_end;
           Alcotest.test_case "rejects non-event" `Quick test_runtime_rejects_non_event;
           Alcotest.test_case "sig broadcast" `Quick test_runtime_sig_broadcast_reaches_all_nodes;
+          Alcotest.test_case "duplicate insert silent" `Quick test_runtime_duplicate_insert_is_silent;
+          Alcotest.test_case "delete broadcasts sig" `Quick test_runtime_delete_broadcasts_sig;
+          Alcotest.test_case "record_outputs off" `Quick test_runtime_record_outputs_off;
           Alcotest.test_case "multipath derivations" `Quick test_runtime_multipath_derivations;
         ] );
       ( "metrics",

@@ -99,8 +99,9 @@ let test_replay_handles_updates () =
   (* Redirect n1's next hop for destination n2... there is no alternate
      path on a line, so instead retarget destination routing through a
      deleted+reinserted entry and verify both epochs replay correctly. *)
+  (* The delete's sig broadcast reaches the replay hook, which logs the
+     E_delete on its own — no manual recording needed. *)
   ignore (Dpc_engine.Runtime.delete_slow_runtime runtime (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1));
-  Replay.record_slow_delete replay (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1);
   Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"lost");
   Dpc_engine.Runtime.run runtime;
   Dpc_engine.Runtime.insert_slow_runtime runtime (Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1);

@@ -106,6 +106,33 @@ let test_tuple_canonical_sensitivity () =
   check Alcotest.bool "relation matters" false
     (String.equal (Tuple.canonical t1) (Tuple.canonical t3))
 
+(* vid = sha1(canonical): the digest streams canonical pieces without
+   building the string, so check both code paths agree in both orders —
+   digest-before-canonical (streams) and canonical-before-digest (hashes
+   the memoized string) — including payloads spanning SHA-1 blocks. *)
+let test_tuple_digest_is_sha1_of_canonical () =
+  let mk payload = Tuple.make "packet" [ Value.Addr 3; Value.Int 7; Value.Str payload ] in
+  List.iter
+    (fun payload ->
+      (* digest first: the streaming path *)
+      let a = mk payload in
+      let da = Tuple.digest a in
+      let expected = Dpc_util.Sha1.digest_string (Tuple.canonical a) in
+      check Alcotest.bool "streamed digest = sha1 canonical" true
+        (Dpc_util.Sha1.equal da expected);
+      (* canonical first: the memoized-string path *)
+      let b = mk payload in
+      ignore (Tuple.canonical b);
+      check Alcotest.bool "memoized digest agrees" true
+        (Dpc_util.Sha1.equal (Tuple.digest b) da);
+      (* canonical_iter pieces concatenate to canonical *)
+      let buf = Buffer.create 16 in
+      Value.canonical_iter (Buffer.add_string buf) (Value.Str payload);
+      check Alcotest.string "value pieces concat to canonical"
+        (Value.canonical (Value.Str payload))
+        (Buffer.contents buf))
+    [ ""; "x"; String.make 55 'p'; String.make 64 'q'; String.make 500 'r' ]
+
 let test_tuple_serialize_roundtrip () =
   let w = Dpc_util.Serialize.writer () in
   Tuple.serialize w packet_tuple;
@@ -416,6 +443,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_tuple_basics;
           Alcotest.test_case "requires location" `Quick test_tuple_requires_location;
           Alcotest.test_case "canonical sensitivity" `Quick test_tuple_canonical_sensitivity;
+          Alcotest.test_case "digest is sha1 of canonical" `Quick
+            test_tuple_digest_is_sha1_of_canonical;
           Alcotest.test_case "serialize round-trip" `Quick test_tuple_serialize_roundtrip;
           Alcotest.test_case "wire size" `Quick test_tuple_wire_size_grows_with_payload;
         ] );

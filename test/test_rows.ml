@@ -62,6 +62,73 @@ let test_row_bytes_reflect_contents () =
     (Rows.rule_exec_row_bytes ~with_next:true exec_row
     > Rows.rule_exec_row_bytes ~with_next:false exec_row)
 
+(* The analytic size formulas must agree byte-for-byte with a real
+   serialization — Db and the store tables charge rows with the formulas,
+   and persistence writes the rows with the writers. *)
+let test_row_bytes_match_serialization () =
+  let open Dpc_util.Serialize in
+  let measure write = let w = writer () in write w; size w in
+  let wr_digest w d = write_string w (Dpc_util.Sha1.to_raw d) in
+  let wr_ref w = function
+    | None -> write_bool w false
+    | Some (node, d) ->
+        write_bool w true;
+        write_varint w node;
+        wr_digest w d
+  in
+  let rows = [ prov_row; base_row; { prov_row with Rows.loc = 200; rid = Some (150, d3) } ] in
+  List.iter
+    (fun (r : Rows.prov_row) ->
+      List.iter
+        (fun with_evid ->
+          let reference =
+            measure (fun w ->
+              write_varint w r.loc;
+              wr_digest w r.vid;
+              wr_ref w r.rid;
+              if with_evid then
+                match r.evid with
+                | None -> write_bool w false
+                | Some e ->
+                    write_bool w true;
+                    wr_digest w e)
+          in
+          check Alcotest.int
+            (Printf.sprintf "prov row, with_evid=%b" with_evid)
+            reference
+            (Rows.prov_row_bytes ~with_evid r))
+        [ false; true ])
+    rows;
+  let execs = [ exec_row; { exec_row with Rows.vids = []; next = None; rule = "longer-rule-name" } ] in
+  List.iter
+    (fun (r : Rows.rule_exec_row) ->
+      List.iter
+        (fun with_next ->
+          let reference =
+            measure (fun w ->
+              write_varint w r.rloc;
+              wr_digest w r.rid;
+              write_string w r.rule;
+              write_list w (wr_digest w) r.vids;
+              if with_next then wr_ref w r.next)
+          in
+          check Alcotest.int
+            (Printf.sprintf "exec row, with_next=%b" with_next)
+            reference
+            (Rows.rule_exec_row_bytes ~with_next r))
+        [ false; true ])
+    execs;
+  List.iter
+    (fun (r : Rows.link_row) ->
+      let reference =
+        measure (fun w ->
+          write_varint w r.link_rloc;
+          wr_digest w r.link_rid;
+          wr_ref w r.link_next)
+      in
+      check Alcotest.int "link row" reference (Rows.link_row_bytes r))
+    [ link_row; { link_row with Rows.link_next = Some (90, d2) } ]
+
 (* ------------------------------------------------------------------ *)
 (* Table *)
 
@@ -188,7 +255,11 @@ let () =
         ]
         @ qsuite [ prop_prov_row_roundtrip; prop_exec_row_roundtrip ] );
       ( "sizing",
-        [ Alcotest.test_case "bytes reflect contents" `Quick test_row_bytes_reflect_contents ] );
+        [
+          Alcotest.test_case "bytes reflect contents" `Quick test_row_bytes_reflect_contents;
+          Alcotest.test_case "formulas match serialization" `Quick
+            test_row_bytes_match_serialization;
+        ] );
       ( "table",
         [
           Alcotest.test_case "dedup and multimap" `Quick test_table_dedup_and_multimap;

@@ -45,6 +45,48 @@ let test_sha1_raw_roundtrip () =
     (Invalid_argument "Sha1.of_raw: expected 20 bytes") (fun () ->
       ignore (Sha1.of_raw "short"))
 
+(* The streaming feeder must agree with the one-shot digest no matter how
+   the message is cut, including cuts straddling the 64-byte block
+   boundary and messages landing on every padding edge. *)
+let test_sha1_digest_iter () =
+  let lengths = [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 128; 200; 513 ] in
+  List.iter
+    (fun len ->
+      let s = String.init len (fun i -> Char.chr (32 + ((i * 7) mod 95))) in
+      let whole = Sha1.digest_string s in
+      check Alcotest.bool
+        (Printf.sprintf "one piece, len %d" len)
+        true
+        (Sha1.equal whole (Sha1.digest_iter (fun f -> f s)));
+      List.iter
+        (fun cut ->
+          if cut <= len then
+            let streamed =
+              Sha1.digest_iter (fun f ->
+                f (String.sub s 0 cut);
+                f (String.sub s cut (len - cut)))
+            in
+            check Alcotest.bool
+              (Printf.sprintf "len %d cut at %d" len cut)
+              true (Sha1.equal whole streamed))
+        [ 0; 1; 63; 64; 65 ];
+      (* byte-at-a-time *)
+      let streamed =
+        Sha1.digest_iter (fun f -> String.iter (fun c -> f (String.make 1 c)) s)
+      in
+      check Alcotest.bool (Printf.sprintf "byte stream, len %d" len) true
+        (Sha1.equal whole streamed))
+    lengths
+
+let prop_sha1_digest_iter_matches =
+  QCheck.Test.make ~name:"digest_iter over random pieces = digest_string of concat"
+    ~count:200
+    QCheck.(list (string_of_size Gen.(0 -- 150)))
+    (fun pieces ->
+      Sha1.equal
+        (Sha1.digest_string (String.concat "" pieces))
+        (Sha1.digest_iter (fun f -> List.iter f pieces)))
+
 let prop_sha1_deterministic =
   QCheck.Test.make ~name:"sha1 deterministic and 40 hex chars" ~count:200
     QCheck.string (fun s ->
@@ -399,8 +441,14 @@ let () =
           Alcotest.test_case "padding boundaries" `Quick test_sha1_block_boundaries;
           Alcotest.test_case "digest_concat" `Quick test_sha1_concat;
           Alcotest.test_case "raw round-trip" `Quick test_sha1_raw_roundtrip;
+          Alcotest.test_case "streaming digest_iter" `Quick test_sha1_digest_iter;
         ]
-        @ qsuite [ prop_sha1_deterministic; prop_sha1_injective_on_samples ] );
+        @ qsuite
+            [
+              prop_sha1_deterministic;
+              prop_sha1_injective_on_samples;
+              prop_sha1_digest_iter_matches;
+            ] );
       ( "heap",
         [
           Alcotest.test_case "ordering" `Quick test_heap_ordering;

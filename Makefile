@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench chaos ci clean
 
 all: build
 
@@ -10,6 +10,9 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+chaos:
+	DPC_CHAOS_FULL=1 dune exec test/test_chaos.exe
 
 ci:
 	sh scripts/ci.sh

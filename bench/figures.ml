@@ -223,8 +223,8 @@ let fig10 cfg =
 
 let fig11 cfg =
   header "11" "Bandwidth consumption during packet forwarding";
-  let pairs = if cfg.paper_scale then 500 else 50 in
-  let per_pair = 100 in
+  let pairs = if cfg.tiny then 8 else if cfg.paper_scale then 500 else 50 in
+  let per_pair = if cfg.tiny then 20 else 100 in
   let duration = 10.0 in
   let rate = float_of_int per_pair /. duration in
   Printf.printf "workload: %d pairs x %d packets, 500-byte payloads\n" pairs per_pair;
@@ -279,12 +279,32 @@ let fig11 cfg =
         backend = Backend.make Backend.S_basic ~delp ~env:Dpc_apps.Forwarding.env ~nodes:100;
         routing;
         pairs = pair_list;
+        fault_stats = None;
       }
     in
     run_driver d ~updates:false
   in
   let results = List.map (fun s -> (scheme_label s, run s)) schemes in
   let adv_updates = run ~updates:true Backend.S_advanced in
+  (* Same workload over a lossy network, with the reliable-delivery layer
+     keeping effects exactly-once. Total bytes now include the delivery
+     layer's own traffic; the ack/retransmit adders are reported apart so
+     the protocol overhead is visible next to the provenance overhead. *)
+  let adv_reliable, rel_adders =
+    let d =
+      Forwarding_driver.setup ~scheme:Backend.S_advanced ~topology:ts.topology ~routing
+        ~pairs:pair_list
+        ~faults:(Dpc_net.Transport.fault_config ~drop:0.05 ~duplicate:0.02 ~delay:0.1 ~delay_max:0.005 ())
+        ~fault_seed:(cfg.seed + 11) ~reliable:Dpc_net.Reliable.default_config ()
+    in
+    let total = run_driver d ~updates:false in
+    let rs =
+      match Dpc_engine.Runtime.reliability d.Forwarding_driver.runtime with
+      | Some r -> Dpc_net.Reliable.stats r
+      | None -> assert false (* setup was given ~reliable *)
+    in
+    (total, rs)
+  in
   let rows =
     ("no provenance", baseline, 0.0)
     :: List.map
@@ -295,19 +315,46 @@ let fig11 cfg =
         ( "Advanced + route updates",
           adv_updates,
           100.0 *. (float_of_int adv_updates /. float_of_int baseline -. 1.0) );
+        ( "Advanced + reliable (lossy net)",
+          adv_reliable,
+          100.0 *. (float_of_int adv_reliable /. float_of_int baseline -. 1.0) );
       ]
   in
   Table_fmt.print ~header:[ "scheme"; "total bytes"; "overhead vs baseline" ]
     ~rows:(List.map (fun (n, b, p) -> [ n; Table_fmt.human_bytes b; Printf.sprintf "%.2f%%" p ]) rows);
+  Printf.printf
+    "reliable delivery adders: %s retransmitted (%d msgs), %s acks (%d msgs), %d duplicates suppressed, %d abandoned\n"
+    (Table_fmt.human_bytes rel_adders.Dpc_net.Reliable.retransmit_bytes)
+    rel_adders.Dpc_net.Reliable.retransmits
+    (Table_fmt.human_bytes rel_adders.Dpc_net.Reliable.ack_bytes_total)
+    rel_adders.Dpc_net.Reliable.acks rel_adders.Dpc_net.Reliable.dup_dropped
+    rel_adders.Dpc_net.Reliable.abandoned;
+  List.iter
+    (fun (name, b, _) -> Report.add_series "fig11" name [ (float_of_int pairs, b) ])
+    rows;
+  Report.add_series "fig11" "reliable retransmit bytes"
+    [ (float_of_int pairs, rel_adders.Dpc_net.Reliable.retransmit_bytes) ];
+  Report.add_series "fig11" "reliable ack bytes"
+    [ (float_of_int pairs, rel_adders.Dpc_net.Reliable.ack_bytes_total) ];
   let get name = List.assoc name results in
   let ad = get "Advanced" and ex = get "ExSPAN" in
   let upd_increase = 100.0 *. (float_of_int adv_updates /. float_of_int ad -. 1.0) in
+  (* The update-overhead bound assumes the packet stream dwarfs the fixed
+     per-update broadcast cost; at tiny scale it does not, so only the
+     scheme comparison and the delivery-layer sanity apply there. *)
+  let updates_ok = cfg.tiny || upd_increase < 5.0 in
+  let reliable_ok =
+    rel_adders.Dpc_net.Reliable.abandoned = 0
+    && rel_adders.Dpc_net.Reliable.retransmits > 0
+    && adv_reliable > ad
+  in
   shape_check "fig11"
-    (float_of_int ad < 1.15 *. float_of_int ex && upd_increase < 5.0)
+    (float_of_int ad < 1.15 *. float_of_int ex && updates_ok && reliable_ok)
     (Printf.sprintf
-       "Advanced within %.1f%% of ExSPAN (payload dominates); updates add %.2f%% (paper: 0.6%%)"
+       "Advanced within %.1f%% of ExSPAN (payload dominates); updates add %.2f%%%s (paper: 0.6%%); lossy run lost nothing"
        (100.0 *. (float_of_int ad /. float_of_int ex -. 1.0))
-       upd_increase)
+       upd_increase
+       (if cfg.tiny then " (not checked at tiny scale)" else ""))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 12: CDF of provenance query latency. *)

@@ -41,6 +41,7 @@ let cluster n =
 let id t = t.id
 let db t = t.db
 let metrics t = t.metrics
+let tick t ?by name = Dpc_util.Metrics.incr t.metrics ?by name
 
 let find t k =
   match Hashtbl.find_opt t.props k.uid with

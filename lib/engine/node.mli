@@ -22,6 +22,10 @@ val id : t -> int
 val db : t -> Db.t
 val metrics : t -> Dpc_util.Metrics.t
 
+val tick : t -> ?by:int -> string -> unit
+(** Bump a counter in the node's metrics registry: the one-liner every
+    layer that instruments per-node work wants. *)
+
 (** {2 Typed properties}
 
     Each store instance allocates a private {!key} at creation time and

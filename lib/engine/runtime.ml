@@ -8,6 +8,7 @@ type stats = { injected : int; fired : int; outputs : int; dead_ends : int }
 
 type t = {
   transport : Dpc_net.Transport.t;
+  reliability : Dpc_net.Reliable.t option;
   delp : Delp.t;
   env : Env.t;
   hook : Prov_hook.t;
@@ -23,7 +24,7 @@ type t = {
   mutable dead_ends : int;
 }
 
-let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
+let create ~transport ?reliable ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
     ?(record_outputs = true) ?nodes () =
   (match List.filter (fun rel -> not (Delp.is_event delp rel)) interest with
   | [] -> ()
@@ -42,6 +43,21 @@ let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
                (Array.length nodes) n);
         nodes
   in
+  (* Under ?reliable, every message — event tuple shipments and sig
+     broadcasts alike — goes through the at-least-once layer, and its
+     per-node net.* counters land in the same registries as the
+     runtime.* ones, so metrics_snapshot sees retries and dedups. *)
+  let reliability, transport =
+    match reliable with
+    | None -> (None, transport)
+    | Some config ->
+        let r =
+          Dpc_net.Reliable.wrap ~config
+            ~metrics:(fun i -> Node.metrics nodes.(i))
+            transport
+        in
+        (Some r, Dpc_net.Reliable.transport r)
+  in
   (* Compile every rule once; [process] fetches the plans for an event
      relation with one hash lookup instead of filtering the program. *)
   let plans = Hashtbl.create 8 in
@@ -52,6 +68,7 @@ let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
     delp.program.rules;
   {
     transport;
+    reliability;
     delp;
     env;
     hook;
@@ -68,11 +85,12 @@ let create ~transport ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
   }
 
 let transport t = t.transport
+let reliability t = t.reliability
 let delp t = t.delp
 let nodes t = t.nodes
 let node t i = t.nodes.(i)
 let db t node = Node.db t.nodes.(node)
-let tick t node name = Dpc_util.Metrics.incr (Node.metrics t.nodes.(node)) name
+let tick t node name = Node.tick t.nodes.(node) name
 
 let load_slow t tuples =
   List.iter (fun tuple -> ignore (Db.insert (db t (Tuple.loc tuple)) tuple)) tuples
@@ -124,7 +142,7 @@ and ship t src head meta =
   let dst = Tuple.loc head in
   let bytes = Tuple.wire_size head + t.hook.meta_bytes meta + t.msg_overhead in
   tick t src "runtime.shipped_msgs";
-  Dpc_util.Metrics.incr (Node.metrics t.nodes.(src)) ~by:bytes "runtime.shipped_bytes";
+  Node.tick t.nodes.(src) ~by:bytes "runtime.shipped_bytes";
   Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
     process t ~input:false dst head meta)
 
@@ -132,10 +150,8 @@ and ship t src head meta =
    (delivered locally through the queue to preserve event ordering). *)
 let broadcast_sig t node op tuple =
   let bytes = t.msg_overhead + 4 in
-  Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
-    ~by:(Array.length t.nodes) "runtime.shipped_msgs";
-  Dpc_util.Metrics.incr (Node.metrics t.nodes.(node))
-    ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
+  Node.tick t.nodes.(node) ~by:(Array.length t.nodes) "runtime.shipped_msgs";
+  Node.tick t.nodes.(node) ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
   Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
     t.hook.on_slow_update ~node:target ~op tuple)
 

@@ -21,6 +21,7 @@ type stats = {
 
 val create :
   transport:Dpc_net.Transport.t ->
+  ?reliable:Dpc_net.Reliable.config ->
   delp:Dpc_ndlog.Delp.t ->
   env:Env.t ->
   hook:Prov_hook.t ->
@@ -32,6 +33,15 @@ val create :
   t
 (** [msg_overhead] (default 28 bytes) is the fixed per-message header
     charged on top of tuple and meta bytes.
+
+    [reliable] layers {!Dpc_net.Reliable} between the runtime and
+    [transport]: every shipped event tuple and every [sig] broadcast then
+    gets at-least-once delivery with exactly-once effects — which is what
+    the §4 back-pointers and the §5.5 table flush assume — even when
+    [transport] drops, duplicates, or delays ({!Dpc_net.Transport.faulty}).
+    The layer's per-node [net.*] counters (retransmits, acks, dedup drops)
+    land in the node registries and so in {!metrics_snapshot}; its
+    cluster-wide byte adders are available through {!reliability}.
 
     [record_outputs] (default [true]) keeps every terminal output for
     {!outputs}. Turn it off in long measurement runs that never read
@@ -50,6 +60,13 @@ val create :
     or if [nodes] has the wrong length for the transport. *)
 
 val transport : t -> Dpc_net.Transport.t
+(** The transport the runtime actually sends through — the reliable
+    wrapper when [?reliable] was given, the raw one otherwise. *)
+
+val reliability : t -> Dpc_net.Reliable.t option
+(** The delivery layer created by [?reliable], for its {!Dpc_net.Reliable.stats}
+    (ack/retransmit bandwidth adders). [None] on bare transports. *)
+
 val delp : t -> Dpc_ndlog.Delp.t
 
 val nodes : t -> Node.t array

@@ -1,0 +1,197 @@
+type config = {
+  timeout : float;
+  backoff : float;
+  max_timeout : float;
+  max_retries : int;
+}
+
+let default_config = { timeout = 0.05; backoff = 2.0; max_timeout = 1.0; max_retries = 20 }
+
+(* Sequence number (and a little framing) on every data message; an ack
+   carries the channel id and the sequence it confirms. *)
+let data_header_bytes = 8
+let ack_bytes = 12
+
+(* One directed (src, dst) channel. The sender's half is [next_seq]; the
+   receiver's half is the dedup/reorder window: everything below
+   [expected] has been delivered in order, and [pending] holds arrivals
+   above the gap, waiting for it to fill. The window stays small — it
+   drains as soon as the missing retransmit lands. *)
+type channel = {
+  mutable next_seq : int;
+  mutable expected : int;
+  pending : (int, unit -> unit) Hashtbl.t;
+}
+
+type stats = {
+  data_msgs : int;
+  data_bytes : int;
+  retransmits : int;
+  retransmit_bytes : int;
+  acks : int;
+  ack_bytes_total : int;
+  dup_dropped : int;
+  held : int;
+  abandoned : int;
+}
+
+type t = {
+  inner : Transport.t;
+  config : config;
+  metrics : (int -> Dpc_util.Metrics.t) option;
+  channels : (int * int, channel) Hashtbl.t;
+  mutable data_msgs : int;
+  mutable data_bytes : int;
+  mutable retransmits : int;
+  mutable retransmit_bytes : int;
+  mutable acks : int;
+  mutable ack_bytes_total : int;
+  mutable dup_dropped : int;
+  mutable held : int;
+  mutable abandoned : int;
+}
+
+let wrap ?(config = default_config) ?metrics inner =
+  if config.timeout <= 0.0 then invalid_arg "Reliable.wrap: timeout must be positive";
+  if config.backoff < 1.0 then invalid_arg "Reliable.wrap: backoff must be >= 1";
+  if config.max_retries < 0 then invalid_arg "Reliable.wrap: negative max_retries";
+  {
+    inner;
+    config;
+    metrics;
+    channels = Hashtbl.create 64;
+    data_msgs = 0;
+    data_bytes = 0;
+    retransmits = 0;
+    retransmit_bytes = 0;
+    acks = 0;
+    ack_bytes_total = 0;
+    dup_dropped = 0;
+    held = 0;
+    abandoned = 0;
+  }
+
+let tick t node ?by name =
+  match t.metrics with None -> () | Some f -> Dpc_util.Metrics.incr (f node) ?by name
+
+let channel t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some ch -> ch
+  | None ->
+      let ch = { next_seq = 0; expected = 0; pending = Hashtbl.create 8 } in
+      Hashtbl.add t.channels (src, dst) ch;
+      ch
+
+(* Deliver in sequence order: run the arrival if it is the next expected
+   message, then drain whatever the gap was holding back. Out-of-order
+   arrivals wait in the window; duplicates (below the watermark or already
+   waiting) are dropped. Returns what happened, for accounting. *)
+let accept ch seq k =
+  if seq < ch.expected || Hashtbl.mem ch.pending seq then `Duplicate
+  else if seq > ch.expected then begin
+    Hashtbl.add ch.pending seq k;
+    `Held
+  end
+  else begin
+    k ();
+    ch.expected <- ch.expected + 1;
+    let rec drain () =
+      match Hashtbl.find_opt ch.pending ch.expected with
+      | None -> ()
+      | Some k' ->
+          Hashtbl.remove ch.pending ch.expected;
+          k' ();
+          ch.expected <- ch.expected + 1;
+          drain ()
+    in
+    drain ();
+    `Delivered
+  end
+
+let send t ~src ~dst ~bytes k =
+  let ch = channel t ~src ~dst in
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  let wire = bytes + data_header_bytes in
+  let acked = ref false in
+  let attempts = ref 0 in
+  (* Receiver side: dedup and reorder through the window, and ack every
+     arrival — a duplicate means the sender may have missed an earlier
+     ack, and a held message is safely received even if not yet
+     deliverable. *)
+  let deliver () =
+    (match accept ch seq k with
+    | `Delivered -> ()
+    | `Duplicate ->
+        t.dup_dropped <- t.dup_dropped + 1;
+        tick t dst "net.dup_dropped"
+    | `Held ->
+        t.held <- t.held + 1;
+        tick t dst "net.held");
+    t.acks <- t.acks + 1;
+    t.ack_bytes_total <- t.ack_bytes_total + ack_bytes;
+    tick t dst "net.acks_sent";
+    tick t dst ~by:ack_bytes "net.ack_bytes";
+    Transport.send t.inner ~src:dst ~dst:src ~bytes:ack_bytes (fun () -> acked := true)
+  in
+  let rec transmit () =
+    incr attempts;
+    if !attempts = 1 then begin
+      t.data_msgs <- t.data_msgs + 1;
+      t.data_bytes <- t.data_bytes + wire;
+      tick t src "net.data_msgs"
+    end
+    else begin
+      t.retransmits <- t.retransmits + 1;
+      t.retransmit_bytes <- t.retransmit_bytes + wire;
+      tick t src "net.retransmits";
+      tick t src ~by:wire "net.retransmit_bytes"
+    end;
+    Transport.send t.inner ~src ~dst ~bytes:wire deliver;
+    (* Arm the ack timeout for this attempt. There is no cancellation: an
+       acked timer just fires and finds nothing to do. *)
+    let backoff =
+      t.config.timeout *. (t.config.backoff ** float_of_int (!attempts - 1))
+    in
+    let delay = Float.min backoff t.config.max_timeout in
+    Transport.schedule t.inner ~delay (fun () ->
+      if not !acked then
+        if !attempts > t.config.max_retries then begin
+          t.abandoned <- t.abandoned + 1;
+          tick t src "net.abandoned"
+        end
+        else transmit ())
+  in
+  transmit ()
+
+let transport t : Transport.t =
+  let (module T : Transport.S) = t.inner in
+  (module struct
+    let name = "reliable+" ^ T.name
+    let nodes = T.nodes
+    let now = T.now
+    let schedule = T.schedule
+    let send ~src ~dst ~bytes k = send t ~src ~dst ~bytes k
+
+    let broadcast ~src ~bytes k =
+      for dst = 0 to nodes - 1 do
+        send ~src ~dst ~bytes (fun () -> k dst)
+      done
+
+    let run = T.run
+    let total_bytes = T.total_bytes
+    let messages = T.messages
+  end)
+
+let stats t : stats =
+  {
+    data_msgs = t.data_msgs;
+    data_bytes = t.data_bytes;
+    retransmits = t.retransmits;
+    retransmit_bytes = t.retransmit_bytes;
+    acks = t.acks;
+    ack_bytes_total = t.ack_bytes_total;
+    dup_dropped = t.dup_dropped;
+    held = t.held;
+    abandoned = t.abandoned;
+  }

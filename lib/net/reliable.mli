@@ -1,0 +1,81 @@
+(** At-least-once delivery with exactly-once effects, over any transport.
+
+    The engine's cross-node invariants — the [(NLoc, NRID)] back-pointers
+    of §4 and the §5.5 [sig] broadcast — assume every message takes effect
+    exactly once. A {!Transport.faulty} network breaks that: messages are
+    lost, arrive twice, or arrive late. This layer restores the guarantee
+    the invariants need:
+
+    - every directed [(src, dst)] channel numbers its messages with a
+      sequence number ([data_header_bytes] on the wire);
+    - the receiver acks every arrival ([ack_bytes] on the wire) and keeps
+      a dedup/reorder window — a contiguous watermark plus the arrivals
+      held above a gap — so each message's callback runs exactly once and
+      in channel order, no matter how many copies arrive or how late;
+    - the sender retransmits on an ack timeout, backing off exponentially
+      up to a cap, and gives up (counting the loss) after [max_retries]
+      retransmissions so a totally dead link cannot hang the run.
+
+    Transmission is at-least-once; *effects* are exactly-once and FIFO per
+    channel — the TCP assumption the paper makes. Exactly-once alone is
+    not enough: in the Advanced scheme a same-class event shipped with
+    [exist_flag = true] must not overtake the earlier event that
+    materializes its equivalence class on the shared channel, or its tree
+    is orphaned (the §5.5 race). Cross-channel ordering is not (and need
+    not be) restored; §5.6 covers that.
+
+    The price of FIFO is head-of-line blocking: a gap holds later arrivals
+    on the channel until the retransmit lands, and a message abandoned
+    after [max_retries] wedges its channel for good — which is why
+    [abandoned] must stay zero in a healthy run.
+
+    All retransmit timers ride on the inner transport's clock, so a
+    simulated run with faults still quiesces deterministically. *)
+
+type config = {
+  timeout : float;  (** seconds before the first retransmission *)
+  backoff : float;  (** timeout multiplier per further attempt *)
+  max_timeout : float;  (** backoff cap, seconds *)
+  max_retries : int;  (** retransmissions before giving up *)
+}
+
+val default_config : config
+(** 50 ms initial timeout, doubling to a 1 s cap, 20 retransmissions. *)
+
+val data_header_bytes : int
+(** Wire bytes the layer adds to every data transmission (the channel
+    sequence number). *)
+
+val ack_bytes : int
+(** Wire size of one acknowledgement message. *)
+
+type stats = {
+  data_msgs : int;  (** distinct messages accepted from the sender *)
+  data_bytes : int;  (** first-transmission bytes, headers included *)
+  retransmits : int;  (** retransmissions performed *)
+  retransmit_bytes : int;
+  acks : int;  (** acknowledgements sent *)
+  ack_bytes_total : int;
+  dup_dropped : int;  (** arrivals suppressed by the dedup window *)
+  held : int;  (** arrivals parked behind a sequence gap, then replayed *)
+  abandoned : int;  (** messages given up on after [max_retries] *)
+}
+
+type t
+
+val wrap : ?config:config -> ?metrics:(int -> Dpc_util.Metrics.t) -> Transport.t -> t
+(** Layer reliable delivery over a transport. When [metrics] maps a node
+    id to its registry, the layer records per-node counters:
+    [net.data_msgs], [net.retransmits], [net.retransmit_bytes] and
+    [net.abandoned] at the sender; [net.acks_sent], [net.ack_bytes],
+    [net.dup_dropped] and [net.held] at the receiver. *)
+
+val transport : t -> Transport.t
+(** The reliable transport: [send] and [broadcast] deliver their callback
+    exactly once per message (given enough retries); [schedule], [run],
+    [now], byte and message totals delegate to the inner transport — so
+    [total_bytes] includes ack and retransmit traffic, and {!stats} says
+    how much of it there was. *)
+
+val stats : t -> stats
+(** Cluster-wide totals (the per-node breakdown lives in [metrics]). *)

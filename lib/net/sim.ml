@@ -98,9 +98,10 @@ let run ?until t =
   let rec go () =
     match Dpc_util.Heap.pop t.queue with
     | None -> ()
-    | Some ev when ev.at > limit ->
-        (* Overshot the horizon: put the event back (its seq is preserved,
-           so equal-time ordering survives) and stop. *)
+    | Some ev when ev.at >= limit ->
+        (* Reached the horizon: the interval is half-open, so an event
+           exactly at [until] stays queued for the next run. Push it back
+           (its seq is preserved, so equal-time ordering survives). *)
         Dpc_util.Heap.push t.queue ev
     | Some ev ->
         t.clock <- max t.clock ev.at;

@@ -39,7 +39,10 @@ val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 
 val run : ?until:float -> t -> unit
 (** Process queued events in timestamp order until the queue is empty or
-    simulated time would exceed [until]. *)
+    simulated time would reach [until]. The horizon is half-open: an
+    event at exactly [until] stays queued, so [run ~until:a] followed by
+    [run ~until:b] processes every event in [0, a) then [a, b) exactly
+    once. *)
 
 val events_processed : t -> int
 

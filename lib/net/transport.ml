@@ -88,7 +88,7 @@ let direct ~nodes:n () : t =
       let rec go () =
         match Dpc_util.Heap.pop queue with
         | None -> ()
-        | Some ev when ev.at > limit -> Dpc_util.Heap.push queue ev
+        | Some ev when ev.at >= limit -> Dpc_util.Heap.push queue ev
         | Some ev ->
             clock := Float.max !clock ev.at;
             ev.action ();
@@ -99,3 +99,81 @@ let direct ~nodes:n () : t =
     let total_bytes () = !bytes_total
     let messages () = !msgs
   end)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+type fault = F_deliver | F_drop | F_duplicate | F_delay of float
+
+type fault_config = { drop : float; duplicate : float; delay : float; delay_max : float }
+
+let fault_config ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_max = 0.0) () =
+  let rate name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg (Printf.sprintf "Transport.fault_config: %s rate %g outside [0, 1]" name r)
+  in
+  rate "drop" drop;
+  rate "duplicate" duplicate;
+  rate "delay" delay;
+  if drop +. duplicate +. delay > 1.0 then
+    invalid_arg "Transport.fault_config: rates sum past 1";
+  if delay_max < 0.0 then invalid_arg "Transport.fault_config: negative delay_max";
+  { drop; duplicate; delay; delay_max }
+
+type fault_stats = {
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+let faulty_with ~decide (module T : S) : t * fault_stats =
+  let stats = { delivered = 0; dropped = 0; duplicated = 0; delayed = 0 } in
+  let transport : t =
+    (module struct
+      let name = "faulty+" ^ T.name
+      let nodes = T.nodes
+      let now = T.now
+      let schedule = T.schedule
+
+      let send ~src ~dst ~bytes k =
+        match decide ~src ~dst ~bytes with
+        | F_deliver ->
+            stats.delivered <- stats.delivered + 1;
+            T.send ~src ~dst ~bytes k
+        | F_drop ->
+            (* The transmission happened — the inner backend charges its
+               bytes and advances its counters — but the receiver never
+               sees it. *)
+            stats.dropped <- stats.dropped + 1;
+            T.send ~src ~dst ~bytes (fun () -> ())
+        | F_duplicate ->
+            stats.duplicated <- stats.duplicated + 1;
+            T.send ~src ~dst ~bytes k;
+            T.send ~src ~dst ~bytes k
+        | F_delay extra ->
+            stats.delayed <- stats.delayed + 1;
+            T.send ~src ~dst ~bytes (fun () -> T.schedule ~delay:extra k)
+
+      (* Per-destination faults: one broadcast may reach some nodes and
+         not others, which is exactly the nasty case for sig. *)
+      let broadcast ~src ~bytes k =
+        for dst = 0 to nodes - 1 do
+          send ~src ~dst ~bytes (fun () -> k dst)
+        done
+
+      let run = T.run
+      let total_bytes = T.total_bytes
+      let messages = T.messages
+    end)
+  in
+  (transport, stats)
+
+let faulty ~config ~rng inner =
+  faulty_with inner ~decide:(fun ~src:_ ~dst:_ ~bytes:_ ->
+    let u = Dpc_util.Rng.float rng 1.0 in
+    if u < config.drop then F_drop
+    else if u < config.drop +. config.duplicate then F_duplicate
+    else if u < config.drop +. config.duplicate +. config.delay then
+      F_delay (Dpc_util.Rng.float rng config.delay_max)
+    else F_deliver)

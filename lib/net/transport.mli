@@ -39,7 +39,8 @@ module type S = sig
 
   val run : ?until:float -> unit -> unit
   (** Process queued events in timestamp order until quiescence, or stop
-      before the first event past [until] (which stays queued). *)
+      at the [until] horizon. The horizon is half-open: an event at
+      exactly [until] stays queued for the next run. *)
 
   val total_bytes : unit -> int
   val messages : unit -> int
@@ -63,3 +64,48 @@ val of_sim : Sim.t -> t
 val direct : nodes:int -> unit -> t
 (** A fresh zero-latency in-process transport.
     @raise Invalid_argument if [nodes] is not positive. *)
+
+(** {2 Fault injection}
+
+    [faulty] wraps any backend and corrupts delivery — messages are
+    dropped, duplicated, or delayed — without touching the inner
+    backend's clock or accounting. A dropped or duplicated transmission
+    still crosses the wire (its bytes are charged; loss happens at the
+    receiver), which is what makes the retransmit overhead measured by
+    the bench honest. Use {!Reliable} on top to get delivery guarantees
+    back. *)
+
+type fault =
+  | F_deliver
+  | F_drop  (** transmitted but lost: bytes charged, callback never fires *)
+  | F_duplicate  (** the callback fires twice, as two deliveries *)
+  | F_delay of float  (** delivered, then held for the extra seconds *)
+
+type fault_config = {
+  drop : float;  (** probability a transmission is lost *)
+  duplicate : float;  (** probability a transmission arrives twice *)
+  delay : float;  (** probability a transmission is held back *)
+  delay_max : float;  (** extra hold time, uniform in [0, delay_max) *)
+}
+
+val fault_config :
+  ?drop:float -> ?duplicate:float -> ?delay:float -> ?delay_max:float -> unit -> fault_config
+(** All rates default to 0.  @raise Invalid_argument if a rate is outside
+    [0, 1], the rates sum past 1, or [delay_max] is negative. *)
+
+type fault_stats = {
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+val faulty_with : decide:(src:int -> dst:int -> bytes:int -> fault) -> t -> t * fault_stats
+(** A transport that consults [decide] on every transmission (broadcasts
+    decide per destination). Deterministic fault schedules — "drop the
+    first [sig] transmission on every channel" — are written as [decide]
+    functions; {!faulty} is the seeded-random special case. *)
+
+val faulty : config:fault_config -> rng:Dpc_util.Rng.t -> t -> t * fault_stats
+(** Seeded random fault injection at the [config] rates. One fault at most
+    per transmission; duplicates are not themselves re-faulted. *)

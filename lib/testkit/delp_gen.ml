@@ -171,7 +171,7 @@ type world = {
   routing : Dpc_net.Routing.t;
 }
 
-let build_world instance scheme =
+let build_world ?transport ?reliable instance scheme =
   let topo = Dpc_net.Topology.create ~n:instance.nodes in
   let link = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e8 } in
   for a = 0 to instance.nodes - 1 do
@@ -180,13 +180,22 @@ let build_world instance scheme =
     done
   done;
   let routing = Dpc_net.Routing.compute topo in
-  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let transport =
+    match transport with
+    | Some tr ->
+        if Dpc_net.Transport.nodes tr <> instance.nodes then
+          invalid_arg
+            (Printf.sprintf "Delp_gen.build_world: %d-node transport for a %d-node instance"
+               (Dpc_net.Transport.nodes tr) instance.nodes);
+        tr
+    | None -> Dpc_net.Transport.of_sim (Dpc_net.Sim.create ~topology:topo ~routing ())
+  in
   let backend =
     Dpc_core.Backend.make scheme ~delp:instance.delp ~env:Dpc_engine.Env.empty
       ~nodes:instance.nodes
   in
   let runtime =
-    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp:instance.delp
+    Dpc_engine.Runtime.create ~transport ?reliable ~delp:instance.delp
       ~env:Dpc_engine.Env.empty ~hook:(Dpc_core.Backend.hook backend)
       ~nodes:(Dpc_core.Backend.nodes backend) ()
   in

@@ -27,9 +27,20 @@ type world = {
   routing : Dpc_net.Routing.t;
 }
 
-val build_world : instance -> Dpc_core.Backend.scheme -> world
+val build_world :
+  ?transport:Dpc_net.Transport.t ->
+  ?reliable:Dpc_net.Reliable.config ->
+  instance ->
+  Dpc_core.Backend.scheme ->
+  world
 (** Instantiate the instance under one maintenance scheme (loads the slow
-    tuples; events are not injected). *)
+    tuples; events are not injected). [transport] (default: the
+    simulator over the instance's complete-graph topology) must address
+    exactly [instance.nodes] nodes — pass a {!Dpc_net.Transport.faulty}
+    wrapper here to run the instance under injected faults, and
+    [reliable] to layer at-least-once delivery on top (the chaos
+    harness does both).
+    @raise Invalid_argument on a transport of the wrong size. *)
 
 val run_events : world -> Dpc_ndlog.Tuple.t list -> unit
 (** Inject the events in order and run the simulation to quiescence. *)

@@ -4,22 +4,33 @@ type t = {
   backend : Dpc_core.Backend.t;
   routing : Dpc_net.Routing.t;
   pairs : (int * int) list;
+  fault_stats : Dpc_net.Transport.fault_stats option;
 }
 
-let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outputs = true) () =
+let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outputs = true)
+    ?faults ?(fault_seed = 0) ?reliable () =
   let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
   let delp = Dpc_apps.Forwarding.delp () in
   let backend =
     Dpc_core.Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env
       ~nodes:(Dpc_net.Topology.size topology)
   in
+  let transport = Dpc_net.Transport.of_sim sim in
+  let transport, fault_stats =
+    match faults with
+    | None -> (transport, None)
+    | Some config ->
+        let rng = Dpc_util.Rng.create ~seed:fault_seed in
+        let faulty, stats = Dpc_net.Transport.faulty ~config ~rng transport in
+        (faulty, Some stats)
+  in
   let runtime =
-    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+    Dpc_engine.Runtime.create ~transport ?reliable ~delp
       ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
       ~record_outputs ~nodes:(Dpc_core.Backend.nodes backend) ()
   in
   Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
-  { sim; runtime; backend; routing; pairs }
+  { sim; runtime; backend; routing; pairs; fault_stats }
 
 (* Unique payload of exactly [size] bytes: a sequence tag padded with 'x'. *)
 let payload ~pair_index ~seq ~size =

@@ -8,6 +8,8 @@ type t = {
   backend : Dpc_core.Backend.t;
   routing : Dpc_net.Routing.t;
   pairs : (int * int) list;
+  fault_stats : Dpc_net.Transport.fault_stats option;
+      (** live counters of the fault injector, when [faults] was given *)
 }
 
 val setup :
@@ -17,11 +19,21 @@ val setup :
   pairs:(int * int) list ->
   ?bucket_width:float ->
   ?record_outputs:bool ->
+  ?faults:Dpc_net.Transport.fault_config ->
+  ?fault_seed:int ->
+  ?reliable:Dpc_net.Reliable.config ->
   unit ->
   t
 (** [record_outputs] (default [true]) is passed to the runtime; turn it
     off in long measurement runs that never call {!received} or
-    {!query_random_outputs}. *)
+    {!query_random_outputs}.
+
+    [faults] interposes {!Dpc_net.Transport.faulty} (seeded by
+    [fault_seed], default 0) between the simulator and the runtime, and
+    [reliable] layers {!Dpc_net.Reliable} on top so the run still
+    delivers everything; the retransmit/ack overhead is then readable
+    from [Dpc_engine.Runtime.reliability runtime]. Injecting faults
+    without [reliable] will lose messages. *)
 
 val inject_stream :
   t -> rate_per_pair:float -> duration:float -> payload_size:int -> int

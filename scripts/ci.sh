@@ -22,6 +22,13 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# Chaos sweep at full width: 50 seeded DELP instances per scheme under a
+# drop/duplicate/delay transport, oracle-checked against a fault-free run.
+# Seeds are pinned inside the test, so this is deterministic.
+echo "== chaos sweep (full, pinned seeds) =="
+DPC_CHAOS_FULL=1 dune exec test/test_chaos.exe >/dev/null
+echo "chaos sweep ok"
+
 # Bench smoke: the tiny fig9 run must finish quickly and produce a valid
 # machine-readable report with all three scheme series present.
 echo "== bench smoke (tiny fig9 + json report) =="
@@ -48,6 +55,25 @@ else
     grep -q '"schema": "dpc-bench-v1"' "$bench_json"
     grep -q '"fig9"' "$bench_json"
     echo "bench json ok (python3 unavailable; key check only)"
+fi
+
+# Determinism: two same-seed runs of the fig9/fig11 scenarios (storage
+# snapshots, bandwidth totals, fault injection + reliable delivery) must
+# agree byte-for-byte once the wall-clock-derived fields are stripped.
+echo "== bench determinism (tiny fig9+fig11, seed 7, two runs) =="
+det_a=$(mktemp /tmp/dpc-bench-det-a.XXXXXX.json)
+det_b=$(mktemp /tmp/dpc-bench-det-b.XXXXXX.json)
+trap 'rm -f "$bench_json" "$det_a" "$det_b"' EXIT
+dune exec bench/main.exe -- --fig 9 --fig 11 --tiny --seed 7 --json "$det_a" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --tiny --seed 7 --json "$det_b" >/dev/null
+grep -v '"wall_clock_s"\|"events_per_s"' "$det_a" > "$det_a.stripped"
+grep -v '"wall_clock_s"\|"events_per_s"' "$det_b" > "$det_b.stripped"
+trap 'rm -f "$bench_json" "$det_a" "$det_b" "$det_a.stripped" "$det_b.stripped"' EXIT
+if diff "$det_a.stripped" "$det_b.stripped" >&2; then
+    echo "bench determinism ok"
+else
+    echo "bench determinism FAILED: same-seed runs differ" >&2
+    exit 1
 fi
 
 echo "== ci ok =="

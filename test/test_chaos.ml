@@ -1,0 +1,276 @@
+(* Chaos/property harness: the paper's cross-node invariants under a
+   fault-injecting transport.
+
+   The oracle: for seeded random DELP instances (Delp_gen) and all four
+   maintenance schemes, the same event stream run over a clean
+   Transport.direct and over faulty+Reliable (drops, duplicates, delays on)
+   must produce byte-identical query results and provenance-tree digests —
+   and the retry/dedup counters must be nonzero, proving the faults
+   actually fired. A dedicated regression drops the first transmission of
+   every §5.5 sig broadcast and checks the flush still reaches every node
+   once the retransmits land.
+
+   The sweep defaults to 10 instances so tier-1 stays fast; the 50-instance
+   run is the `chaos` CI step (DPC_CHAOS_FULL=1, see scripts/ci.sh and
+   `make chaos`). DPC_CHAOS_INSTANCES overrides the full count. *)
+
+open Dpc_core
+open Dpc_testkit
+
+let check = Alcotest.check
+
+let all_schemes =
+  [ Backend.S_exspan; Backend.S_basic; Backend.S_advanced; Backend.S_advanced_interclass ]
+
+(* Fault rates: at least the 10% drop / 5% duplication the acceptance
+   criteria demand, plus delays to force reordering beyond what jitter
+   alone produces. *)
+let chaos_rates =
+  Dpc_net.Transport.fault_config ~drop:0.12 ~duplicate:0.06 ~delay:0.25 ~delay_max:0.02 ()
+
+let fault_seed_base = 0xC4A05
+
+let tree_sig tree =
+  Dpc_ndlog.Tuple.canonical (Prov_tree.event_of tree) ^ "|" ^ Prov_tree.to_string tree
+
+let query w ?evid out =
+  Backend.query w.Delp_gen.backend ~cost:Query_cost.free ~routing:w.Delp_gen.routing ?evid out
+
+(* Every distinct (output, evid) pair with a byte digest of its tree set:
+   the world's complete observable provenance state, comparable with (=). *)
+let world_digests w =
+  List.map
+    (fun (out, (meta : Dpc_engine.Prov_hook.meta)) -> (out, meta.evid))
+    (Dpc_engine.Runtime.outputs w.Delp_gen.runtime)
+  |> List.sort_uniq compare
+  |> List.map (fun (out, evid) ->
+       let sigs = List.sort_uniq compare (List.map tree_sig (query w ~evid out).trees) in
+       ( (Dpc_ndlog.Tuple.canonical out, Dpc_util.Sha1.to_hex evid),
+         Dpc_util.Sha1.to_hex (Dpc_util.Sha1.digest_string (String.concat "\n" sigs)) ))
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* The chaos oracle on one generated instance. Returns the fault totals so
+   the sweep can prove the faults fired. *)
+
+type totals = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable retransmits : int;
+  mutable dup_dropped : int;
+}
+
+let sweep_totals = { dropped = 0; duplicated = 0; retransmits = 0; dup_dropped = 0 }
+
+let chaos_instance seed =
+  let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed) in
+  let fault_seed = fault_seed_base + seed in
+  List.iter
+    (fun scheme ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Alcotest.failf "seed %d, fault seed %d, %s: %s\nprogram:\n%s" seed fault_seed
+              (Backend.scheme_name scheme) msg instance.description)
+          fmt
+      in
+      (* Baseline: clean zero-latency delivery. *)
+      let clean =
+        Delp_gen.build_world
+          ~transport:(Dpc_net.Transport.direct ~nodes:instance.nodes ())
+          instance scheme
+      in
+      Delp_gen.run_events clean instance.events;
+      (* Chaos: the same transport behind fault injection, with the
+         reliable layer giving the runtime its guarantees back. *)
+      let faulty, fstats =
+        Dpc_net.Transport.faulty ~config:chaos_rates
+          ~rng:(Dpc_util.Rng.create ~seed:fault_seed)
+          (Dpc_net.Transport.direct ~nodes:instance.nodes ())
+      in
+      let chaos =
+        Delp_gen.build_world ~transport:faulty ~reliable:Dpc_net.Reliable.default_config
+          instance scheme
+      in
+      Delp_gen.run_events chaos instance.events;
+      let rstats =
+        match Dpc_engine.Runtime.reliability chaos.Delp_gen.runtime with
+        | Some r -> Dpc_net.Reliable.stats r
+        | None -> fail "runtime lost its reliability layer"
+      in
+      if rstats.abandoned > 0 then
+        fail "reliable layer abandoned %d messages (retry budget too small for the fault rates)"
+          rstats.abandoned;
+      let clean_digests = world_digests clean and chaos_digests = world_digests chaos in
+      if clean_digests <> chaos_digests then begin
+        let render ds =
+          String.concat "\n"
+            (List.map (fun ((out, evid), d) -> Printf.sprintf "  %s @%s -> %s" out evid d) ds)
+        in
+        fail "provenance diverged under faults\nclean:\n%s\nchaos:\n%s" (render clean_digests)
+          (render chaos_digests)
+      end;
+      sweep_totals.dropped <- sweep_totals.dropped + fstats.dropped;
+      sweep_totals.duplicated <- sweep_totals.duplicated + fstats.duplicated;
+      sweep_totals.retransmits <- sweep_totals.retransmits + rstats.retransmits;
+      sweep_totals.dup_dropped <- sweep_totals.dup_dropped + rstats.dup_dropped)
+    all_schemes
+
+let run_sweep ~instances =
+  List.iter chaos_instance (List.init instances (fun i -> i + 1));
+  (* The oracle is vacuous if the faults never fired. *)
+  check Alcotest.bool "messages were dropped" true (sweep_totals.dropped > 0);
+  check Alcotest.bool "messages were duplicated" true (sweep_totals.duplicated > 0);
+  check Alcotest.bool "retransmits happened" true (sweep_totals.retransmits > 0);
+  check Alcotest.bool "dedup suppressed duplicates" true (sweep_totals.dup_dropped > 0)
+
+let test_sweep_quick () = run_sweep ~instances:10
+
+let test_sweep_full () =
+  match Sys.getenv_opt "DPC_CHAOS_FULL" with
+  | None -> print_endline "skipped (set DPC_CHAOS_FULL=1; `make chaos` does)"
+  | Some _ ->
+      let instances =
+        match Sys.getenv_opt "DPC_CHAOS_INSTANCES" with
+        | Some s -> int_of_string s
+        | None -> 50
+      in
+      run_sweep ~instances
+
+(* ------------------------------------------------------------------ *)
+(* §5.5 under loss: drop the first transmission of every sig broadcast and
+   check the flush (and so re-materialization) still reaches every node
+   once the retransmits land. Guards the fig11 delete/insert path. *)
+
+let sig_nodes = 3
+
+(* Line routing for queries; transport is direct, so topology only feeds
+   the query-time cost model. *)
+let sig_routing () =
+  let topo = Dpc_net.Topology.create ~n:sig_nodes in
+  let link = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e8 } in
+  Dpc_net.Topology.add_link topo 0 1 link;
+  Dpc_net.Topology.add_link topo 1 2 link;
+  Dpc_net.Routing.compute topo
+
+(* A sig data message on the wire: the runtime's fixed sig payload plus
+   the reliable layer's header. Everything else (packets with payloads and
+   provenance meta, 12-byte acks) has a different size, so a byte-count
+   filter picks out exactly the sig transmissions. *)
+let sig_wire_bytes = 28 + 4 + Dpc_net.Reliable.data_header_bytes
+
+let sig_world ~faults =
+  let routing = sig_routing () in
+  let inner = Dpc_net.Transport.direct ~nodes:sig_nodes () in
+  let transport, fstats, reliable =
+    if not faults then (inner, None, None)
+    else begin
+      let seen = Hashtbl.create 16 in
+      let tr, stats =
+        Dpc_net.Transport.faulty_with inner ~decide:(fun ~src ~dst ~bytes ->
+          if bytes <> sig_wire_bytes then Dpc_net.Transport.F_deliver
+          else begin
+            (* The scenario makes exactly two sig broadcasts (delete +
+               reinsert), sent back-to-back — so per channel the first two
+               sig transmissions are precisely the first attempt of each
+               broadcast. Drop those; let every retransmit through. *)
+            let n = Option.value ~default:0 (Hashtbl.find_opt seen (src, dst)) in
+            Hashtbl.replace seen (src, dst) (n + 1);
+            if n < 2 then Dpc_net.Transport.F_drop else Dpc_net.Transport.F_deliver
+          end)
+      in
+      (tr, Some stats, Some Dpc_net.Reliable.default_config)
+    end
+  in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env ~nodes:sig_nodes in
+  (* Count sig arrivals per node around the store's own hook. *)
+  let flushes = Array.make sig_nodes 0 in
+  let hook = Backend.hook backend in
+  let counting_hook =
+    {
+      hook with
+      Dpc_engine.Prov_hook.on_slow_update =
+        (fun ~node ~op tuple ->
+          flushes.(node) <- flushes.(node) + 1;
+          hook.Dpc_engine.Prov_hook.on_slow_update ~node ~op tuple);
+    }
+  in
+  let runtime =
+    Dpc_engine.Runtime.create ~transport ?reliable ~delp ~env:Dpc_apps.Forwarding.env
+      ~hook:counting_hook ~nodes:(Backend.nodes backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime
+    [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+      Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ];
+  (* Phase A: packets against the original table; then a §5.5 route
+     refresh (delete + reinsert, the fig11 update pattern — two sig
+     broadcasts); then phase B packets that must see re-materialization. *)
+  for i = 1 to 5 do
+    Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "pre%d" i))
+  done;
+  let refreshed = Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 in
+  Dpc_net.Transport.schedule transport ~delay:1.0 (fun () ->
+    ignore (Dpc_engine.Runtime.delete_slow_runtime runtime refreshed);
+    Dpc_engine.Runtime.insert_slow_runtime runtime refreshed);
+  for i = 1 to 5 do
+    Dpc_engine.Runtime.inject runtime ~delay:2.0
+      (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "post%d" i))
+  done;
+  Dpc_engine.Runtime.run runtime;
+  (runtime, backend, routing, flushes, fstats)
+
+let test_sig_under_loss () =
+  let rt_ref, backend_ref, routing, flushes_ref, _ = sig_world ~faults:false in
+  let rt, backend, _, flushes, fstats = sig_world ~faults:true in
+  (* The faults fired: 2 broadcasts x 3 destinations, first transmission
+     of each dropped. *)
+  let fstats = Option.get fstats in
+  check Alcotest.bool "first sig transmissions dropped" true (fstats.dropped >= 6);
+  let rstats = Option.get (Dpc_engine.Runtime.reliability rt) |> Dpc_net.Reliable.stats in
+  check Alcotest.bool "sig retransmits happened" true (rstats.retransmits >= 6);
+  check Alcotest.int "no message abandoned" 0 rstats.abandoned;
+  (* Every node still saw both sig flushes, exactly once each. *)
+  Array.iteri
+    (fun node n ->
+      check Alcotest.int (Printf.sprintf "flushes at clean node %d" node) 2 n;
+      check Alcotest.int (Printf.sprintf "flushes at faulty node %d" node) 2 flushes.(node))
+    flushes_ref;
+  (* And the provenance is byte-identical to the fault-free run: the
+     flushed classes re-materialized on every path. *)
+  let digest backend out =
+    let trees =
+      (Backend.query backend ~cost:Query_cost.free ~routing out).trees
+      |> List.map tree_sig |> List.sort_uniq compare
+    in
+    Dpc_util.Sha1.to_hex (Dpc_util.Sha1.digest_string (String.concat "\n" trees))
+  in
+  let outputs rt =
+    List.map (fun (out, _) -> out) (Dpc_engine.Runtime.outputs rt)
+    |> List.sort_uniq Dpc_ndlog.Tuple.compare
+  in
+  let ref_outs = outputs rt_ref and got_outs = outputs rt in
+  check Alcotest.int "all packets delivered" 10 (List.length got_outs);
+  check
+    (Alcotest.list Alcotest.string)
+    "same outputs"
+    (List.map Dpc_ndlog.Tuple.canonical ref_outs)
+    (List.map Dpc_ndlog.Tuple.canonical got_outs);
+  List.iter2
+    (fun a b ->
+      check Alcotest.string
+        (Printf.sprintf "tree digest for %s" (Dpc_ndlog.Tuple.to_string a))
+        (digest backend_ref a) (digest backend b))
+    ref_outs got_outs
+
+let () =
+  Alcotest.run "dpc_chaos"
+    [
+      ( "chaos oracle",
+        [
+          Alcotest.test_case "sweep (quick, 10 instances)" `Quick test_sweep_quick;
+          Alcotest.test_case "sweep (full, 50 instances)" `Slow test_sweep_full;
+        ] );
+      ( "sig under loss",
+        [ Alcotest.test_case "first transmission dropped" `Quick test_sig_under_loss ] );
+    ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench chaos ci clean
+.PHONY: all build test bench chaos crash ci clean
 
 all: build
 
@@ -13,6 +13,14 @@ bench:
 
 chaos:
 	DPC_CHAOS_FULL=1 dune exec test/test_chaos.exe
+
+# Crash/recovery suites only: the crash oracle sweep (quick by default,
+# full width with DPC_CHAOS_FULL=1 in the environment) plus the
+# durable-recovery and degraded-query groups.
+crash:
+	dune exec test/test_chaos.exe -- test 'crash oracle'
+	dune exec test/test_persistence.exe -- test 'mid-run checkpoint'
+	dune exec test/test_robustness.exe -- test 'degraded queries'
 
 ci:
 	sh scripts/ci.sh

@@ -55,11 +55,11 @@ let total_storage = function
   | Basic s -> Store_basic.total_storage s
   | Advanced s -> Store_advanced.total_storage s
 
-let query t ~cost ~routing ?evid output =
+let query t ~cost ~routing ?evid ?up output =
   match t with
-  | Exspan s -> Store_exspan.query s ~cost ~routing ?evid output
-  | Basic s -> Store_basic.query s ~cost ~routing ?evid output
-  | Advanced s -> Store_advanced.query s ~cost ~routing ?evid output
+  | Exspan s -> Store_exspan.query s ~cost ~routing ?evid ?up output
+  | Basic s -> Store_basic.query s ~cost ~routing ?evid ?up output
+  | Advanced s -> Store_advanced.query s ~cost ~routing ?evid ?up output
 
 let dump = function
   | Exspan s -> Store_exspan.dump s
@@ -70,6 +70,18 @@ let checkpoint = function
   | Exspan s -> Store_exspan.checkpoint s
   | Basic s -> Store_basic.checkpoint s
   | Advanced s -> Store_advanced.checkpoint s
+
+let checkpoint_node t node =
+  match t with
+  | Exspan s -> Store_exspan.checkpoint_node s node
+  | Basic s -> Store_basic.checkpoint_node s node
+  | Advanced s -> Store_advanced.checkpoint_node s node
+
+let restore_node t node blob =
+  match t with
+  | Exspan s -> Store_exspan.restore_node s node blob
+  | Basic s -> Store_basic.restore_node s node blob
+  | Advanced s -> Store_advanced.restore_node s node blob
 
 let restore scheme ~delp ~env blob =
   match scheme with

@@ -36,8 +36,13 @@ val query :
   cost:Query_cost.t ->
   routing:Dpc_net.Routing.t ->
   ?evid:Dpc_util.Sha1.t ->
+  ?up:(int -> bool) ->
   Dpc_ndlog.Tuple.t ->
   Query_result.t
+(** [up] is the node-liveness predicate (default: everything up). A query
+    that touches a down node is charged the bounded timeout/retry budget
+    from {!Query_cost} and returns a result marked
+    [Query_result.complete = false] instead of hanging or raising. *)
 
 val dump : t -> (string * string list * string list list) list
 (** The backend's relational tables as [(name, header, rows)], for
@@ -50,4 +55,13 @@ val restore :
   scheme -> delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
 (** Rebuild a store from {!checkpoint} output. The scheme must match the
     one the checkpoint was taken from.
+    @raise Dpc_util.Serialize.Corrupt on malformed or mismatched input. *)
+
+val checkpoint_node : t -> int -> string
+(** Serialize one node's tables for its durable checkpoint (used by
+    {!Durable} between WAL compactions). *)
+
+val restore_node : t -> int -> string -> unit
+(** Reload one node's tables after a {!Dpc_engine.Node.reset}, from
+    {!checkpoint_node} output taken on the same scheme.
     @raise Dpc_util.Serialize.Corrupt on malformed or mismatched input. *)

@@ -1,0 +1,243 @@
+module S = Dpc_util.Serialize
+module Metrics = Dpc_util.Metrics
+module Rng = Dpc_util.Rng
+module Node = Dpc_engine.Node
+module Db = Dpc_engine.Db
+module Runtime = Dpc_engine.Runtime
+module Journal = Dpc_engine.Journal
+module Transport = Dpc_net.Transport
+module Reliable = Dpc_net.Reliable
+
+type config = { checkpoint_every : int }
+
+let default_config = { checkpoint_every = 64 }
+
+(* What a node needs to come back: the store tables, the slow-table
+   database, and its reliable-channel sequence state, all as of the same
+   boundary. *)
+type checkpoint = { store : string; db : string; channels : string option }
+
+type node_log = {
+  mutable checkpoint : checkpoint option;
+  mutable wal : string list;  (* serialized entries, newest first *)
+  mutable wal_entries : int;
+  mutable boundaries : int;  (* boundary entries currently in the wal *)
+  (* Durable counters: they live here, not in the node registry, so a
+     crash cannot erase them; [rematerialize] copies them back into the
+     wiped registry so metric snapshots stay complete. *)
+  mutable crashes : int;
+  mutable wal_bytes : int;  (* cumulative bytes ever appended *)
+  mutable checkpoints : int;
+  mutable recovery_ms : int;
+}
+
+type node_stats = {
+  crashes : int;
+  wal_bytes : int;
+  wal_entries : int;
+  checkpoints : int;
+  recovery_ms : int;
+}
+
+type t = {
+  backend : Backend.t;
+  runtime : Runtime.t;
+  control : Transport.crash_control;
+  config : config;
+  logs : node_log array;
+  mutable recovering : bool;
+      (* Recovery replays the journal through the same code paths that
+         produced it; this flag keeps those paths from appending the
+         entries a second time. *)
+}
+
+let fresh_log () =
+  {
+    checkpoint = None;
+    wal = [];
+    wal_entries = 0;
+    boundaries = 0;
+    crashes = 0;
+    wal_bytes = 0;
+    checkpoints = 0;
+    recovery_ms = 0;
+  }
+
+let metrics t node = Node.metrics (Runtime.node t.runtime node)
+
+let take_checkpoint t node =
+  let log = t.logs.(node) in
+  let channels =
+    match Runtime.reliability t.runtime with
+    | None -> None
+    | Some r -> Some (Reliable.snapshot r ~node)
+  in
+  log.checkpoint <-
+    Some
+      {
+        store = Backend.checkpoint_node t.backend node;
+        db = Db.snapshot (Runtime.db t.runtime node);
+        channels;
+      };
+  log.wal <- [];
+  log.wal_entries <- 0;
+  log.boundaries <- 0;
+  log.checkpoints <- log.checkpoints + 1;
+  Metrics.incr (metrics t node) "crash.checkpoints"
+
+let serialize_entry entry =
+  let w = S.writer () in
+  Journal.write w entry;
+  S.contents w
+
+(* WAL-then-apply: called before the entry's effects. A boundary entry
+   marks the start of a fresh top-level operation — everything before it
+   has fully applied — so compaction cuts the checkpoint just BEFORE
+   appending it: the checkpoint covers the old wal, the new wal starts
+   with this entry. *)
+let append t node entry =
+  if not t.recovering then begin
+    let log = t.logs.(node) in
+    let bytes = serialize_entry entry in
+    let boundary = Journal.is_boundary entry in
+    if boundary && t.config.checkpoint_every > 0 && log.boundaries >= t.config.checkpoint_every
+    then take_checkpoint t node;
+    log.wal <- bytes :: log.wal;
+    log.wal_entries <- log.wal_entries + 1;
+    if boundary then log.boundaries <- log.boundaries + 1;
+    log.wal_bytes <- log.wal_bytes + String.length bytes;
+    Metrics.incr (metrics t node) ~by:(String.length bytes) "crash.wal_bytes"
+  end
+
+let on_channel_event t (ev : Reliable.channel_event) =
+  match ev with
+  | Reliable.Next_seq { src; dst; seq } -> append t src (Journal.Next_seq { peer = dst; seq })
+  | Reliable.Expected { src; dst; seq } -> append t dst (Journal.Expected { peer = src; seq })
+
+let attach ~backend ~runtime ~control ?(config = default_config) () =
+  if config.checkpoint_every < 0 then
+    invalid_arg "Durable.attach: checkpoint_every must be non-negative";
+  let n = Array.length (Runtime.nodes runtime) in
+  let t =
+    {
+      backend;
+      runtime;
+      control;
+      config;
+      logs = Array.init n (fun _ -> fresh_log ());
+      recovering = false;
+    }
+  in
+  Runtime.set_journal runtime (fun ~node entry -> append t node entry);
+  (match Runtime.reliability runtime with
+  | None -> ()
+  | Some r -> Reliable.set_persist r (fun ev -> on_channel_event t ev));
+  Runtime.set_availability runtime control.Transport.is_up;
+  (* Seal the pre-attach state (slow tables loaded at build time, empty
+     stores) into checkpoint 0, so recovery never depends on journal
+     entries from before the journal existed. *)
+  Array.iteri (fun node _ -> take_checkpoint t node) (Runtime.nodes runtime);
+  t
+
+let is_up t node = t.control.Transport.is_up node
+
+let rematerialize t node =
+  let m = metrics t node in
+  let log = t.logs.(node) in
+  if log.crashes > 0 then Metrics.incr m ~by:log.crashes "crash.crashes";
+  if log.wal_bytes > 0 then Metrics.incr m ~by:log.wal_bytes "crash.wal_bytes";
+  if log.checkpoints > 0 then Metrics.incr m ~by:log.checkpoints "crash.checkpoints";
+  if log.recovery_ms > 0 then Metrics.incr m ~by:log.recovery_ms "crash.recovery_ms"
+
+let crash t node =
+  if is_up t node then begin
+    t.control.Transport.crash node;
+    Node.reset (Runtime.node t.runtime node);
+    (match Runtime.reliability t.runtime with
+    | None -> ()
+    | Some r -> Reliable.forget r ~node);
+    let log = t.logs.(node) in
+    log.crashes <- log.crashes + 1;
+    rematerialize t node
+  end
+
+let restart t node =
+  if not (is_up t node) then begin
+    let t0 = Sys.time () in
+    let log = t.logs.(node) in
+    t.recovering <- true;
+    Fun.protect
+      ~finally:(fun () -> t.recovering <- false)
+      (fun () ->
+        (match log.checkpoint with
+        | None -> ()
+        | Some c ->
+            Backend.restore_node t.backend node c.store;
+            Db.load (Runtime.db t.runtime node) c.db;
+            (match (c.channels, Runtime.reliability t.runtime) with
+            | Some blob, Some r -> Reliable.restore r ~node blob
+            | _ -> ()));
+        (* The wal is NOT truncated: a second crash before the next
+           compaction replays the same checkpoint plus the same entries
+           (and whatever lands after this recovery). *)
+        let entries = List.rev_map (fun bytes -> Journal.read (S.reader bytes)) log.wal in
+        Runtime.replay t.runtime ~node entries);
+    let ms = int_of_float (ceil ((Sys.time () -. t0) *. 1000.)) in
+    log.recovery_ms <- log.recovery_ms + ms;
+    Metrics.incr (metrics t node) ~by:ms "crash.recovery_ms";
+    (* Reconnect the wire last: no delivery can race the rebuild. *)
+    t.control.Transport.restart node
+  end
+
+let checkpoint_now t node =
+  if not (is_up t node) then invalid_arg "Durable.checkpoint_now: node is down";
+  take_checkpoint t node
+
+let node_stats t node =
+  let log = t.logs.(node) in
+  {
+    crashes = log.crashes;
+    wal_bytes = log.wal_bytes;
+    wal_entries = log.wal_entries;
+    checkpoints = log.checkpoints;
+    recovery_ms = log.recovery_ms;
+  }
+
+let schedule_crash t ~node ~at ~downtime =
+  if downtime <= 0.0 then invalid_arg "Durable.schedule_crash: downtime must be positive";
+  let tr = Runtime.transport t.runtime in
+  let delay_to at = Float.max 0.0 (at -. Transport.now tr) in
+  Transport.schedule tr ~delay:(delay_to at) (fun () -> crash t node);
+  Transport.schedule tr ~delay:(delay_to (at +. downtime)) (fun () -> restart t node)
+
+(* Seeded crash schedules. Candidates are drawn uniformly, then filtered
+   so one node's outages never overlap (an overlapping restart would cut
+   a later outage short); the result is sorted by crash time and stable
+   for a given seed. *)
+let random_schedule ~seed ~nodes ~count ~horizon ~min_down ~max_down =
+  if nodes <= 0 then invalid_arg "Durable.random_schedule: need at least one node";
+  if min_down <= 0.0 || max_down < min_down then
+    invalid_arg "Durable.random_schedule: need 0 < min_down <= max_down";
+  let rng = Rng.create ~seed in
+  let candidates =
+    List.init count (fun _ ->
+        let node = Rng.int rng nodes in
+        let at = Rng.float rng horizon in
+        let downtime =
+          if max_down = min_down then min_down else min_down +. Rng.float rng (max_down -. min_down)
+        in
+        (node, at, downtime))
+  in
+  let by_time = List.sort (fun (_, a, _) (_, b, _) -> compare a b) candidates in
+  let busy_until = Array.make nodes 0.0 in
+  List.filter
+    (fun (node, at, downtime) ->
+      if at < busy_until.(node) then false
+      else begin
+        busy_until.(node) <- at +. downtime;
+        true
+      end)
+    by_time
+
+let schedule t schedule_list =
+  List.iter (fun (node, at, downtime) -> schedule_crash t ~node ~at ~downtime) schedule_list

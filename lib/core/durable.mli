@@ -1,0 +1,108 @@
+(** Per-node durability: write-ahead journal, checkpoints, and the crash /
+    recovery protocol that ties the layers together.
+
+    The failure model is crash-stop with restart: a crashed node loses all
+    volatile state — its provenance tables, slow-table database, metrics
+    registry, and reliable-channel windows — and the wire to it is cut
+    ({!Dpc_net.Transport.crashable}) until it restarts. What survives is
+    this module's per-node log: a checkpoint (store tables +
+    {!Dpc_engine.Db} snapshot + {!Dpc_net.Reliable} sequence state, cut at
+    an operation boundary) plus the write-ahead journal tail
+    ({!Dpc_engine.Journal}) of everything non-derivable that happened
+    since.
+
+    Recovery restores the checkpoint, replays the journal tail through
+    {!Dpc_engine.Runtime.replay} (rebuilding every derived row through the
+    same hook pipeline that wrote it originally), and reconnects the wire
+    last. No explicit re-announce message exists: restoring the receive
+    watermark makes the peers' pending retransmissions the recovery
+    handshake — below-watermark copies are acked as duplicates, the first
+    unseen one is delivered (see {!Dpc_net.Reliable}). *)
+
+type config = {
+  checkpoint_every : int;
+      (** boundary journal entries between automatic compactions; [0]
+          disables automatic checkpoints (the journal grows until
+          {!checkpoint_now}) *)
+}
+
+val default_config : config
+(** Compact every 64 boundary entries. *)
+
+type t
+
+val attach :
+  backend:Backend.t ->
+  runtime:Dpc_engine.Runtime.t ->
+  control:Dpc_net.Transport.crash_control ->
+  ?config:config ->
+  unit ->
+  t
+(** Wire durability into a built world: installs the runtime's journal
+    sink ({!Dpc_engine.Runtime.set_journal}), the reliable layer's
+    sequence-state persister ({!Dpc_net.Reliable.set_persist}), and the
+    injection availability predicate, then seals the pre-attach state
+    (e.g. slow tables loaded by the generator) into each node's
+    checkpoint 0. Attach before injecting anything; events processed
+    before attach are not journaled and cannot be recovered. *)
+
+val crash : t -> int -> unit
+(** Take the node down NOW: cut its wire, wipe its volatile state
+    ({!Dpc_engine.Node.reset}), and drop its channel windows
+    ({!Dpc_net.Reliable.forget}). Idempotent while down. The durable
+    [crash.*] counters survive and are re-materialized into the wiped
+    metrics registry. *)
+
+val restart : t -> int -> unit
+(** Bring the node back: restore its checkpoint, replay its journal tail
+    ({!Dpc_engine.Runtime.replay}), then reconnect the wire — in that
+    order, so no delivery races the rebuild. The journal is retained (not
+    truncated), so a second crash before the next compaction recovers
+    again from the same checkpoint. Idempotent while up. Wall-clock
+    recovery time is added to the [crash.recovery_ms] counter (the one
+    non-deterministic metric — CI strips it before diffing runs). *)
+
+val schedule_crash : t -> node:int -> at:float -> downtime:float -> unit
+(** Schedule {!crash} at simulated time [at] and {!restart} at
+    [at +. downtime] on the runtime's transport clock.
+    @raise Invalid_argument if [downtime <= 0]. *)
+
+val random_schedule :
+  seed:int ->
+  nodes:int ->
+  count:int ->
+  horizon:float ->
+  min_down:float ->
+  max_down:float ->
+  (int * float * float) list
+(** A seeded crash schedule [(node, at, downtime)]: [count] candidates
+    drawn uniformly over [nodes] and [[0, horizon)] with downtimes in
+    [[min_down, max_down)], minus candidates that would overlap an earlier
+    outage of the same node. Sorted by crash time; deterministic for a
+    given seed. *)
+
+val schedule : t -> (int * float * float) list -> unit
+(** {!schedule_crash} for every entry of a {!random_schedule}-shaped
+    list. *)
+
+val is_up : t -> int -> bool
+(** The liveness predicate; pass as [?up] to {!Backend.query} so queries
+    degrade instead of hanging on a down node. *)
+
+val checkpoint_now : t -> int -> unit
+(** Force a compaction of the node's log. Call only between top-level
+    operations (e.g. from a [Transport.schedule] callback or while the
+    transport is idle) — a checkpoint cut mid-delivery would tear the
+    state. @raise Invalid_argument if the node is down. *)
+
+type node_stats = {
+  crashes : int;  (** times this node went down *)
+  wal_bytes : int;  (** cumulative journal bytes ever appended *)
+  wal_entries : int;  (** entries currently in the tail (since last compaction) *)
+  checkpoints : int;  (** compactions, including checkpoint 0 at attach *)
+  recovery_ms : int;  (** total wall-clock ms spent in {!restart} *)
+}
+
+val node_stats : t -> int -> node_stats
+(** The durable counters; all but [wal_entries] also appear as [crash.*]
+    metrics in the node's registry. *)

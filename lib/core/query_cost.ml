@@ -3,15 +3,21 @@ type t = {
   per_entry : float;
   per_byte : float;
   per_rederive : float;
+  down_timeout : float;
+  down_retries : int;
 }
 
 let emulation =
-  { hop_latency = Some 0.0002; per_entry = 0.0018; per_byte = 6e-6; per_rederive = 0.0002 }
+  { hop_latency = Some 0.0002; per_entry = 0.0018; per_byte = 6e-6; per_rederive = 0.0002;
+    down_timeout = 0.2; down_retries = 2 }
 
 let simulation =
-  { hop_latency = None; per_entry = 0.0018; per_byte = 6e-6; per_rederive = 0.0002 }
+  { hop_latency = None; per_entry = 0.0018; per_byte = 6e-6; per_rederive = 0.0002;
+    down_timeout = 0.2; down_retries = 2 }
 
-let free = { hop_latency = Some 0.0; per_entry = 0.0; per_byte = 0.0; per_rederive = 0.0 }
+let free =
+  { hop_latency = Some 0.0; per_entry = 0.0; per_byte = 0.0; per_rederive = 0.0;
+    down_timeout = 0.0; down_retries = 0 }
 
 let hop t routing ~src ~dst =
   if src = dst then 0.0

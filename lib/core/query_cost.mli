@@ -21,6 +21,12 @@ type t = {
           much cheaper than a distributed row fetch, which is what makes
           Basic/Advanced queries faster than ExSPAN's despite the extra
           recomputation *)
+  down_timeout : float;
+      (** seconds one attempt against a crashed node waits before timing
+          out; a query that touches a down node is charged
+          [(down_retries + 1) * down_timeout] and degrades (the result is
+          marked partial) instead of hanging *)
+  down_retries : int;  (** retries after the first timed-out attempt *)
 }
 
 val emulation : t

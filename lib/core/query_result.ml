@@ -1,5 +1,11 @@
-type t = { trees : Prov_tree.t list; latency : float; entries : int; bytes : int }
+type t = {
+  trees : Prov_tree.t list;
+  latency : float;
+  entries : int;
+  bytes : int;
+  complete : bool;
+}
 
-let empty = { trees = []; latency = 0.0; entries = 0; bytes = 0 }
+let empty = { trees = []; latency = 0.0; entries = 0; bytes = 0; complete = true }
 
 let dedup_trees trees = List.sort_uniq Prov_tree.compare trees

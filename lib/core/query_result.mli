@@ -6,6 +6,12 @@ type t = {
   latency : float;  (** seconds, under the query's {!Query_cost} model *)
   entries : int;  (** provenance rows fetched *)
   bytes : int;  (** bytes processed or shipped *)
+  complete : bool;
+      (** [false] when a crashed node made part of the provenance
+          unreachable: the branches that needed it were abandoned after
+          the bounded retry budget ({!Query_cost.t.down_timeout} ×
+          retries), so [trees] may be a subset of the truth. [true] on
+          every fully-answered query, including empty ones. *)
 }
 
 val empty : t

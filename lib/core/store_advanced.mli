@@ -54,6 +54,7 @@ val query :
   cost:Query_cost.t ->
   routing:Dpc_net.Routing.t ->
   ?evid:Dpc_util.Sha1.t ->
+  ?up:(int -> bool) ->
   Dpc_ndlog.Tuple.t ->
   Query_result.t
 (** The paper's QUERY (Fig 18): fetch the prov deltas for the tuple,
@@ -61,7 +62,9 @@ val query :
     [evid] at the leaf's node, and re-derive intermediate tuples upward.
     Candidate chains that fail re-derivation (possible under the §5.4
     layout, where link rows of different trees may alternate) are
-    discarded. *)
+    discarded. [up] is the node-liveness predicate — a chain that reaches
+    a down node is abandoned after the bounded retry budget and the
+    result is marked [complete = false] (see {!Store_exspan.query}). *)
 
 val dump : t -> (string * string list * string list list) list
 (** Human-readable table contents [(name, header, rows)] — the shape of the
@@ -80,3 +83,13 @@ val restore :
 (** Rebuild a store from {!checkpoint} output.
     @raise Dpc_util.Serialize.Corrupt on malformed input, including an
     inter-class/plain layout mismatch encoded in the blob. *)
+
+val checkpoint_node : t -> int -> string
+(** Serialize one node's tables — rows, equivalence state
+    ([htequi]/[hmap], both ingress-local), and side stores — for its
+    durable checkpoint. The store-global orphan counter is excluded. *)
+
+val restore_node : t -> int -> string -> unit
+(** Reload one node's tables after a {!Dpc_engine.Node.reset}.
+    @raise Dpc_util.Serialize.Corrupt on malformed input or a layout
+    mismatch. *)

@@ -96,9 +96,13 @@ exception Broken of string
 type acct = {
   cost : Query_cost.t;
   routing : Dpc_net.Routing.t;
+  up : int -> bool;
+  querier : int;
+  metrics : int -> Dpc_util.Metrics.t;
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable complete : bool;
 }
 
 let charge_entries acct n =
@@ -114,6 +118,21 @@ let charge_rederive acct n =
 
 let charge_hop acct ~src ~dst =
   acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+(* Call before reading any state at [node]: a down node costs the bounded
+   retry budget, marks the result partial, and abandons the branch. *)
+let require_up acct node =
+  if not (acct.up node) then begin
+    acct.latency <-
+      acct.latency
+      +. (float_of_int (acct.cost.Query_cost.down_retries + 1)
+          *. acct.cost.Query_cost.down_timeout);
+    if acct.complete then begin
+      acct.complete <- false;
+      Dpc_util.Metrics.incr (acct.metrics acct.querier) "crash.queries_degraded"
+    end;
+    raise (Broken (Printf.sprintf "node %d is down" node))
+  end
 
 let find_rule t name =
   match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
@@ -133,6 +152,7 @@ let fetch_chains t acct ~start rref =
     if List.length !results >= max_chains then ()
     else begin
       charge_hop acct ~src:at ~dst:rloc;
+      require_up acct rloc;
       let key = (rloc, Rows.key rid) in
       if List.mem key seen then ()
       else begin
@@ -213,30 +233,37 @@ let rederive t acct chain =
   in
   build chain
 
-let query t ~cost ~routing ?evid output =
+let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
-  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
-  let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
-  charge_entries acct (max 1 (List.length rows));
+  let acct =
+    { cost; routing; up; querier;
+      metrics = (fun i -> Node.metrics t.nodes.(i));
+      latency = 0.0; entries = 0; bytes = 0; complete = true }
+  in
   let trees =
-    List.concat_map
-      (fun (r : Rows.prov_row) ->
-        match r.rid with
-        | None -> []
-        | Some rref -> begin
-            match fetch_chains t acct ~start:querier rref with
-            | chains ->
-                List.filter_map
-                  (fun chain ->
-                    match rederive t acct chain with
-                    | tree, head when Tuple.equal head output -> Some tree
-                    | _ -> None
-                    | exception Broken _ -> None)
-                  chains
-            | exception Broken _ -> []
-          end)
-      rows
+    match require_up acct querier with
+    | exception Broken _ -> []
+    | () ->
+        let htp = Rows.vid_of output in
+        let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
+        charge_entries acct (max 1 (List.length rows));
+        List.concat_map
+          (fun (r : Rows.prov_row) ->
+            match r.rid with
+            | None -> []
+            | Some rref -> begin
+                match fetch_chains t acct ~start:querier rref with
+                | chains ->
+                    List.filter_map
+                      (fun chain ->
+                        match rederive t acct chain with
+                        | tree, head when Tuple.equal head output -> Some tree
+                        | _ -> None
+                        | exception Broken _ -> None)
+                      chains
+                | exception Broken _ -> []
+              end)
+          rows
   in
   let trees =
     match evid with
@@ -247,7 +274,7 @@ let query t ~cost ~routing ?evid output =
   | [] -> ()
   | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes }
+    entries = acct.entries; bytes = acct.bytes; complete = acct.complete }
 
 let dump t =
   let n = Array.length t.nodes in
@@ -331,3 +358,52 @@ let restore ~delp ~env blob =
   read_side r t (fun st -> st.slow_tuples);
   read_side r t (fun st -> st.events);
   t
+
+(* Per-node checkpoint: every Basic write is already node-local (the
+   back-pointer travels in the meta; nobody writes across nodes), so one
+   node's tables are exactly what it owns. *)
+
+let node_magic = "dpc-basic-node-v1"
+
+let write_node_side w store =
+  let open Dpc_util.Serialize in
+  let acc = ref [] in
+  Side_store.iter store (fun ~key tuple -> acc := (key, tuple) :: !acc);
+  write_list w
+    (fun (key, tuple) ->
+      write_string w (Sha1.to_raw key);
+      Tuple.serialize w tuple)
+    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) !acc)
+
+let read_node_side r store =
+  let open Dpc_util.Serialize in
+  ignore
+    (read_list r (fun () ->
+       let key = Sha1.of_raw (read_string r) in
+       Side_store.put store ~key (Tuple.deserialize r)))
+
+let checkpoint_node t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let w = writer () in
+  write_string w node_magic;
+  write_list w (Rows.write_prov_row w) (table_rows st.prov);
+  write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+  write_node_side w st.slow_tuples;
+  write_node_side w st.events;
+  contents w
+
+let restore_node t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) node_magic) then
+    raise (Corrupt "not a Basic node checkpoint");
+  List.iter
+    (fun (row : Rows.prov_row) -> add_prov t ~node ~key:(Rows.key row.vid) row)
+    (read_list r (fun () -> Rows.read_prov_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node ~key:(Rows.key row.rid) row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  let st = state t node in
+  read_node_side r st.slow_tuples;
+  read_node_side r st.events

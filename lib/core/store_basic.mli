@@ -25,11 +25,14 @@ val query :
   cost:Query_cost.t ->
   routing:Dpc_net.Routing.t ->
   ?evid:Dpc_util.Sha1.t ->
+  ?up:(int -> bool) ->
   Dpc_ndlog.Tuple.t ->
   Query_result.t
 (** Two-step query (§4): fetch the optimized chain, then recompute the
     intermediate provenance nodes by re-executing the recorded rules from
-    the leaf upward. *)
+    the leaf upward. [up] is the node-liveness predicate — a chain that
+    reaches a down node is abandoned after the bounded retry budget and
+    the result is marked [complete = false] (see {!Store_exspan.query}). *)
 
 val dump : t -> (string * string list * string list list) list
 (** Human-readable table contents [(name, header, rows)] — the shape of the
@@ -40,4 +43,11 @@ val checkpoint : t -> string
 
 val restore : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
 (** Rebuild a store from {!checkpoint} output.
+    @raise Dpc_util.Serialize.Corrupt on malformed input. *)
+
+val checkpoint_node : t -> int -> string
+(** Serialize one node's tables for its durable checkpoint. *)
+
+val restore_node : t -> int -> string -> unit
+(** Reload one node's tables after a {!Dpc_engine.Node.reset}.
     @raise Dpc_util.Serialize.Corrupt on malformed input. *)

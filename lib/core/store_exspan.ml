@@ -39,7 +39,23 @@ let add_rule_exec t ~node (row : Rows.rule_exec_row) =
 let rid_of ~rule_name ~node ~vids =
   Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
 
-let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head (meta : Dpc_engine.Prov_hook.meta) =
+(* The prov row of a derived tuple is written by the RECEIVER, from the
+   (RLoc, RID) reference the tuple ships with — not by the sender reaching
+   across into the receiver's tables. Same rows as the sender-writes
+   formulation (§4 stores them at the derived tuple's location either
+   way), but every write now happens at the node processing the arrival,
+   which is what makes a node's store a function of its own journal. The
+   one observable difference: an event no rule fires on (a dead end) no
+   longer gets a row — it contributes to no output's provenance. *)
+let record_arrival t ~node event (meta : Dpc_engine.Prov_hook.meta) =
+  match meta.prev with
+  | None -> ()
+  | Some rref ->
+      add_prov t ~node { Rows.loc = node; vid = Rows.vid_of event; rid = Some rref; evid = None };
+      Side_store.put (state t node).tuples ~key:(Rows.vid_of event) event
+
+let on_fire t ~node ~(rule : Ast.rule) ~event ~slow (meta : Dpc_engine.Prov_hook.meta) =
+  record_arrival t ~node event meta;
   let event_vid = Rows.vid_of event in
   let slow_vids = List.map Rows.vid_of slow in
   let vids = slow_vids @ [ event_vid ] in
@@ -51,17 +67,12 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head (meta : Dpc_engine.Pro
       add_prov t ~node { Rows.loc = node; vid; rid = None; evid = None };
       Side_store.put (state t node).tuples ~key:vid tuple)
     slow slow_vids;
-  (* The input event is a base tuple; intermediate events already got their
-     prov row when they were derived. *)
+  (* The input event is a base tuple; intermediate events get their prov
+     row from [record_arrival]. *)
   if meta.prev = None then begin
     add_prov t ~node { Rows.loc = node; vid = event_vid; rid = None; evid = None };
     Side_store.put (state t node).tuples ~key:event_vid event
   end;
-  let head_loc = Tuple.loc head in
-  let head_vid = Rows.vid_of head in
-  add_prov t ~node:head_loc
-    { Rows.loc = head_loc; vid = head_vid; rid = Some (node, rid); evid = None };
-  Side_store.put (state t head_loc).tuples ~key:head_vid head;
   { meta with prev = Some (node, rid) }
 
 let hook t =
@@ -72,8 +83,8 @@ let hook t =
         let meta = Dpc_engine.Prov_hook.initial_meta event in
         Side_store.put (state t node).tuples ~key:(Rows.vid_of event) event;
         meta);
-    on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
-    on_output = (fun ~node:_ _ _ -> ());
+    on_fire = (fun ~node ~rule ~event ~slow ~head:_ meta -> on_fire t ~node ~rule ~event ~slow meta);
+    on_output = (fun ~node event meta -> record_arrival t ~node event meta);
     on_slow_update = (fun ~node:_ ~op:_ _ -> ());
     (* ExSPAN ships the (RID, RLoc) reference so the receiver can store the
        prov row of the derived tuple. *)
@@ -97,13 +108,21 @@ let total_storage t =
 
 exception Broken of string
 
-(* Mutable accounting threaded through a query. *)
+(* Mutable accounting threaded through a query. [up] is the liveness
+   predicate: touching a down node charges the full bounded retry budget
+   ((down_retries + 1) tries of down_timeout each), marks the result
+   partial, and abandons the branch — the query never hangs on a dead
+   node, it degrades. *)
 type acct = {
   cost : Query_cost.t;
   routing : Dpc_net.Routing.t;
+  up : int -> bool;
+  querier : int;
+  metrics : int -> Dpc_util.Metrics.t;
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable complete : bool;
 }
 
 let charge_entries acct n =
@@ -116,6 +135,20 @@ let charge_bytes acct n =
 
 let charge_hop acct ~src ~dst =
   acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+
+(* Call before reading any state at [node]. *)
+let require_up acct node =
+  if not (acct.up node) then begin
+    acct.latency <-
+      acct.latency
+      +. (float_of_int (acct.cost.Query_cost.down_retries + 1)
+          *. acct.cost.Query_cost.down_timeout);
+    if acct.complete then begin
+      acct.complete <- false;
+      Dpc_util.Metrics.incr (acct.metrics acct.querier) "crash.queries_degraded"
+    end;
+    raise (Broken (Printf.sprintf "node %d is down" node))
+  end
 
 let resolve_tuple t ~node vid =
   match Side_store.get (state t node).tuples ~key:vid with
@@ -137,6 +170,7 @@ let max_derivations = 64
    sits on. *)
 let rec fetch_trees t acct ~at ~output (rloc, rid) =
   charge_hop acct ~src:at ~dst:rloc;
+  require_up acct rloc;
   let exec =
     match Rows.Table.find (state t rloc).rule_exec (Rows.key rid) with
     | [ row ] -> row
@@ -176,23 +210,30 @@ let rec fetch_trees t acct ~at ~output (rloc, rid) =
   List.filteri (fun i _ -> i < max_derivations) triggers
   |> List.map (fun trigger -> { Prov_tree.rule = exec.rule; output; trigger; slow })
 
-let query t ~cost ~routing ?evid output =
+let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
-  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
-  let htp = Rows.vid_of output in
-  let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
-  charge_entries acct (max 1 (List.length rows));
+  let acct =
+    { cost; routing; up; querier;
+      metrics = (fun i -> Node.metrics t.nodes.(i));
+      latency = 0.0; entries = 0; bytes = 0; complete = true }
+  in
   let trees =
-    List.concat_map
-      (fun (r : Rows.prov_row) ->
-        match r.rid with
-        | None -> []
-        | Some rref -> begin
-            match fetch_trees t acct ~at:querier ~output rref with
-            | trees -> trees
-            | exception Broken _ -> []
-          end)
-      rows
+    match require_up acct querier with
+    | exception Broken _ -> []
+    | () ->
+        let htp = Rows.vid_of output in
+        let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
+        charge_entries acct (max 1 (List.length rows));
+        List.concat_map
+          (fun (r : Rows.prov_row) ->
+            match r.rid with
+            | None -> []
+            | Some rref -> begin
+                match fetch_trees t acct ~at:querier ~output rref with
+                | trees -> trees
+                | exception Broken _ -> []
+              end)
+          rows
   in
   let trees =
     match evid with
@@ -206,7 +247,7 @@ let query t ~cost ~routing ?evid output =
       let leaf_event = Prov_tree.event_of tr in
       charge_hop acct ~src:(Tuple.loc leaf_event) ~dst:querier);
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes }
+    entries = acct.entries; bytes = acct.bytes; complete = acct.complete }
 
 let dump t =
   let n = Array.length t.nodes in
@@ -290,3 +331,45 @@ let restore ~delp ~env blob =
   done;
   read_side r (fun ~node ~key tuple -> Side_store.put (state t node).tuples ~key tuple);
   t
+
+(* Per-node checkpoint: one node's three tables, nothing else. Receiver-
+   side writes guarantee this really is the whole of what the node owns —
+   no other node ever wrote into it. Restoring goes through the add_*
+   paths so the store.* counters (wiped with the node) are rebuilt. *)
+
+let node_magic = "dpc-exspan-node-v1"
+
+let checkpoint_node t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let w = writer () in
+  write_string w node_magic;
+  write_list w (Rows.write_prov_row w) (table_rows st.prov);
+  write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+  let side = ref [] in
+  Side_store.iter st.tuples (fun ~key tuple -> side := (key, tuple) :: !side);
+  write_list w
+    (fun (key, tuple) ->
+      write_string w (Sha1.to_raw key);
+      Tuple.serialize w tuple)
+    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) !side);
+  contents w
+
+let restore_node t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) node_magic) then
+    raise (Corrupt "not an ExSPAN node checkpoint");
+  List.iter
+    (fun (row : Rows.prov_row) -> add_prov t ~node row)
+    (read_list r (fun () -> Rows.read_prov_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  let st = state t node in
+  List.iter
+    (fun () -> ())
+    (read_list r (fun () ->
+       let key = Sha1.of_raw (read_string r) in
+       let tuple = Tuple.deserialize r in
+       Side_store.put st.tuples ~key tuple))

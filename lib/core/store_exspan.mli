@@ -24,12 +24,16 @@ val query :
   cost:Query_cost.t ->
   routing:Dpc_net.Routing.t ->
   ?evid:Dpc_util.Sha1.t ->
+  ?up:(int -> bool) ->
   Dpc_ndlog.Tuple.t ->
   Query_result.t
 (** Recursive distributed query (§2.2): follow [prov] and [ruleExec] rows
     from the queried tuple down to base tuples, reconstructing every
     derivation; [evid] restricts to derivations triggered by that input
-    event. *)
+    event. [up] (default: everyone) is the node-liveness predicate:
+    touching a down node charges the bounded
+    [(down_retries + 1) * down_timeout] budget, abandons that branch, and
+    marks the result [complete = false] — never hangs, never raises. *)
 
 val dump : t -> (string * string list * string list list) list
 (** Human-readable table contents [(name, header, rows)], digests
@@ -41,3 +45,12 @@ val checkpoint : t -> string
 val restore : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
 (** Rebuild a store from {!checkpoint} output; queries against it behave
     identically. @raise Dpc_util.Serialize.Corrupt on malformed input. *)
+
+val checkpoint_node : t -> int -> string
+(** Serialize ONE node's tables (receiver-side writes make them fully
+    node-owned) for inclusion in that node's durable checkpoint. *)
+
+val restore_node : t -> int -> string -> unit
+(** Reload one node's tables from {!checkpoint_node} output, after a
+    {!Dpc_engine.Node.reset} — row writes re-tick the node's [store.*]
+    counters. @raise Dpc_util.Serialize.Corrupt on malformed input. *)

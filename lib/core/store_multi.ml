@@ -402,5 +402,7 @@ let query h ~cost ~routing ?evid output =
   (match trees with
   | [] -> ()
   | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
+  (* Multi-program queries have no liveness predicate yet: the store is a
+     storage-sharing experiment, not wired into the crash-fault runtime. *)
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes }
+    entries = acct.entries; bytes = acct.bytes; complete = true }

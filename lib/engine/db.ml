@@ -127,6 +127,25 @@ let cardinality t rel =
 
 let total_tuples t = Hashtbl.fold (fun _ rs acc -> acc + Hashtbl.length rs.tuples) t.tables 0
 
+let clear t = Hashtbl.reset t.tables
+
+let snapshot t =
+  let w = Dpc_util.Serialize.writer () in
+  Dpc_util.Serialize.write_list w
+    (fun rel ->
+      Dpc_util.Serialize.write_string w rel;
+      Dpc_util.Serialize.write_list w (Tuple.serialize w) (scan t rel))
+    (relations t);
+  Dpc_util.Serialize.contents w
+
+let load t blob =
+  let r = Dpc_util.Serialize.reader blob in
+  ignore
+    (Dpc_util.Serialize.read_list r (fun () ->
+       let _rel = Dpc_util.Serialize.read_string r in
+       ignore
+         (Dpc_util.Serialize.read_list r (fun () -> ignore (insert t (Tuple.deserialize r))))))
+
 let recount_bytes t =
   let w = Dpc_util.Serialize.writer () in
   List.iter

@@ -37,6 +37,19 @@ val lookup :
     thereafter. [positions] must be non-empty and in range for every tuple
     of the relation. *)
 
+val clear : t -> unit
+(** Drop every relation, index, and byte counter — the store of a node
+    whose memory just went away. *)
+
+val snapshot : t -> string
+(** Deterministic serialization of the whole store: relations sorted by
+    name, tuples in {!scan} order. *)
+
+val load : t -> string -> unit
+(** Insert every tuple of a {!snapshot} (set semantics: tuples already
+    present are kept once). Does not clear first.
+    @raise Dpc_util.Serialize.Corrupt on a malformed blob. *)
+
 val relations : t -> string list
 val cardinality : t -> string -> int
 val total_tuples : t -> int

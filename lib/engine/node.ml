@@ -43,6 +43,11 @@ let db t = t.db
 let metrics t = t.metrics
 let tick t ?by name = Dpc_util.Metrics.incr t.metrics ?by name
 
+let reset t =
+  Db.clear t.db;
+  Dpc_util.Metrics.clear t.metrics;
+  Hashtbl.reset t.props
+
 let find t k =
   match Hashtbl.find_opt t.props k.uid with
   | None -> None

@@ -26,6 +26,11 @@ val tick : t -> ?by:int -> string -> unit
 (** Bump a counter in the node's metrics registry: the one-liner every
     layer that instruments per-node work wants. *)
 
+val reset : t -> unit
+(** Wipe everything volatile — database, metrics, properties — as a crash
+    does. The node keeps its id; the stores re-initialize their property
+    records lazily on the next touch. *)
+
 (** {2 Typed properties}
 
     Each store instance allocates a private {!key} at creation time and

@@ -22,6 +22,14 @@ type t = {
   mutable fired : int;
   mutable output_count : int;
   mutable dead_ends : int;
+  (* Crash-fault support: [journal] is the write-ahead sink (set by the
+     durable layer), [available] says whether a node can take an injection
+     right now (set from the crashable transport's control), [replaying]
+     turns processing into pure state reconstruction — no sends, no
+     journaling, no global counters. *)
+  mutable journal : (node:int -> Journal.entry -> unit) option;
+  mutable available : int -> bool;
+  mutable replaying : bool;
 }
 
 let create ~transport ?reliable ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
@@ -82,6 +90,9 @@ let create ~transport ?reliable ~delp ~env ~hook ?(msg_overhead = 28) ?(interest
     fired = 0;
     output_count = 0;
     dead_ends = 0;
+    journal = None;
+    available = (fun _ -> true);
+    replaying = false;
   }
 
 let transport t = t.transport
@@ -92,8 +103,20 @@ let node t i = t.nodes.(i)
 let db t node = Node.db t.nodes.(node)
 let tick t node name = Node.tick t.nodes.(node) name
 
+let set_journal t f = t.journal <- Some f
+let set_availability t f = t.available <- f
+
+let journal t node entry =
+  if not t.replaying then
+    match t.journal with None -> () | Some f -> f ~node entry
+
 let load_slow t tuples =
-  List.iter (fun tuple -> ignore (Db.insert (db t (Tuple.loc tuple)) tuple)) tuples
+  List.iter
+    (fun tuple ->
+      let node = Tuple.loc tuple in
+      journal t node (Journal.Load tuple);
+      ignore (Db.insert (db t node) tuple))
+    tuples
 
 (* Process [event] arriving at [node] carrying [meta]: fire every rule the
    event relation triggers; ship each head to its location. A head whose
@@ -102,9 +125,11 @@ let rec process t ~input node event meta =
   match Hashtbl.find_opt t.plans (Tuple.rel event) with
   | None ->
       Log.debug (fun m -> m "output %s at n%d" (Tuple.to_string event) node);
-      t.output_count <- t.output_count + 1;
+      if not t.replaying then begin
+        t.output_count <- t.output_count + 1;
+        if t.record_outputs then t.outputs_rev <- (event, meta) :: t.outputs_rev
+      end;
       tick t node "runtime.outputs";
-      if t.record_outputs then t.outputs_rev <- (event, meta) :: t.outputs_rev;
       ignore (Db.insert (db t node) event);
       t.hook.on_output ~node event meta
   | Some plans ->
@@ -123,7 +148,7 @@ let rec process t ~input node event meta =
           List.iter
             (fun (head, slow) ->
               any_fired := true;
-              t.fired <- t.fired + 1;
+              if not t.replaying then t.fired <- t.fired + 1;
               tick t node "runtime.fired";
               Log.debug (fun m ->
                 m "%s fired at n%d: %s -> %s" rule.Ast.name node (Tuple.to_string event)
@@ -134,7 +159,7 @@ let rec process t ~input node event meta =
         plans;
       if not !any_fired then begin
         Log.debug (fun m -> m "event %s died at n%d" (Tuple.to_string event) node);
-        t.dead_ends <- t.dead_ends + 1;
+        if not t.replaying then t.dead_ends <- t.dead_ends + 1;
         tick t node "runtime.dead_ends"
       end
 
@@ -143,8 +168,14 @@ and ship t src head meta =
   let bytes = Tuple.wire_size head + t.hook.meta_bytes meta + t.msg_overhead in
   tick t src "runtime.shipped_msgs";
   Node.tick t.nodes.(src) ~by:bytes "runtime.shipped_bytes";
-  Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
-    process t ~input:false dst head meta)
+  (* During replay the ship already happened in the pre-crash run: the
+     metric ticks above rebuild the node's wiped counters, but nothing
+     goes back on the wire — the recovering node's downstream effects are
+     someone else's (delivered) history, not new sends. *)
+  if not t.replaying then
+    Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
+      journal t dst (Journal.Arrival { event = head; meta });
+      process t ~input:false dst head meta)
 
 (* Broadcast the sig control message to every node, including the origin
    (delivered locally through the queue to preserve event ordering). *)
@@ -153,21 +184,31 @@ let broadcast_sig t node op tuple =
   Node.tick t.nodes.(node) ~by:(Array.length t.nodes) "runtime.shipped_msgs";
   Node.tick t.nodes.(node) ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
   Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
+    journal t target (Journal.Sig { op; tuple });
     t.hook.on_slow_update ~node:target ~op tuple)
 
 let insert_slow_runtime t tuple =
   let node = Tuple.loc tuple in
   (* A duplicate insert changes nothing, so nothing is announced: no sig
      broadcast, no message/byte accounting. *)
-  if Db.insert (db t node) tuple then broadcast_sig t node Prov_hook.Slow_insert tuple
+  if Db.insert (db t node) tuple then begin
+    journal t node (Journal.Slow_insert tuple);
+    broadcast_sig t node Prov_hook.Slow_insert tuple
+  end
 
 let delete_slow_runtime t tuple =
   let node = Tuple.loc tuple in
   if Db.remove (db t node) tuple then begin
+    journal t node (Journal.Slow_delete tuple);
     broadcast_sig t node Prov_hook.Slow_delete tuple;
     true
   end
   else false
+
+(* How long an injection at a down node waits before trying again. The
+   input source keeps its event durably and re-presents it — an injection
+   is never lost to a crash, only delayed past the restart. *)
+let inject_retry_delay = 0.05
 
 let inject t ?(delay = 0.0) event =
   if not (String.equal (Tuple.rel event) t.delp.input_event) then
@@ -176,10 +217,57 @@ let inject t ?(delay = 0.0) event =
          (Tuple.rel event));
   t.injected <- t.injected + 1;
   let node = Tuple.loc event in
-  tick t node "runtime.injected";
-  Dpc_net.Transport.schedule t.transport ~delay (fun () ->
-    let meta = t.hook.on_input ~node event in
-    process t ~input:true node event meta)
+  let attempts = ref 0 in
+  let rec attempt () =
+    incr attempts;
+    if t.available node then begin
+      tick t node "runtime.injected";
+      journal t node (Journal.Input event);
+      let meta = t.hook.on_input ~node event in
+      process t ~input:true node event meta
+    end
+    else if !attempts < 1000 then
+      (* The node is down: the input source holds the event and re-presents
+         it after the restart. Bounded so a never-restarted node cannot
+         keep the event loop spinning forever. *)
+      Dpc_net.Transport.schedule t.transport ~delay:inject_retry_delay attempt
+    else tick t node "runtime.abandoned_injections"
+  in
+  Dpc_net.Transport.schedule t.transport ~delay attempt
+
+(* Rebuild one node's volatile state from its journal tail. Entries are
+   re-applied through the same hook/process pipeline that produced the
+   original state — replay mode keeps the per-node metric ticks (the
+   registry was wiped with the node) but suppresses sends, journaling,
+   and the cluster-global counters (those never died). Channel entries
+   restore the reliable layer's sequence state in place, so surviving
+   retransmit closures pick the watermark back up. *)
+let replay t ~node entries =
+  t.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.replaying <- false)
+    (fun () ->
+      List.iter
+        (fun entry ->
+          match (entry : Journal.entry) with
+          | Input event ->
+              tick t node "runtime.injected";
+              let meta = t.hook.on_input ~node event in
+              process t ~input:true node event meta
+          | Arrival { event; meta } -> process t ~input:false node event meta
+          | Sig { op; tuple } -> t.hook.on_slow_update ~node ~op tuple
+          | Slow_insert tuple -> ignore (Db.insert (db t node) tuple)
+          | Slow_delete tuple -> ignore (Db.remove (db t node) tuple)
+          | Load tuple -> ignore (Db.insert (db t node) tuple)
+          | Next_seq { peer; seq } -> (
+              match t.reliability with
+              | Some r -> Dpc_net.Reliable.set_next_seq r ~src:node ~dst:peer seq
+              | None -> ())
+          | Expected { peer; seq } -> (
+              match t.reliability with
+              | Some r -> Dpc_net.Reliable.set_expected r ~src:peer ~dst:node seq
+              | None -> ()))
+        entries)
 
 let outputs t = List.rev t.outputs_rev
 

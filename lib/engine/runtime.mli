@@ -113,3 +113,32 @@ val metrics_snapshot : t -> Dpc_util.Metrics.snapshot
 
 val run : ?until:float -> t -> unit
 (** Drive the transport until quiescence (or [until]). *)
+
+(** {2 Crash-fault support}
+
+    The runtime exposes three hooks the durable layer ([Dpc_core.Durable])
+    wires together; none of them is needed on a crash-free run. *)
+
+val set_journal : t -> (node:int -> Journal.entry -> unit) -> unit
+(** Install the write-ahead sink. From then on the runtime reports, at
+    the owning node and before applying the effect: injected inputs,
+    event arrivals (with their meta), delivered [sig] messages,
+    slow-table loads and runtime mutations. {!Dpc_net.Reliable} channel
+    advances are reported by that layer's own [set_persist], not here. *)
+
+val set_availability : t -> (int -> bool) -> unit
+(** Tell {!inject} which nodes are up. An injection whose node is down is
+    re-presented every 50 ms (the input source is durable) until the node
+    restarts, bounded so a never-restarted node cannot wedge {!run}
+    (abandons tick [runtime.abandoned_injections]). Deliveries between
+    nodes are already cut by [Transport.crashable]; this hook only covers
+    the injection path, which schedules directly on the clock. *)
+
+val replay : t -> node:int -> Journal.entry list -> unit
+(** Re-apply a journal tail to rebuild one node's volatile state after
+    {!Node.reset}: entries run through the same hook/process pipeline
+    that produced the original state, with sends, journaling, and the
+    cluster-global {!stats} counters suppressed (per-node metric ticks
+    are kept — the node's registry was wiped with it). Channel entries
+    restore the reliable layer's sequence state monotonically, in
+    place. *)

@@ -35,11 +35,16 @@ type stats = {
   abandoned : int;
 }
 
+type channel_event =
+  | Next_seq of { src : int; dst : int; seq : int }
+  | Expected of { src : int; dst : int; seq : int }
+
 type t = {
   inner : Transport.t;
   config : config;
   metrics : (int -> Dpc_util.Metrics.t) option;
   channels : (int * int, channel) Hashtbl.t;
+  mutable persist : (channel_event -> unit) option;
   mutable data_msgs : int;
   mutable data_bytes : int;
   mutable retransmits : int;
@@ -60,6 +65,7 @@ let wrap ?(config = default_config) ?metrics inner =
     config;
     metrics;
     channels = Hashtbl.create 64;
+    persist = None;
     data_msgs = 0;
     data_bytes = 0;
     retransmits = 0;
@@ -74,6 +80,9 @@ let wrap ?(config = default_config) ?metrics inner =
 let tick t node ?by name =
   match t.metrics with None -> () | Some f -> Dpc_util.Metrics.incr (f node) ?by name
 
+let set_persist t f = t.persist <- Some f
+let persist t ev = match t.persist with None -> () | Some f -> f ev
+
 let channel t ~src ~dst =
   match Hashtbl.find_opt t.channels (src, dst) with
   | Some ch -> ch
@@ -85,23 +94,28 @@ let channel t ~src ~dst =
 (* Deliver in sequence order: run the arrival if it is the next expected
    message, then drain whatever the gap was holding back. Out-of-order
    arrivals wait in the window; duplicates (below the watermark or already
-   waiting) are dropped. Returns what happened, for accounting. *)
-let accept ch seq k =
+   waiting) are dropped. The watermark is advanced (and persisted via
+   [notify]) BEFORE the delivery closure runs, so a journal written from
+   inside the closure sees the post-delivery sequence state. Returns what
+   happened, for accounting. *)
+let accept ~notify ch seq k =
   if seq < ch.expected || Hashtbl.mem ch.pending seq then `Duplicate
   else if seq > ch.expected then begin
     Hashtbl.add ch.pending seq k;
     `Held
   end
   else begin
-    k ();
     ch.expected <- ch.expected + 1;
+    notify ch.expected;
+    k ();
     let rec drain () =
       match Hashtbl.find_opt ch.pending ch.expected with
       | None -> ()
       | Some k' ->
           Hashtbl.remove ch.pending ch.expected;
-          k' ();
           ch.expected <- ch.expected + 1;
+          notify ch.expected;
+          k' ();
           drain ()
     in
     drain ();
@@ -112,15 +126,22 @@ let send t ~src ~dst ~bytes k =
   let ch = channel t ~src ~dst in
   let seq = ch.next_seq in
   ch.next_seq <- seq + 1;
+  persist t (Next_seq { src; dst; seq = ch.next_seq });
   let wire = bytes + data_header_bytes in
   let acked = ref false in
   let attempts = ref 0 in
-  (* Receiver side: dedup and reorder through the window, and ack every
-     arrival — a duplicate means the sender may have missed an earlier
-     ack, and a held message is safely received even if not yet
-     deliverable. *)
+  (* Receiver side: dedup and reorder through the window, then ack the
+     cumulative watermark — but only when it covers this arrival. A
+     delivered or below-watermark duplicate arrival is acked (the sender
+     may have missed an earlier ack); a HELD arrival is not, because the
+     receiver's window is volatile: if the receiver crashes, everything
+     parked behind the gap dies with it, and only the unacked senders'
+     retransmissions bring it back. A held message therefore costs one
+     extra retransmission in the fault-free case — the price of making
+     the ack a durable promise. *)
+  let notify expected = persist t (Expected { src; dst; seq = expected }) in
   let deliver () =
-    (match accept ch seq k with
+    (match accept ~notify ch seq k with
     | `Delivered -> ()
     | `Duplicate ->
         t.dup_dropped <- t.dup_dropped + 1;
@@ -128,11 +149,13 @@ let send t ~src ~dst ~bytes k =
     | `Held ->
         t.held <- t.held + 1;
         tick t dst "net.held");
-    t.acks <- t.acks + 1;
-    t.ack_bytes_total <- t.ack_bytes_total + ack_bytes;
-    tick t dst "net.acks_sent";
-    tick t dst ~by:ack_bytes "net.ack_bytes";
-    Transport.send t.inner ~src:dst ~dst:src ~bytes:ack_bytes (fun () -> acked := true)
+    if ch.expected > seq then begin
+      t.acks <- t.acks + 1;
+      t.ack_bytes_total <- t.ack_bytes_total + ack_bytes;
+      tick t dst "net.acks_sent";
+      tick t dst ~by:ack_bytes "net.ack_bytes";
+      Transport.send t.inner ~src:dst ~dst:src ~bytes:ack_bytes (fun () -> acked := true)
+    end
   in
   let rec transmit () =
     incr attempts;
@@ -163,6 +186,76 @@ let send t ~src ~dst ~bytes k =
         else transmit ())
   in
   transmit ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash support: channel sequence state as data.
+
+   A node's share of the channel state is the [next_seq] of every channel
+   it sends on and the [expected] watermark of every channel it receives
+   on. The pending window is deliberately NOT part of it — held arrivals
+   were never acked, so after a crash the peers' retransmissions rebuild
+   the window on their own. Restoring the watermark is the whole recovery
+   handshake: a retransmission below it is acked as a duplicate (filling
+   the sender's missed ack), one at it is delivered, and the sender's
+   restored [next_seq] keeps new messages from reusing sequence numbers
+   the peer has already seen. *)
+
+let set_next_seq t ~src ~dst seq =
+  let ch = channel t ~src ~dst in
+  if seq > ch.next_seq then begin
+    ch.next_seq <- seq;
+    persist t (Next_seq { src; dst; seq })
+  end
+
+let set_expected t ~src ~dst seq =
+  let ch = channel t ~src ~dst in
+  if seq > ch.expected then begin
+    ch.expected <- seq;
+    persist t (Expected { src; dst; seq })
+  end
+
+let forget t ~node =
+  (* Mutate the existing channel records in place: in-flight retransmit
+     and delivery closures captured them, and must observe the wipe. *)
+  Hashtbl.iter
+    (fun (src, dst) ch ->
+      if src = node then ch.next_seq <- 0;
+      if dst = node then begin
+        ch.expected <- 0;
+        Hashtbl.reset ch.pending
+      end)
+    t.channels
+
+let snapshot_magic = "dpc-rel-v1"
+
+let snapshot t ~node =
+  let senders = ref [] and receivers = ref [] in
+  Hashtbl.iter
+    (fun (src, dst) ch ->
+      if src = node && ch.next_seq > 0 then senders := (dst, ch.next_seq) :: !senders;
+      if dst = node && ch.expected > 0 then receivers := (src, ch.expected) :: !receivers)
+    t.channels;
+  let w = Dpc_util.Serialize.writer () in
+  Dpc_util.Serialize.write_string w snapshot_magic;
+  let pair (peer, seq) =
+    Dpc_util.Serialize.write_varint w peer;
+    Dpc_util.Serialize.write_varint w seq
+  in
+  Dpc_util.Serialize.write_list w pair (List.sort compare !senders);
+  Dpc_util.Serialize.write_list w pair (List.sort compare !receivers);
+  Dpc_util.Serialize.contents w
+
+let restore t ~node blob =
+  let r = Dpc_util.Serialize.reader blob in
+  if Dpc_util.Serialize.read_string r <> snapshot_magic then
+    raise (Dpc_util.Serialize.Corrupt "not a Reliable channel snapshot");
+  let pair () =
+    let peer = Dpc_util.Serialize.read_varint r in
+    let seq = Dpc_util.Serialize.read_varint r in
+    (peer, seq)
+  in
+  List.iter (fun (dst, seq) -> set_next_seq t ~src:node ~dst seq) (Dpc_util.Serialize.read_list r pair);
+  List.iter (fun (src, seq) -> set_expected t ~src ~dst:node seq) (Dpc_util.Serialize.read_list r pair)
 
 let transport t : Transport.t =
   let (module T : Transport.S) = t.inner in

@@ -177,3 +177,70 @@ let faulty ~config ~rng inner =
     else if u < config.drop +. config.duplicate +. config.delay then
       F_delay (Dpc_util.Rng.float rng config.delay_max)
     else F_deliver)
+
+(* ------------------------------------------------------------------ *)
+(* Crash faults *)
+
+type crash_stats = { mutable crashes : int; mutable suppressed : int }
+
+type crash_control = {
+  crash : int -> unit;
+  restart : int -> unit;
+  is_up : int -> bool;
+  crash_stats : crash_stats;
+}
+
+let crashable (module T : S) : t * crash_control =
+  let up = Array.make T.nodes true in
+  let stats = { crashes = 0; suppressed = 0 } in
+  let control =
+    {
+      crash =
+        (fun node ->
+          if node < 0 || node >= T.nodes then
+            invalid_arg (Printf.sprintf "Transport.crashable: node %d out of range" node);
+          if up.(node) then begin
+            up.(node) <- false;
+            stats.crashes <- stats.crashes + 1
+          end);
+      restart =
+        (fun node ->
+          if node < 0 || node >= T.nodes then
+            invalid_arg (Printf.sprintf "Transport.crashable: node %d out of range" node);
+          up.(node) <- true);
+      is_up =
+        (fun node ->
+          if node < 0 || node >= T.nodes then
+            invalid_arg (Printf.sprintf "Transport.crashable: node %d out of range" node);
+          up.(node));
+      crash_stats = stats;
+    }
+  in
+  let transport : t =
+    (module struct
+      let name = "crashable+" ^ T.name
+      let nodes = T.nodes
+      let now = T.now
+      let schedule = T.schedule
+
+      (* The wire still carries the message (bytes are charged, the clock
+         advances), but a down destination never sees the delivery. The
+         up-check runs at ARRIVAL time, not send time: a node that crashes
+         while a message is in flight loses it, and a message sent at a
+         down node before it recovers is lost even if the node is back up
+         when the send is issued — matching a dead NIC, not a full mailbox. *)
+      let send ~src ~dst ~bytes k =
+        T.send ~src ~dst ~bytes (fun () ->
+          if up.(dst) then k () else stats.suppressed <- stats.suppressed + 1)
+
+      let broadcast ~src ~bytes k =
+        for dst = 0 to nodes - 1 do
+          send ~src ~dst ~bytes (fun () -> k dst)
+        done
+
+      let run = T.run
+      let total_bytes = T.total_bytes
+      let messages = T.messages
+    end)
+  in
+  (transport, control)

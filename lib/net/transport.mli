@@ -109,3 +109,31 @@ val faulty_with : decide:(src:int -> dst:int -> bytes:int -> fault) -> t -> t * 
 val faulty : config:fault_config -> rng:Dpc_util.Rng.t -> t -> t * fault_stats
 (** Seeded random fault injection at the [config] rates. One fault at most
     per transmission; duplicates are not themselves re-faulted. *)
+
+(** {2 Crash faults}
+
+    [crashable] models whole-node crashes at the transport layer: while a
+    node is down, every delivery addressed to it — data, acks, sig
+    broadcasts — is silently suppressed (bytes still charged; the failure
+    is at the receiver, like {!F_drop}). The wrapper only cuts the wire;
+    wiping the node's volatile state and driving recovery is the
+    engine's business (see [Runtime] and [Durable]). *)
+
+type crash_stats = {
+  mutable crashes : int;  (** transitions from up to down *)
+  mutable suppressed : int;  (** deliveries dropped at a down node *)
+}
+
+type crash_control = {
+  crash : int -> unit;  (** take a node down (idempotent) *)
+  restart : int -> unit;  (** bring a node back up (idempotent) *)
+  is_up : int -> bool;
+  crash_stats : crash_stats;
+}
+
+val crashable : t -> t * crash_control
+(** Wrap a backend with per-node up/down switches. All nodes start up.
+    The up-check runs at arrival time, so messages in flight when the
+    destination crashes are lost with it.
+    @raise Invalid_argument from the control functions if the node id is
+    out of range. *)

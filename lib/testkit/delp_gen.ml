@@ -202,8 +202,10 @@ let build_world ?transport ?reliable instance scheme =
   Dpc_engine.Runtime.load_slow runtime instance.slow_tuples;
   { runtime; backend; routing }
 
-let run_events world events =
-  List.iter (fun ev -> Dpc_engine.Runtime.inject world.runtime ev) events;
+let run_events ?(spacing = 0.0) world events =
+  List.iteri
+    (fun i ev -> Dpc_engine.Runtime.inject world.runtime ~delay:(float_of_int i *. spacing) ev)
+    events;
   Dpc_engine.Runtime.run world.runtime
 
 let mutate_non_keys ~rng ~keys event =

@@ -42,8 +42,11 @@ val build_world :
     harness does both).
     @raise Invalid_argument on a transport of the wrong size. *)
 
-val run_events : world -> Dpc_ndlog.Tuple.t list -> unit
-(** Inject the events in order and run the simulation to quiescence. *)
+val run_events : ?spacing:float -> world -> Dpc_ndlog.Tuple.t list -> unit
+(** Inject the events in order and run the simulation to quiescence.
+    [spacing] (default 0: everything at the epoch) injects event [i] at
+    simulated time [i *. spacing] — the chaos harness uses it to spread
+    the run across a window that crash schedules can land inside. *)
 
 val mutate_non_keys :
   rng:Dpc_util.Rng.t -> keys:Dpc_analysis.Equi_keys.t -> Dpc_ndlog.Tuple.t ->

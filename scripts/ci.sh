@@ -22,12 +22,20 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
-# Chaos sweep at full width: 50 seeded DELP instances per scheme under a
-# drop/duplicate/delay transport, oracle-checked against a fault-free run.
-# Seeds are pinned inside the test, so this is deterministic.
-echo "== chaos sweep (full, pinned seeds) =="
+# Chaos sweeps at full width: 50 seeded DELP instances per scheme under a
+# drop/duplicate/delay transport, and 25 under seeded crash/restart
+# schedules with durable recovery — each oracle-checked against a
+# fault-free run. Seeds are pinned inside the tests, so this is
+# deterministic.
+echo "== chaos + crash sweeps (full, pinned seeds) =="
 DPC_CHAOS_FULL=1 dune exec test/test_chaos.exe >/dev/null
-echo "chaos sweep ok"
+echo "chaos + crash sweeps ok"
+
+# Crash/recovery unit suites (also part of dune runtest; rerun here so a
+# regression names the failing group in the CI log).
+echo "== crash suites (quick) =="
+make crash >/dev/null
+echo "crash suites ok"
 
 # Bench smoke: the tiny fig9 run must finish quickly and produce a valid
 # machine-readable report with all three scheme series present.
@@ -57,17 +65,19 @@ else
     echo "bench json ok (python3 unavailable; key check only)"
 fi
 
-# Determinism: two same-seed runs of the fig9/fig11 scenarios (storage
-# snapshots, bandwidth totals, fault injection + reliable delivery) must
-# agree byte-for-byte once the wall-clock-derived fields are stripped.
-echo "== bench determinism (tiny fig9+fig11, seed 7, two runs) =="
+# Determinism: two same-seed runs of the fig9/fig11/crash scenarios
+# (storage snapshots, bandwidth totals, fault injection + reliable
+# delivery, seeded crash schedules with durable recovery) must agree
+# byte-for-byte once the wall-clock-derived fields are stripped
+# ("recovery ms" is measured wall clock, like wall_clock_s).
+echo "== bench determinism (tiny fig9+fig11+crash, seed 7, two runs) =="
 det_a=$(mktemp /tmp/dpc-bench-det-a.XXXXXX.json)
 det_b=$(mktemp /tmp/dpc-bench-det-b.XXXXXX.json)
 trap 'rm -f "$bench_json" "$det_a" "$det_b"' EXIT
-dune exec bench/main.exe -- --fig 9 --fig 11 --tiny --seed 7 --json "$det_a" >/dev/null
-dune exec bench/main.exe -- --fig 9 --fig 11 --tiny --seed 7 --json "$det_b" >/dev/null
-grep -v '"wall_clock_s"\|"events_per_s"' "$det_a" > "$det_a.stripped"
-grep -v '"wall_clock_s"\|"events_per_s"' "$det_b" > "$det_b.stripped"
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --tiny --seed 7 --json "$det_a" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --tiny --seed 7 --json "$det_b" >/dev/null
+grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_a" > "$det_a.stripped"
+grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_b" > "$det_b.stripped"
 trap 'rm -f "$bench_json" "$det_a" "$det_b" "$det_a.stripped" "$det_b.stripped"' EXIT
 if diff "$det_a.stripped" "$det_b.stripped" >&2; then
     echo "bench determinism ok"

@@ -138,6 +138,122 @@ let test_sweep_full () =
       run_sweep ~instances
 
 (* ------------------------------------------------------------------ *)
+(* Crash/recovery oracle: the same instance and event stream, run once
+   crash-free and once under a seeded schedule of whole-node crashes with
+   durable recovery (Transport.crashable + Durable WAL/checkpoints).
+   Events are spread over a time window so outages land mid-stream; after
+   the last restart the provenance digests must be byte-identical — the
+   recovered nodes rebuilt exactly the state they lost. *)
+
+let crash_seed_base = 0xDEAD5
+
+type crash_totals = {
+  mutable crashes : int;
+  mutable suppressed : int;
+  mutable recovered_entries : int;  (* journal entries replayed across all restarts *)
+}
+
+let crash_sweep_totals = { crashes = 0; suppressed = 0; recovered_entries = 0 }
+
+(* Event spacing and outage windows sized together: downtimes stay far
+   below the reliable layer's ~16 s retry budget, and the crash horizon
+   covers the injection window so outages overlap live traffic. *)
+let crash_spacing = 0.4
+let crash_horizon = 4.0
+
+let crash_instance seed =
+  let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed) in
+  let schedule =
+    Durable.random_schedule ~seed:(crash_seed_base + seed) ~nodes:instance.nodes ~count:3
+      ~horizon:crash_horizon ~min_down:0.3 ~max_down:1.2
+  in
+  List.iter
+    (fun scheme ->
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Alcotest.failf "seed %d, %s: %s\nschedule: %s\nprogram:\n%s" seed
+              (Backend.scheme_name scheme) msg
+              (String.concat "; "
+                 (List.map
+                    (fun (n, at, d) -> Printf.sprintf "node %d down %.2f-%.2f" n at (at +. d))
+                    schedule))
+              instance.description)
+          fmt
+      in
+      let clean =
+        Delp_gen.build_world
+          ~transport:(Dpc_net.Transport.direct ~nodes:instance.nodes ())
+          instance scheme
+      in
+      Delp_gen.run_events ~spacing:crash_spacing clean instance.events;
+      let crashable, control =
+        Dpc_net.Transport.crashable (Dpc_net.Transport.direct ~nodes:instance.nodes ())
+      in
+      let world =
+        Delp_gen.build_world ~transport:crashable ~reliable:Dpc_net.Reliable.default_config
+          instance scheme
+      in
+      let durable =
+        Durable.attach ~backend:world.Delp_gen.backend ~runtime:world.Delp_gen.runtime ~control
+          ~config:{ Durable.checkpoint_every = 8 } ()
+      in
+      Durable.schedule durable schedule;
+      Delp_gen.run_events ~spacing:crash_spacing world instance.events;
+      (* Every scheduled outage ended inside the run. *)
+      Array.iteri
+        (fun node _ -> if not (Durable.is_up durable node) then fail "node %d never restarted" node)
+        (Dpc_engine.Runtime.nodes world.Delp_gen.runtime |> Array.map (fun _ -> ()));
+      let rstats =
+        match Dpc_engine.Runtime.reliability world.Delp_gen.runtime with
+        | Some r -> Dpc_net.Reliable.stats r
+        | None -> fail "runtime lost its reliability layer"
+      in
+      if rstats.abandoned > 0 then
+        fail "reliable layer abandoned %d messages (outage longer than the retry budget)"
+          rstats.abandoned;
+      let clean_digests = world_digests clean and crash_digests = world_digests world in
+      if clean_digests <> crash_digests then begin
+        let render ds =
+          String.concat "\n"
+            (List.map (fun ((out, evid), d) -> Printf.sprintf "  %s @%s -> %s" out evid d) ds)
+        in
+        fail "provenance diverged across crashes\nclean:\n%s\ncrashed:\n%s" (render clean_digests)
+          (render crash_digests)
+      end;
+      let stats = control.Dpc_net.Transport.crash_stats in
+      crash_sweep_totals.crashes <- crash_sweep_totals.crashes + stats.crashes;
+      crash_sweep_totals.suppressed <- crash_sweep_totals.suppressed + stats.suppressed;
+      Array.iteri
+        (fun node _ ->
+          crash_sweep_totals.recovered_entries <-
+            crash_sweep_totals.recovered_entries + (Durable.node_stats durable node).wal_entries)
+        (Dpc_core.Backend.nodes world.Delp_gen.backend))
+    all_schemes
+
+let run_crash_sweep ~instances =
+  List.iter crash_instance (List.init instances (fun i -> i + 1));
+  (* The oracle is vacuous if no node ever went down or no delivery was
+     ever cut by an outage. *)
+  check Alcotest.bool "nodes crashed" true (crash_sweep_totals.crashes > 0);
+  check Alcotest.bool "deliveries were suppressed at down nodes" true
+    (crash_sweep_totals.suppressed > 0);
+  check Alcotest.bool "journals were non-trivial" true (crash_sweep_totals.recovered_entries > 0)
+
+let test_crash_quick () = run_crash_sweep ~instances:6
+
+let test_crash_full () =
+  match Sys.getenv_opt "DPC_CHAOS_FULL" with
+  | None -> print_endline "skipped (set DPC_CHAOS_FULL=1; `make crash` does)"
+  | Some _ ->
+      let instances =
+        match Sys.getenv_opt "DPC_CHAOS_INSTANCES" with
+        | Some s -> int_of_string s
+        | None -> 25
+      in
+      run_crash_sweep ~instances
+
+(* ------------------------------------------------------------------ *)
 (* §5.5 under loss: drop the first transmission of every sig broadcast and
    check the flush (and so re-materialization) still reaches every node
    once the retransmits land. Guards the fig11 delete/insert path. *)
@@ -270,6 +386,11 @@ let () =
         [
           Alcotest.test_case "sweep (quick, 10 instances)" `Quick test_sweep_quick;
           Alcotest.test_case "sweep (full, 50 instances)" `Slow test_sweep_full;
+        ] );
+      ( "crash oracle",
+        [
+          Alcotest.test_case "crash sweep (quick, 6 instances)" `Quick test_crash_quick;
+          Alcotest.test_case "crash sweep (full, 25 instances)" `Slow test_crash_full;
         ] );
       ( "sig under loss",
         [ Alcotest.test_case "first transmission dropped" `Quick test_sig_under_loss ] );

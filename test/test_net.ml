@@ -375,6 +375,115 @@ let prop_direct_random_schedule_order =
       let order = List.rev !fired in
       List.sort compare order = order)
 
+(* ------------------------------------------------------------------ *)
+(* Crash faults: the crashable wrapper and the reliable layer's channel
+   state as data. *)
+
+let test_crashable_cuts_deliveries () =
+  let tr, control = Transport.crashable (Transport.direct ~nodes:3 ()) in
+  check Alcotest.string "name" "crashable+direct" (Transport.name tr);
+  let delivered = ref 0 in
+  control.Transport.crash 1;
+  check Alcotest.bool "node 1 down" false (control.Transport.is_up 1);
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Transport.send tr ~src:0 ~dst:2 ~bytes:10 (fun () -> incr delivered);
+  Transport.run tr;
+  check Alcotest.int "only the up node heard" 1 !delivered;
+  check Alcotest.int "suppression counted" 1 control.Transport.crash_stats.suppressed;
+  (* Bytes are still charged: the failure is at the receiver, not the wire. *)
+  check Alcotest.int "bytes charged for both" 20 (Transport.total_bytes tr);
+  control.Transport.restart 1;
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Transport.run tr;
+  check Alcotest.int "delivers again after restart" 2 !delivered
+
+let test_crashable_up_check_at_arrival () =
+  (* A message in flight when its destination crashes dies with it: the
+     up-check runs at arrival time, not send time. *)
+  let t = line_topology 2 in
+  let tr, control = Transport.crashable (Transport.of_sim (Sim.create ~topology:t ~routing:(Routing.compute t) ())) in
+  let delivered = ref false in
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> delivered := true);
+  (* The link latency is 2 ms; crash node 1 at 1 ms, while the message is
+     on the wire. *)
+  Transport.schedule tr ~delay:0.001 (fun () -> control.Transport.crash 1);
+  Transport.run tr;
+  check Alcotest.bool "in-flight message lost" false !delivered;
+  check Alcotest.int "counted" 1 control.Transport.crash_stats.suppressed
+
+let test_crashable_idempotent_and_ranged () =
+  let _, control = Transport.crashable (Transport.direct ~nodes:2 ()) in
+  control.Transport.crash 0;
+  control.Transport.crash 0;
+  check Alcotest.int "double crash counts once" 1 control.Transport.crash_stats.crashes;
+  control.Transport.restart 0;
+  control.Transport.restart 0;
+  check Alcotest.bool "up again" true (control.Transport.is_up 0);
+  (match control.Transport.crash 7 with
+  | () -> Alcotest.fail "out-of-range crash accepted"
+  | exception Invalid_argument _ -> ());
+  match control.Transport.is_up (-1) with
+  | _ -> Alcotest.fail "out-of-range is_up accepted"
+  | exception Invalid_argument _ -> ()
+
+let reliable_world () =
+  let rel = Reliable.wrap (Transport.direct ~nodes:3 ()) in
+  let tr = Reliable.transport rel in
+  for _ = 1 to 4 do
+    Transport.send tr ~src:0 ~dst:1 ~bytes:50 (fun () -> ())
+  done;
+  Transport.send tr ~src:2 ~dst:0 ~bytes:50 (fun () -> ());
+  Transport.run tr;
+  (rel, tr)
+
+let test_reliable_snapshot_roundtrip () =
+  let rel, _ = reliable_world () in
+  let sender = Reliable.snapshot rel ~node:0 in
+  let receiver = Reliable.snapshot rel ~node:1 in
+  (* Forget wipes the state a crash would take; restore rebuilds it, and a
+     re-snapshot is byte-identical. *)
+  Reliable.forget rel ~node:0;
+  check Alcotest.bool "forget changed the sender state" true
+    (Reliable.snapshot rel ~node:0 <> sender);
+  Reliable.restore rel ~node:0 sender;
+  check Alcotest.string "sender state round-trips" sender (Reliable.snapshot rel ~node:0);
+  Reliable.forget rel ~node:1;
+  Reliable.restore rel ~node:1 receiver;
+  check Alcotest.string "receiver state round-trips" receiver (Reliable.snapshot rel ~node:1)
+
+let test_reliable_restore_is_monotonic () =
+  let rel, tr = reliable_world () in
+  let old = Reliable.snapshot rel ~node:0 in
+  (* Advance the channel past the snapshot, then replay the stale blob:
+     nothing may move backwards. *)
+  Transport.send tr ~src:0 ~dst:1 ~bytes:50 (fun () -> ());
+  Transport.run tr;
+  let fresh = Reliable.snapshot rel ~node:0 in
+  check Alcotest.bool "the channel advanced" true (fresh <> old);
+  Reliable.restore rel ~node:0 old;
+  check Alcotest.string "stale restore is a no-op" fresh (Reliable.snapshot rel ~node:0)
+
+let test_reliable_persist_observes_advances () =
+  let rel = Reliable.wrap (Transport.direct ~nodes:2 ()) in
+  let tr = Reliable.transport rel in
+  let events = ref [] in
+  Reliable.set_persist rel (fun ev -> events := ev :: !events);
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> ());
+  Transport.run tr;
+  let next_seqs =
+    List.filter (function Reliable.Next_seq _ -> true | _ -> false) !events
+  and expecteds =
+    List.filter (function Reliable.Expected _ -> true | _ -> false) !events
+  in
+  check Alcotest.int "one sender advance" 1 (List.length next_seqs);
+  check Alcotest.int "one watermark advance" 1 (List.length expecteds)
+
+let test_reliable_restore_rejects_garbage () =
+  let rel, _ = reliable_world () in
+  match Reliable.restore rel ~node:0 "not a snapshot" with
+  | () -> Alcotest.fail "garbage accepted"
+  | exception Dpc_util.Serialize.Corrupt _ -> ()
+
 let test_tree_invalid_args () =
   let rng = Dpc_util.Rng.create ~seed:1 in
   Alcotest.check_raises "n = 0" (Invalid_argument "Tree_topo.generate: n must be positive")
@@ -442,4 +551,18 @@ let () =
           Alcotest.test_case "direct rejects bad args" `Quick test_direct_rejects_bad_args;
         ]
         @ qsuite [ prop_direct_random_schedule_order ] );
+      ( "crash faults",
+        [
+          Alcotest.test_case "crashable cuts deliveries" `Quick test_crashable_cuts_deliveries;
+          Alcotest.test_case "up-check at arrival" `Quick test_crashable_up_check_at_arrival;
+          Alcotest.test_case "idempotent + range checks" `Quick
+            test_crashable_idempotent_and_ranged;
+          Alcotest.test_case "channel snapshot round-trips" `Quick
+            test_reliable_snapshot_roundtrip;
+          Alcotest.test_case "stale restore is a no-op" `Quick test_reliable_restore_is_monotonic;
+          Alcotest.test_case "persist observes advances" `Quick
+            test_reliable_persist_observes_advances;
+          Alcotest.test_case "garbage snapshot rejected" `Quick
+            test_reliable_restore_rejects_garbage;
+        ] );
     ]

@@ -141,6 +141,72 @@ let test_interclass_layout_roundtrips () =
   check Alcotest.int "query works" 1
     (List.length (Backend.query restored ~cost:Query_cost.free ~routing out).trees)
 
+(* ------------------------------------------------------------------ *)
+(* Durable recovery property: a checkpoint cut MID-RUN (forced, on every
+   node, while messages are in flight between events) plus the journal
+   tail replayed after a later crash answers every query identically to
+   the uninterrupted run. Random programs via Delp_gen; the small
+   [checkpoint_every] also exercises automatic compaction. *)
+
+let tree_sig tree =
+  Dpc_ndlog.Tuple.canonical (Prov_tree.event_of tree) ^ "|" ^ Prov_tree.to_string tree
+
+let world_digests (w : Dpc_testkit.Delp_gen.world) =
+  List.map
+    (fun (out, (meta : Dpc_engine.Prov_hook.meta)) -> (out, meta.evid))
+    (Dpc_engine.Runtime.outputs w.runtime)
+  |> List.sort_uniq compare
+  |> List.map (fun (out, evid) ->
+       let trees =
+         (Backend.query w.backend ~cost:Query_cost.free ~routing:w.routing ~evid out).trees
+       in
+       ( (Dpc_ndlog.Tuple.canonical out, Dpc_util.Sha1.to_hex evid),
+         List.sort_uniq compare (List.map tree_sig trees) ))
+  |> List.sort compare
+
+let test_midrun_checkpoint name scheme =
+  List.iter
+    (fun seed ->
+      let open Dpc_testkit in
+      let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed) in
+      let spacing = 0.4 in
+      let clean =
+        Delp_gen.build_world
+          ~transport:(Dpc_net.Transport.direct ~nodes:instance.nodes ())
+          instance scheme
+      in
+      Delp_gen.run_events ~spacing clean instance.events;
+      let crashable, control =
+        Dpc_net.Transport.crashable (Dpc_net.Transport.direct ~nodes:instance.nodes ())
+      in
+      let world =
+        Delp_gen.build_world ~transport:crashable ~reliable:Dpc_net.Reliable.default_config
+          instance scheme
+      in
+      let durable =
+        Durable.attach ~backend:world.Delp_gen.backend ~runtime:world.Delp_gen.runtime ~control
+          ~config:{ Durable.checkpoint_every = 4 } ()
+      in
+      let victim = seed mod instance.nodes in
+      let tr = Dpc_engine.Runtime.transport world.Delp_gen.runtime in
+      Dpc_net.Transport.schedule tr ~delay:1.0 (fun () ->
+        for node = 0 to instance.nodes - 1 do
+          Durable.checkpoint_now durable node
+        done);
+      Durable.schedule_crash durable ~node:victim ~at:1.7 ~downtime:0.8;
+      Delp_gen.run_events ~spacing world instance.events;
+      let stats = Durable.node_stats durable victim in
+      check Alcotest.int
+        (Printf.sprintf "%s seed %d: victim crashed once" name seed)
+        1 stats.crashes;
+      check Alcotest.bool
+        (Printf.sprintf "%s seed %d: mid-run checkpoint happened" name seed)
+        true (stats.checkpoints >= 2);
+      if world_digests clean <> world_digests world then
+        Alcotest.failf "%s seed %d: queries diverged after mid-run checkpoint + replay\n%s" name
+          seed instance.description)
+    [ 1; 2; 3; 4; 5 ]
+
 let scheme_cases f =
   List.map
     (fun s ->
@@ -165,4 +231,5 @@ let () =
           Alcotest.test_case "wrong magic" `Quick test_wrong_magic_rejected;
           Alcotest.test_case "truncated blob" `Quick test_truncated_blob_rejected;
         ] );
+      ("mid-run checkpoint + replay", scheme_cases test_midrun_checkpoint);
     ]

@@ -187,6 +187,108 @@ let test_advanced_orphan_counting () =
   let store = Store_advanced.create ~delp ~env:Dpc_apps.Forwarding.env ~keys ~nodes:3 () in
   check Alcotest.int "no orphans on a fresh store" 0 (Store_advanced.orphan_outputs store)
 
+(* ------------------------------------------------------------------ *)
+(* Degraded queries against crashed nodes: bounded, partial, never hung. *)
+
+let line_world scheme =
+  let topo = Dpc_net.Topology.create ~n:3 in
+  Dpc_net.Topology.add_link topo 0 1 line_link;
+  Dpc_net.Topology.add_link topo 1 2 line_link;
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
+  let runtime =
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend) ~nodes:(Backend.nodes backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime
+    [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+      Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ];
+  Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
+  Dpc_engine.Runtime.run runtime;
+  (backend, routing)
+
+let down_budget =
+  float_of_int (Query_cost.simulation.down_retries + 1) *. Query_cost.simulation.down_timeout
+
+let test_query_down_node_is_partial () =
+  List.iter
+    (fun scheme ->
+      let name = Backend.scheme_name scheme in
+      let backend, routing = line_world scheme in
+      let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"x" in
+      (* Sanity: with everyone up, the query is complete and non-empty. *)
+      let healthy = Backend.query backend ~cost:Query_cost.simulation ~routing out in
+      check Alcotest.bool (name ^ ": healthy query complete") true healthy.Query_result.complete;
+      check Alcotest.bool (name ^ ": healthy query non-empty") true (healthy.trees <> []);
+      (* Node 1 carries the middle of every chain: with it down, the query
+         returns promptly — charged the bounded retry budget — marked
+         partial, and raises nothing. *)
+      let degraded =
+        Backend.query backend ~cost:Query_cost.simulation ~routing ~up:(fun n -> n <> 1) out
+      in
+      check Alcotest.bool (name ^ ": result marked partial") false
+        degraded.Query_result.complete;
+      check Alcotest.bool (name ^ ": charged the down budget") true
+        (degraded.latency >= down_budget);
+      check Alcotest.bool (name ^ ": latency bounded") true
+        (degraded.latency <= healthy.latency +. (10.0 *. down_budget));
+      (* The degradation is visible in the querier's metrics. *)
+      let m = Dpc_engine.Node.metrics (Backend.nodes backend).(2) in
+      check Alcotest.bool (name ^ ": crash.queries_degraded ticked") true
+        (Dpc_util.Metrics.counter_value m "crash.queries_degraded" >= 1))
+    [ Backend.S_exspan; Backend.S_basic; Backend.S_advanced; Backend.S_advanced_interclass ]
+
+let test_query_down_querier_is_partial () =
+  let backend, routing = line_world Backend.S_basic in
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"x" in
+  let degraded =
+    Backend.query backend ~cost:Query_cost.simulation ~routing ~up:(fun n -> n <> 2) out
+  in
+  check Alcotest.bool "partial" false degraded.Query_result.complete;
+  check Alcotest.int "no trees from a down querier" 0 (List.length degraded.trees);
+  check Alcotest.bool "still charged" true (degraded.latency >= down_budget)
+
+let test_query_recovers_after_restart () =
+  (* End to end through Durable: query during the outage is partial, the
+     same query after recovery is complete and identical to healthy. *)
+  let crashable, control = Dpc_net.Transport.crashable (Dpc_net.Transport.direct ~nodes:3 ()) in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
+  let runtime =
+    Dpc_engine.Runtime.create ~transport:crashable ~reliable:Dpc_net.Reliable.default_config
+      ~delp ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend)
+      ~nodes:(Backend.nodes backend) ()
+  in
+  let durable = Dpc_core.Durable.attach ~backend ~runtime ~control () in
+  Dpc_engine.Runtime.load_slow runtime
+    [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+      Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ];
+  Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
+  Dpc_engine.Runtime.run runtime;
+  let topo = Dpc_net.Topology.create ~n:3 in
+  Dpc_net.Topology.add_link topo 0 1 line_link;
+  Dpc_net.Topology.add_link topo 1 2 line_link;
+  let routing = Dpc_net.Routing.compute topo in
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"x" in
+  let q () =
+    Backend.query backend ~cost:Query_cost.simulation ~routing
+      ~up:(Dpc_core.Durable.is_up durable) out
+  in
+  let healthy = q () in
+  check Alcotest.bool "healthy complete" true healthy.Query_result.complete;
+  Dpc_core.Durable.crash durable 1;
+  let during = q () in
+  check Alcotest.bool "partial during outage" false during.Query_result.complete;
+  Dpc_core.Durable.restart durable 1;
+  Dpc_engine.Runtime.run runtime;
+  let after = q () in
+  check Alcotest.bool "complete after recovery" true after.Query_result.complete;
+  check
+    (Alcotest.list (Alcotest.testable Prov_tree.pp Prov_tree.equal))
+    "same trees as before the crash" healthy.trees after.trees
+
 let () =
   Alcotest.run "dpc_robustness"
     [
@@ -204,5 +306,12 @@ let () =
           Alcotest.test_case "wrong program" `Quick test_query_with_wrong_program_is_empty;
           Alcotest.test_case "empty store" `Quick test_query_empty_store;
           Alcotest.test_case "orphan counter" `Quick test_advanced_orphan_counting;
+        ] );
+      ( "degraded queries",
+        [
+          Alcotest.test_case "down node marks partial" `Quick test_query_down_node_is_partial;
+          Alcotest.test_case "down querier marks partial" `Quick
+            test_query_down_querier_is_partial;
+          Alcotest.test_case "recovers after restart" `Quick test_query_recovers_after_restart;
         ] );
     ]

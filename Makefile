@@ -1,4 +1,4 @@
-.PHONY: all build test bench chaos crash ci clean
+.PHONY: all build test bench chaos crash scaling bench-gate ci clean
 
 all: build
 
@@ -21,6 +21,19 @@ crash:
 	dune exec test/test_chaos.exe -- test 'crash oracle'
 	dune exec test/test_persistence.exe -- test 'mid-run checkpoint'
 	dune exec test/test_robustness.exe -- test 'degraded queries'
+
+# Multicore determinism sweep: parallel-vs-sequential digest equality at
+# 1/2/4 domains (clean, hashed-fault, and crash schedules, all four
+# schemes), the shard-partition and concurrent-metrics suites, and the
+# domain-scaling bench figure (throughput table + digest shape check).
+scaling:
+	dune exec test/test_scaling.exe
+	dune exec bench/main.exe -- --fig scaling --tiny
+
+# Throughput regression gate against the checked-in baseline
+# (BENCH_PR5.json): fig8/fig9 events/s may not drop more than 15%.
+bench-gate:
+	sh scripts/bench_gate.sh
 
 ci:
 	sh scripts/ci.sh

@@ -12,9 +12,9 @@ open Dpc_util
 open Dpc_core
 open Dpc_workload
 
-type config = { paper_scale : bool; tiny : bool; seed : int }
+type config = { paper_scale : bool; tiny : bool; seed : int; domains : int }
 
-let default_config = { paper_scale = false; tiny = false; seed = 1 }
+let default_config = { paper_scale = false; tiny = false; seed = 1; domains = 4 }
 
 let scale_name cfg = if cfg.tiny then "tiny" else if cfg.paper_scale then "paper" else "scaled-down"
 
@@ -60,7 +60,7 @@ let forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload ?bucket_width ?sn
     match snapshots_every with
     | None -> ref []
     | Some every ->
-        Measure.storage_snapshots ~sim:d.sim ~every ~until:duration (fun () ->
+        Measure.storage_snapshots ~sim:(Forwarding_driver.sim_exn d) ~every ~until:duration (fun () ->
           Measure.total_provenance_bytes d.backend)
   in
   let injected = Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:payload in
@@ -245,7 +245,7 @@ let fig11 cfg =
       let update_every = 5.0 in
       let pair_arr = Array.of_list pair_list in
       for k = 0 to int_of_float (duration /. update_every) - 1 do
-        Dpc_net.Sim.schedule d.Forwarding_driver.sim
+        Dpc_net.Sim.schedule (Forwarding_driver.sim_exn d)
           ~delay:((float_of_int k +. 0.5) *. update_every) (fun () ->
           let src, dst = pair_arr.(k mod Array.length pair_arr) in
           List.iter
@@ -256,7 +256,7 @@ let fig11 cfg =
       done
     end;
     Forwarding_driver.run d;
-    Dpc_net.Sim.total_bytes d.Forwarding_driver.sim
+    Dpc_net.Transport.total_bytes d.Forwarding_driver.transport
   in
   let run ?(updates = false) scheme =
     run_driver
@@ -274,7 +274,8 @@ let fig11 cfg =
     Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pair_list);
     let d : Forwarding_driver.t =
       {
-        sim;
+        sim = Some sim;
+        transport = Dpc_engine.Runtime.transport runtime;
         runtime;
         backend = Backend.make Backend.S_basic ~delp ~env:Dpc_apps.Forwarding.env ~nodes:100;
         routing;
@@ -973,10 +974,92 @@ let fig_crash cfg =
   Report.add_series "crash" "queries degraded"
     (List.map (fun (n, _) -> (float_of_int n, degraded n)) stats);
   Report.add_series "crash" "suppressed deliveries"
-    [ (0.0, control.Dpc_net.Transport.crash_stats.suppressed) ];
+    [ (0.0, Atomic.get control.Dpc_net.Transport.crash_stats.suppressed) ];
   (* Wall-clock derived, stripped by the CI determinism diff. *)
   Report.add_series "crash" "recovery ms"
     (per_node (fun (s : Durable.node_stats) -> s.recovery_ms))
+
+(* ------------------------------------------------------------------ *)
+(* Domain scaling: the forwarding workload over the sharded multicore
+   transport (Shard_sim), swept over shard counts up to [cfg.domains].
+   Two claims per point: (a) the digest of the run — runtime stats, total
+   provenance bytes, merged metrics — is byte-identical to the 1-domain
+   run (the determinism contract of lib/net/shard_sim.mli); (b) on a
+   machine with enough cores, wall clock shrinks. The speedup shape check
+   is core-gated: on a single-core host the parallel run only pays
+   barrier overhead and the check reports the gating instead of failing. *)
+
+let fig_scaling cfg =
+  header "S" "Domain scaling: throughput and digest equality vs shard count";
+  let pairs = if cfg.tiny then 4 else if cfg.paper_scale then 60 else 20 in
+  let rate = if cfg.tiny then 5.0 else 20.0 in
+  let duration = if cfg.tiny then 2.0 else 5.0 in
+  let domain_counts =
+    let rec up d = if d > cfg.domains then [] else d :: up (d * 2) in
+    match up 1 with [] -> [ 1 ] | l -> l
+  in
+  Printf.printf "workload: %d pairs, %.0f packets/s each, %.0fs, domains %s\n" pairs rate
+    duration
+    (String.concat "/" (List.map string_of_int domain_counts));
+  let run_at domains =
+    let ts, routing, rng = transit_stub cfg in
+    let pair_list = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:pairs in
+    let nodes = Dpc_net.Topology.size ts.topology in
+    let transport =
+      Dpc_net.Shard_sim.transport
+        (Dpc_net.Shard_sim.create ~latency:0.0005 ~seed:cfg.seed ~domains ~nodes ())
+    in
+    let d =
+      Forwarding_driver.setup_on ~transport ~scheme:Backend.S_advanced ~routing
+        ~pairs:pair_list ~record_outputs:false ()
+    in
+    let injected = Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:500 in
+    let t0 = Unix.gettimeofday () in
+    Forwarding_driver.run d;
+    let wall = Unix.gettimeofday () -. t0 in
+    let digest =
+      ( Dpc_engine.Runtime.stats d.Forwarding_driver.runtime,
+        Measure.total_provenance_bytes d.Forwarding_driver.backend,
+        Dpc_engine.Runtime.metrics_snapshot d.Forwarding_driver.runtime )
+    in
+    Report.add_events "scaling" injected;
+    (injected, wall, digest)
+  in
+  let results = List.map (fun domains -> (domains, run_at domains)) domain_counts in
+  let _, (_, wall1, digest1) = List.hd results in
+  Table_fmt.print
+    ~header:[ "domains"; "wall (s)"; "events/s"; "speedup"; "digest" ]
+    ~rows:
+      (List.map
+         (fun (domains, (injected, wall, digest)) ->
+           [
+             string_of_int domains;
+             Printf.sprintf "%.3f" wall;
+             Printf.sprintf "%.0f" (float_of_int injected /. wall);
+             Printf.sprintf "%.2fx" (wall1 /. wall);
+             (if digest = digest1 then "= sequential" else "DIVERGED");
+           ])
+         results);
+  Report.add_series "scaling" "events_per_s_by_domains"
+    (List.map
+       (fun (domains, (injected, wall, _)) ->
+         (float_of_int domains, int_of_float (float_of_int injected /. wall)))
+       results);
+  let all_equal = List.for_all (fun (_, (_, _, d)) -> d = digest1) results in
+  shape_check "scaling-digests" all_equal
+    (Printf.sprintf "every shard count reproduces the 1-domain digest (%d points)"
+       (List.length results));
+  let cores = Domain.recommended_domain_count () in
+  let top_domains, (_, top_wall, _) = List.nth results (List.length results - 1) in
+  let speedup = wall1 /. top_wall in
+  if cores >= 4 && top_domains >= 4 then
+    shape_check "scaling-speedup" (speedup >= 1.6)
+      (Printf.sprintf "%d domains: %.2fx over sequential on %d cores" top_domains speedup cores)
+  else
+    Printf.printf
+      "SHAPE CHECK [scaling-speedup]: SKIPPED (%d core(s) available; %.2fx at %d domains is \
+       barrier overhead, not parallelism)\n"
+      cores speedup top_domains
 
 let all =
   [
@@ -994,5 +1077,6 @@ let all =
     ("ablation_replay", ablation_replay);
     ("ablation_overhead", ablation_overhead);
     ("crash", fig_crash);
+    ("scaling", fig_scaling);
     ("metrics", metrics_report);
   ]

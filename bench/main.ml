@@ -11,7 +11,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fig <id>] [--paper-scale] [--tiny] [--seed <n>] [--json <path>] [--micro] [--list]";
+    "usage: main.exe [--fig <id>] [--paper-scale] [--tiny] [--seed <n>] [--domains <n>] [--json <path>] [--micro] [--list]";
   print_endline "  ids:";
   List.iter (fun (name, _) -> Printf.printf "    %s\n" name) Figures.all
 
@@ -28,6 +28,13 @@ let () =
     | "--tiny" :: rest -> parse { cfg with Figures.tiny = true } figs micro rest
     | "--seed" :: n :: rest ->
         parse { cfg with Figures.seed = int_of_string n } figs micro rest
+    | "--domains" :: n :: rest ->
+        let d = int_of_string n in
+        if d < 1 then begin
+          Printf.eprintf "--domains must be >= 1\n";
+          exit 2
+        end;
+        parse { cfg with Figures.domains = d } figs micro rest
     | "--json" :: path :: rest ->
         Report.enable path;
         parse cfg figs micro rest

@@ -112,7 +112,7 @@ let forwarding scheme seed pairs rate duration payload queries verbose dot check
     if queries = 0 then []
     else Forwarding_driver.query_random_outputs d ~rng ~cost:Query_cost.emulation ~count:queries
   in
-  report ~backend:d.backend ~sim:d.sim ~runtime:d.runtime ~queries:qs;
+  report ~backend:d.backend ~sim:(Forwarding_driver.sim_exn d) ~runtime:d.runtime ~queries:qs;
   emit_artifacts ~backend:d.backend ~dot ~checkpoint qs
 
 let dns scheme seed urls requests duration queries verbose dot checkpoint =

@@ -44,6 +44,12 @@ let hook = function
   | Basic s -> Store_basic.hook s
   | Advanced s -> Store_advanced.hook s
 
+let set_degraded_sink t f =
+  match t with
+  | Exspan s -> Store_exspan.set_degraded_sink s f
+  | Basic s -> Store_basic.set_degraded_sink s f
+  | Advanced s -> Store_advanced.set_degraded_sink s f
+
 let node_storage t node =
   match t with
   | Exspan s -> Store_exspan.node_storage s node

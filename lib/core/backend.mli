@@ -28,6 +28,14 @@ val nodes : t -> Dpc_engine.Node.t array
     and the store share per-node state and metrics. *)
 
 val hook : t -> Dpc_engine.Prov_hook.t
+
+val set_degraded_sink : t -> (int -> unit) -> unit
+(** Re-route the degraded-query tick ([crash.queries_degraded]): [f
+    querier] runs instead of the default increment on the querier's
+    volatile registry. {!Durable.attach} installs a sink that counts into
+    the durable per-node log, so the tally survives a crash of the
+    querier like the other [crash.*] counters. *)
+
 val node_storage : t -> int -> Rows.storage
 val total_storage : t -> Rows.storage
 

@@ -29,6 +29,7 @@ type node_log = {
   mutable wal_bytes : int;  (* cumulative bytes ever appended *)
   mutable checkpoints : int;
   mutable recovery_ms : int;
+  mutable queries_degraded : int;
 }
 
 type node_stats = {
@@ -37,6 +38,7 @@ type node_stats = {
   wal_entries : int;
   checkpoints : int;
   recovery_ms : int;
+  queries_degraded : int;
 }
 
 type t = {
@@ -45,10 +47,12 @@ type t = {
   control : Transport.crash_control;
   config : config;
   logs : node_log array;
-  mutable recovering : bool;
+  recovering : bool array;
       (* Recovery replays the journal through the same code paths that
-         produced it; this flag keeps those paths from appending the
-         entries a second time. *)
+         produced it; this per-node flag keeps those paths from appending
+         the entries a second time. Per-node rather than global: on a
+         sharded transport one node's recovery must not suppress the
+         journaling of live nodes on other shards. *)
 }
 
 let fresh_log () =
@@ -61,6 +65,7 @@ let fresh_log () =
     wal_bytes = 0;
     checkpoints = 0;
     recovery_ms = 0;
+    queries_degraded = 0;
   }
 
 let metrics t node = Node.metrics (Runtime.node t.runtime node)
@@ -96,7 +101,7 @@ let serialize_entry entry =
    appending it: the checkpoint covers the old wal, the new wal starts
    with this entry. *)
 let append t node entry =
-  if not t.recovering then begin
+  if not t.recovering.(node) then begin
     let log = t.logs.(node) in
     let bytes = serialize_entry entry in
     let boundary = Journal.is_boundary entry in
@@ -125,10 +130,17 @@ let attach ~backend ~runtime ~control ?(config = default_config) () =
       control;
       config;
       logs = Array.init n (fun _ -> fresh_log ());
-      recovering = false;
+      recovering = Array.make n false;
     }
   in
   Runtime.set_journal runtime (fun ~node entry -> append t node entry);
+  (* Degraded queries count into the durable log like every other
+     [crash.*] statistic: the registry tick alone would vanish if the
+     QUERIER itself crashed later. [rematerialize] copies it back. *)
+  Backend.set_degraded_sink backend (fun querier ->
+    let log = t.logs.(querier) in
+    log.queries_degraded <- log.queries_degraded + 1;
+    Metrics.incr (metrics t querier) "crash.queries_degraded");
   (match Runtime.reliability runtime with
   | None -> ()
   | Some r -> Reliable.set_persist r (fun ev -> on_channel_event t ev));
@@ -147,7 +159,9 @@ let rematerialize t node =
   if log.crashes > 0 then Metrics.incr m ~by:log.crashes "crash.crashes";
   if log.wal_bytes > 0 then Metrics.incr m ~by:log.wal_bytes "crash.wal_bytes";
   if log.checkpoints > 0 then Metrics.incr m ~by:log.checkpoints "crash.checkpoints";
-  if log.recovery_ms > 0 then Metrics.incr m ~by:log.recovery_ms "crash.recovery_ms"
+  if log.recovery_ms > 0 then Metrics.incr m ~by:log.recovery_ms "crash.recovery_ms";
+  if log.queries_degraded > 0 then
+    Metrics.incr m ~by:log.queries_degraded "crash.queries_degraded"
 
 let crash t node =
   if is_up t node then begin
@@ -165,9 +179,9 @@ let restart t node =
   if not (is_up t node) then begin
     let t0 = Sys.time () in
     let log = t.logs.(node) in
-    t.recovering <- true;
+    t.recovering.(node) <- true;
     Fun.protect
-      ~finally:(fun () -> t.recovering <- false)
+      ~finally:(fun () -> t.recovering.(node) <- false)
       (fun () ->
         (match log.checkpoint with
         | None -> ()
@@ -201,14 +215,17 @@ let node_stats t node =
     wal_entries = log.wal_entries;
     checkpoints = log.checkpoints;
     recovery_ms = log.recovery_ms;
+    queries_degraded = log.queries_degraded;
   }
 
 let schedule_crash t ~node ~at ~downtime =
   if downtime <= 0.0 then invalid_arg "Durable.schedule_crash: downtime must be positive";
   let tr = Runtime.transport t.runtime in
   let delay_to at = Float.max 0.0 (at -. Transport.now tr) in
-  Transport.schedule tr ~delay:(delay_to at) (fun () -> crash t node);
-  Transport.schedule tr ~delay:(delay_to (at +. downtime)) (fun () -> restart t node)
+  (* On the node's own shard: crash wipes and restart rebuilds state that
+     shard owns (tables, registry, channel endpoints). *)
+  Transport.schedule_on tr ~node ~delay:(delay_to at) (fun () -> crash t node);
+  Transport.schedule_on tr ~node ~delay:(delay_to (at +. downtime)) (fun () -> restart t node)
 
 (* Seeded crash schedules. Candidates are drawn uniformly, then filtered
    so one node's outages never overlap (an overlapping restart would cut

@@ -101,6 +101,10 @@ type node_stats = {
   wal_entries : int;  (** entries currently in the tail (since last compaction) *)
   checkpoints : int;  (** compactions, including checkpoint 0 at attach *)
   recovery_ms : int;  (** total wall-clock ms spent in {!restart} *)
+  queries_degraded : int;
+      (** queries from this node that touched a down peer (durably
+          counted here via {!Backend.set_degraded_sink}, so the tally
+          survives a crash of the querier) *)
 }
 
 val node_stats : t -> int -> node_stats

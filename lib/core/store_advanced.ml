@@ -21,7 +21,8 @@ type t = {
   interclass : bool;
   nodes : Node.t array;
   key : node_state Node.key;
-  mutable orphans : int;
+  orphans : int Atomic.t;
+  mutable degraded_sink : (int -> unit) option;
 }
 
 let fresh_state () =
@@ -45,12 +46,24 @@ let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
     interclass;
     nodes = Node.cluster nodes;
     key = Node.key ~name:"store.advanced" ();
-    orphans = 0;
+    orphans = Atomic.make 0;
+    degraded_sink = None;
   }
 
 let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 let tick t node name = Metrics.incr (Node.metrics t.nodes.(node)) name
+
+(* Degraded-query accounting. By default the tick lands in the querier's
+   volatile registry and dies with it on a crash; a durable layer
+   re-routes it through [set_degraded_sink] (see [Backend] / [Durable])
+   so the count survives. *)
+let set_degraded_sink t f = t.degraded_sink <- Some f
+
+let degraded_for t querier () =
+  match t.degraded_sink with
+  | Some f -> f querier
+  | None -> Dpc_util.Metrics.incr (Node.metrics t.nodes.(querier)) "crash.queries_degraded"
 
 let add_prov t ~node ~key row =
   if Rows.Table.add (state t node).prov ~key row then tick t node "store.prov_rows"
@@ -151,7 +164,7 @@ let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
   else begin
     match Hashtbl.find_opt st.hmap k_key with
     | Some refs when !refs <> [] -> List.iter add_row !refs
-    | Some _ | None -> t.orphans <- t.orphans + 1
+    | Some _ | None -> Atomic.incr t.orphans
   end
 
 (* §5.5: any slow-table update — insert or delete — invalidates the
@@ -198,7 +211,7 @@ let total_storage t =
 let classes_seen t =
   Array.fold_left (fun acc node -> acc + Hashtbl.length (state t (Node.id node)).htequi) 0 t.nodes
 
-let orphan_outputs t = t.orphans
+let orphan_outputs t = Atomic.get t.orphans
 
 exception Broken of string
 
@@ -207,7 +220,7 @@ type acct = {
   routing : Dpc_net.Routing.t;
   up : int -> bool;
   querier : int;
-  metrics : int -> Dpc_util.Metrics.t;
+  degraded : unit -> unit;
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
@@ -238,7 +251,7 @@ let require_up acct node =
           *. acct.cost.Query_cost.down_timeout);
     if acct.complete then begin
       acct.complete <- false;
-      Dpc_util.Metrics.incr (acct.metrics acct.querier) "crash.queries_degraded"
+      acct.degraded ()
     end;
     raise (Broken (Printf.sprintf "node %d is down" node))
   end
@@ -348,7 +361,7 @@ let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
   let acct =
     { cost; routing; up; querier;
-      metrics = (fun i -> Node.metrics t.nodes.(i));
+      degraded = degraded_for t querier;
       latency = 0.0; entries = 0; bytes = 0; complete = true }
   in
   let trees =
@@ -494,7 +507,7 @@ let checkpoint t =
     t.nodes;
   write_side w (side_entries t (fun st -> st.slow_tuples));
   write_side w (side_entries t (fun st -> st.events));
-  write_varint w t.orphans;
+  write_varint w (Atomic.get t.orphans);
   contents w
 
 let restore ~delp ~env ~keys blob =
@@ -534,7 +547,7 @@ let restore ~delp ~env ~keys blob =
   done;
   read_side r t (fun st -> st.slow_tuples);
   read_side r t (fun st -> st.events);
-  t.orphans <- read_varint r;
+  Atomic.set t.orphans (read_varint r);
   t
 
 (* Per-node checkpoint: the node's row tables, its equivalence state

@@ -31,6 +31,12 @@ val create :
     {!Dpc_engine.Node.t} and row writes tick its [store.*] counters
     (including [store.equi_hits]/[store.equi_misses] at ingress). *)
 
+val set_degraded_sink : t -> (int -> unit) -> unit
+(** Re-route the degraded-query tick: [f querier] runs instead of the
+    default increment of [crash.queries_degraded] on the querier's
+    volatile registry. Installed by the durable layer so the count
+    survives a crash of the querier (see [Durable.attach]). *)
+
 val nodes : t -> Dpc_engine.Node.t array
 (** The cluster owning all per-node state; pass to
     [Runtime.create ~nodes] so the runtime shares it. *)

@@ -11,6 +11,12 @@ val create : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> nodes:int -> t
 (** Builds a fresh [nodes]-node cluster; per-node tables hang off each
     {!Dpc_engine.Node.t} and row writes tick its [store.*] counters. *)
 
+val set_degraded_sink : t -> (int -> unit) -> unit
+(** Re-route the degraded-query tick: [f querier] runs instead of the
+    default increment of [crash.queries_degraded] on the querier's
+    volatile registry. Installed by the durable layer so the count
+    survives a crash of the querier (see [Durable.attach]). *)
+
 val nodes : t -> Dpc_engine.Node.t array
 (** The cluster owning all per-node state; pass to
     [Runtime.create ~nodes] so the runtime shares it. *)

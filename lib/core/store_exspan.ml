@@ -13,6 +13,7 @@ type t = {
   env : Dpc_engine.Env.t;
   nodes : Node.t array;
   key : node_state Node.key;
+  mutable degraded_sink : (int -> unit) option;
 }
 
 let fresh_state () =
@@ -23,7 +24,19 @@ let fresh_state () =
   }
 
 let create ~delp ~env ~nodes =
-  { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.exspan" () }
+  { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.exspan" ();
+    degraded_sink = None }
+
+(* Degraded-query accounting. By default the tick lands in the querier's
+   volatile registry and dies with it on a crash; a durable layer
+   re-routes it through [set_degraded_sink] (see [Backend] / [Durable])
+   so the count survives. *)
+let set_degraded_sink t f = t.degraded_sink <- Some f
+
+let degraded_for t querier () =
+  match t.degraded_sink with
+  | Some f -> f querier
+  | None -> Dpc_util.Metrics.incr (Node.metrics t.nodes.(querier)) "crash.queries_degraded"
 
 let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
@@ -118,7 +131,7 @@ type acct = {
   routing : Dpc_net.Routing.t;
   up : int -> bool;
   querier : int;
-  metrics : int -> Dpc_util.Metrics.t;
+  degraded : unit -> unit;
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
@@ -145,7 +158,7 @@ let require_up acct node =
           *. acct.cost.Query_cost.down_timeout);
     if acct.complete then begin
       acct.complete <- false;
-      Dpc_util.Metrics.incr (acct.metrics acct.querier) "crash.queries_degraded"
+      acct.degraded ()
     end;
     raise (Broken (Printf.sprintf "node %d is down" node))
   end
@@ -214,7 +227,7 @@ let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
   let acct =
     { cost; routing; up; querier;
-      metrics = (fun i -> Node.metrics t.nodes.(i));
+      degraded = degraded_for t querier;
       latency = 0.0; entries = 0; bytes = 0; complete = true }
   in
   let trees =

@@ -17,23 +17,38 @@ type t = {
   nodes : Node.t array;
   plans : (string, Eval.plan list) Hashtbl.t;  (* event relation -> rule plans, program order *)
   record_outputs : bool;
+  (* Cluster-global accumulators: every shard of a sharded transport
+     appends/increments concurrently, so the list is mutex-guarded and
+     the counters are atomics. (Under [~domains:1] this costs a few
+     uncontended ns per event.) *)
+  outputs_lock : Mutex.t;
   mutable outputs_rev : (Tuple.t * Prov_hook.meta) list;
-  mutable injected : int;
-  mutable fired : int;
-  mutable output_count : int;
-  mutable dead_ends : int;
+  injected : int Atomic.t;
+  fired : int Atomic.t;
+  output_count : int Atomic.t;
+  dead_ends : int Atomic.t;
   (* Crash-fault support: [journal] is the write-ahead sink (set by the
      durable layer), [available] says whether a node can take an injection
      right now (set from the crashable transport's control), [replaying]
-     turns processing into pure state reconstruction — no sends, no
-     journaling, no global counters. *)
+     turns processing into pure state reconstruction for one node — no
+     sends, no journaling, no global counters. Per-node, not global: one
+     node replaying on its shard must not silence its neighbours'
+     journaling on other shards. *)
   mutable journal : (node:int -> Journal.entry -> unit) option;
   mutable available : int -> bool;
-  mutable replaying : bool;
+  replaying : bool array;
 }
 
-let create ~transport ?reliable ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
+let create ~transport ?reliable ?domains ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
     ?(record_outputs = true) ?nodes () =
+  (match domains with
+  | None -> ()
+  | Some d ->
+      let shards = Dpc_net.Transport.shards transport in
+      if d <> shards then
+        invalid_arg
+          (Printf.sprintf "Runtime.create: ~domains:%d but the transport has %d shard(s)" d
+             shards));
   (match List.filter (fun rel -> not (Delp.is_event delp rel)) interest with
   | [] -> ()
   | bad ->
@@ -85,17 +100,19 @@ let create ~transport ?reliable ~delp ~env ~hook ?(msg_overhead = 28) ?(interest
     nodes;
     plans;
     record_outputs;
+    outputs_lock = Mutex.create ();
     outputs_rev = [];
-    injected = 0;
-    fired = 0;
-    output_count = 0;
-    dead_ends = 0;
+    injected = Atomic.make 0;
+    fired = Atomic.make 0;
+    output_count = Atomic.make 0;
+    dead_ends = Atomic.make 0;
     journal = None;
     available = (fun _ -> true);
-    replaying = false;
+    replaying = Array.make n false;
   }
 
 let transport t = t.transport
+let domains t = Dpc_net.Transport.shards t.transport
 let reliability t = t.reliability
 let delp t = t.delp
 let nodes t = t.nodes
@@ -107,7 +124,7 @@ let set_journal t f = t.journal <- Some f
 let set_availability t f = t.available <- f
 
 let journal t node entry =
-  if not t.replaying then
+  if not t.replaying.(node) then
     match t.journal with None -> () | Some f -> f ~node entry
 
 let load_slow t tuples =
@@ -125,9 +142,11 @@ let rec process t ~input node event meta =
   match Hashtbl.find_opt t.plans (Tuple.rel event) with
   | None ->
       Log.debug (fun m -> m "output %s at n%d" (Tuple.to_string event) node);
-      if not t.replaying then begin
-        t.output_count <- t.output_count + 1;
-        if t.record_outputs then t.outputs_rev <- (event, meta) :: t.outputs_rev
+      if not t.replaying.(node) then begin
+        Atomic.incr t.output_count;
+        if t.record_outputs then
+          Mutex.protect t.outputs_lock (fun () ->
+            t.outputs_rev <- (event, meta) :: t.outputs_rev)
       end;
       tick t node "runtime.outputs";
       ignore (Db.insert (db t node) event);
@@ -148,7 +167,7 @@ let rec process t ~input node event meta =
           List.iter
             (fun (head, slow) ->
               any_fired := true;
-              if not t.replaying then t.fired <- t.fired + 1;
+              if not t.replaying.(node) then Atomic.incr t.fired;
               tick t node "runtime.fired";
               Log.debug (fun m ->
                 m "%s fired at n%d: %s -> %s" rule.Ast.name node (Tuple.to_string event)
@@ -159,7 +178,7 @@ let rec process t ~input node event meta =
         plans;
       if not !any_fired then begin
         Log.debug (fun m -> m "event %s died at n%d" (Tuple.to_string event) node);
-        if not t.replaying then t.dead_ends <- t.dead_ends + 1;
+        if not t.replaying.(node) then Atomic.incr t.dead_ends;
         tick t node "runtime.dead_ends"
       end
 
@@ -172,7 +191,7 @@ and ship t src head meta =
      metric ticks above rebuild the node's wiped counters, but nothing
      goes back on the wire — the recovering node's downstream effects are
      someone else's (delivered) history, not new sends. *)
-  if not t.replaying then
+  if not t.replaying.(src) then
     Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
       journal t dst (Journal.Arrival { event = head; meta });
       process t ~input:false dst head meta)
@@ -215,7 +234,7 @@ let inject t ?(delay = 0.0) event =
     invalid_arg
       (Printf.sprintf "Runtime.inject: expected a %S tuple, got %S" t.delp.input_event
          (Tuple.rel event));
-  t.injected <- t.injected + 1;
+  Atomic.incr t.injected;
   let node = Tuple.loc event in
   let attempts = ref 0 in
   let rec attempt () =
@@ -230,10 +249,12 @@ let inject t ?(delay = 0.0) event =
       (* The node is down: the input source holds the event and re-presents
          it after the restart. Bounded so a never-restarted node cannot
          keep the event loop spinning forever. *)
-      Dpc_net.Transport.schedule t.transport ~delay:inject_retry_delay attempt
+      Dpc_net.Transport.schedule_on t.transport ~node ~delay:inject_retry_delay attempt
     else tick t node "runtime.abandoned_injections"
   in
-  Dpc_net.Transport.schedule t.transport ~delay attempt
+  (* [schedule_on], not [schedule]: processing must start on the shard
+     that owns the event's node. *)
+  Dpc_net.Transport.schedule_on t.transport ~node ~delay attempt
 
 (* Rebuild one node's volatile state from its journal tail. Entries are
    re-applied through the same hook/process pipeline that produced the
@@ -243,9 +264,9 @@ let inject t ?(delay = 0.0) event =
    restore the reliable layer's sequence state in place, so surviving
    retransmit closures pick the watermark back up. *)
 let replay t ~node entries =
-  t.replaying <- true;
+  t.replaying.(node) <- true;
   Fun.protect
-    ~finally:(fun () -> t.replaying <- false)
+    ~finally:(fun () -> t.replaying.(node) <- false)
     (fun () ->
       List.iter
         (fun entry ->
@@ -269,14 +290,14 @@ let replay t ~node entries =
               | None -> ()))
         entries)
 
-let outputs t = List.rev t.outputs_rev
+let outputs t = Mutex.protect t.outputs_lock (fun () -> List.rev t.outputs_rev)
 
 let stats t =
   {
-    injected = t.injected;
-    fired = t.fired;
-    outputs = t.output_count;
-    dead_ends = t.dead_ends;
+    injected = Atomic.get t.injected;
+    fired = Atomic.get t.fired;
+    outputs = Atomic.get t.output_count;
+    dead_ends = Atomic.get t.dead_ends;
   }
 
 let metrics_snapshot t =

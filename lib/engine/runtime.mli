@@ -22,6 +22,7 @@ type stats = {
 val create :
   transport:Dpc_net.Transport.t ->
   ?reliable:Dpc_net.Reliable.config ->
+  ?domains:int ->
   delp:Dpc_ndlog.Delp.t ->
   env:Env.t ->
   hook:Prov_hook.t ->
@@ -55,13 +56,25 @@ val create :
     and execution continues through it as usual.
 
     [nodes] defaults to [Node.cluster (Transport.nodes transport)].
+
+    [domains] asserts the intended parallelism: the transport must report
+    exactly that many shards (e.g. a [Dpc_net.Shard_sim] created with the
+    same [~domains]). Omit it to accept any transport. The runtime itself
+    needs no further configuration to run sharded — all dispatch is
+    shard-local by construction: an event is processed on the shard
+    owning its node, injections and retries are placed with
+    [Transport.schedule_on], and the cluster-global stats are atomics.
     @raise Invalid_argument if any [interest] name is not a derived
     (event) relation of the program (the message lists every offender),
-    or if [nodes] has the wrong length for the transport. *)
+    if [nodes] has the wrong length for the transport, or if [domains]
+    disagrees with the transport's shard count. *)
 
 val transport : t -> Dpc_net.Transport.t
 (** The transport the runtime actually sends through — the reliable
     wrapper when [?reliable] was given, the raw one otherwise. *)
+
+val domains : t -> int
+(** The transport's shard count (1 on sequential backends). *)
 
 val reliability : t -> Dpc_net.Reliable.t option
 (** The delivery layer created by [?reliable], for its {!Dpc_net.Reliable.stats}
@@ -112,7 +125,10 @@ val metrics_snapshot : t -> Dpc_util.Metrics.snapshot
     the stores add their own [store.*] counters on the same nodes. *)
 
 val run : ?until:float -> t -> unit
-(** Drive the transport until quiescence (or [until]). *)
+(** Drive the transport until quiescence (or [until]). On a sharded
+    transport this spins up the shard domains and returning is the merge
+    barrier: every node's state, metrics, and output is safe to read
+    afterwards without synchronization. *)
 
 (** {2 Crash-fault support}
 

@@ -16,7 +16,10 @@ let ack_bytes = 12
    receiver's half is the dedup/reorder window: everything below
    [expected] has been delivered in order, and [pending] holds arrivals
    above the gap, waiting for it to fill. The window stays small — it
-   drains as soon as the missing retransmit lands. *)
+   drains as soon as the missing retransmit lands. Under a sharded
+   transport the two halves live on different domains, but they are
+   distinct fields: the sender's shard only touches [next_seq], the
+   receiver's only [expected]/[pending]. *)
 type channel = {
   mutable next_seq : int;
   mutable expected : int;
@@ -43,38 +46,45 @@ type t = {
   inner : Transport.t;
   config : config;
   metrics : (int -> Dpc_util.Metrics.t) option;
-  channels : (int * int, channel) Hashtbl.t;
+  (* The full [src][dst] endpoint matrix, allocated eagerly: channel
+     lookup never mutates a shared table, so concurrent shards cannot
+     race on it. A few MB at the paper's 125 nodes. *)
+  channels : channel array array;
   mutable persist : (channel_event -> unit) option;
-  mutable data_msgs : int;
-  mutable data_bytes : int;
-  mutable retransmits : int;
-  mutable retransmit_bytes : int;
-  mutable acks : int;
-  mutable ack_bytes_total : int;
-  mutable dup_dropped : int;
-  mutable held : int;
-  mutable abandoned : int;
+  (* Cluster-wide accounting; senders on every shard bump these. *)
+  data_msgs : int Atomic.t;
+  data_bytes : int Atomic.t;
+  retransmits : int Atomic.t;
+  retransmit_bytes : int Atomic.t;
+  acks : int Atomic.t;
+  ack_bytes_total : int Atomic.t;
+  dup_dropped : int Atomic.t;
+  held : int Atomic.t;
+  abandoned : int Atomic.t;
 }
 
 let wrap ?(config = default_config) ?metrics inner =
   if config.timeout <= 0.0 then invalid_arg "Reliable.wrap: timeout must be positive";
   if config.backoff < 1.0 then invalid_arg "Reliable.wrap: backoff must be >= 1";
   if config.max_retries < 0 then invalid_arg "Reliable.wrap: negative max_retries";
+  let n = Transport.nodes inner in
   {
     inner;
     config;
     metrics;
-    channels = Hashtbl.create 64;
+    channels =
+      Array.init n (fun _ ->
+        Array.init n (fun _ -> { next_seq = 0; expected = 0; pending = Hashtbl.create 8 }));
     persist = None;
-    data_msgs = 0;
-    data_bytes = 0;
-    retransmits = 0;
-    retransmit_bytes = 0;
-    acks = 0;
-    ack_bytes_total = 0;
-    dup_dropped = 0;
-    held = 0;
-    abandoned = 0;
+    data_msgs = Atomic.make 0;
+    data_bytes = Atomic.make 0;
+    retransmits = Atomic.make 0;
+    retransmit_bytes = Atomic.make 0;
+    acks = Atomic.make 0;
+    ack_bytes_total = Atomic.make 0;
+    dup_dropped = Atomic.make 0;
+    held = Atomic.make 0;
+    abandoned = Atomic.make 0;
   }
 
 let tick t node ?by name =
@@ -83,13 +93,7 @@ let tick t node ?by name =
 let set_persist t f = t.persist <- Some f
 let persist t ev = match t.persist with None -> () | Some f -> f ev
 
-let channel t ~src ~dst =
-  match Hashtbl.find_opt t.channels (src, dst) with
-  | Some ch -> ch
-  | None ->
-      let ch = { next_seq = 0; expected = 0; pending = Hashtbl.create 8 } in
-      Hashtbl.add t.channels (src, dst) ch;
-      ch
+let channel t ~src ~dst = t.channels.(src).(dst)
 
 (* Deliver in sequence order: run the arrival if it is the next expected
    message, then drain whatever the gap was holding back. Out-of-order
@@ -144,14 +148,14 @@ let send t ~src ~dst ~bytes k =
     (match accept ~notify ch seq k with
     | `Delivered -> ()
     | `Duplicate ->
-        t.dup_dropped <- t.dup_dropped + 1;
+        Atomic.incr t.dup_dropped;
         tick t dst "net.dup_dropped"
     | `Held ->
-        t.held <- t.held + 1;
+        Atomic.incr t.held;
         tick t dst "net.held");
     if ch.expected > seq then begin
-      t.acks <- t.acks + 1;
-      t.ack_bytes_total <- t.ack_bytes_total + ack_bytes;
+      Atomic.incr t.acks;
+      ignore (Atomic.fetch_and_add t.ack_bytes_total ack_bytes);
       tick t dst "net.acks_sent";
       tick t dst ~by:ack_bytes "net.ack_bytes";
       Transport.send t.inner ~src:dst ~dst:src ~bytes:ack_bytes (fun () -> acked := true)
@@ -160,27 +164,29 @@ let send t ~src ~dst ~bytes k =
   let rec transmit () =
     incr attempts;
     if !attempts = 1 then begin
-      t.data_msgs <- t.data_msgs + 1;
-      t.data_bytes <- t.data_bytes + wire;
+      Atomic.incr t.data_msgs;
+      ignore (Atomic.fetch_and_add t.data_bytes wire);
       tick t src "net.data_msgs"
     end
     else begin
-      t.retransmits <- t.retransmits + 1;
-      t.retransmit_bytes <- t.retransmit_bytes + wire;
+      Atomic.incr t.retransmits;
+      ignore (Atomic.fetch_and_add t.retransmit_bytes wire);
       tick t src "net.retransmits";
       tick t src ~by:wire "net.retransmit_bytes"
     end;
     Transport.send t.inner ~src ~dst ~bytes:wire deliver;
-    (* Arm the ack timeout for this attempt. There is no cancellation: an
-       acked timer just fires and finds nothing to do. *)
+    (* Arm the ack timeout for this attempt, on the sender's own shard:
+       the timer closure reads [acked]/[attempts], which the sender owns.
+       There is no cancellation: an acked timer just fires and finds
+       nothing to do. *)
     let backoff =
       t.config.timeout *. (t.config.backoff ** float_of_int (!attempts - 1))
     in
     let delay = Float.min backoff t.config.max_timeout in
-    Transport.schedule t.inner ~delay (fun () ->
+    Transport.schedule_on t.inner ~node:src ~delay (fun () ->
       if not !acked then
         if !attempts > t.config.max_retries then begin
-          t.abandoned <- t.abandoned + 1;
+          Atomic.incr t.abandoned;
           tick t src "net.abandoned"
         end
         else transmit ())
@@ -217,32 +223,33 @@ let set_expected t ~src ~dst seq =
 let forget t ~node =
   (* Mutate the existing channel records in place: in-flight retransmit
      and delivery closures captured them, and must observe the wipe. *)
-  Hashtbl.iter
-    (fun (src, dst) ch ->
-      if src = node then ch.next_seq <- 0;
-      if dst = node then begin
-        ch.expected <- 0;
-        Hashtbl.reset ch.pending
-      end)
-    t.channels
+  let n = Array.length t.channels in
+  for peer = 0 to n - 1 do
+    t.channels.(node).(peer).next_seq <- 0;
+    let ch = t.channels.(peer).(node) in
+    ch.expected <- 0;
+    Hashtbl.reset ch.pending
+  done
 
 let snapshot_magic = "dpc-rel-v1"
 
 let snapshot t ~node =
+  let n = Array.length t.channels in
   let senders = ref [] and receivers = ref [] in
-  Hashtbl.iter
-    (fun (src, dst) ch ->
-      if src = node && ch.next_seq > 0 then senders := (dst, ch.next_seq) :: !senders;
-      if dst = node && ch.expected > 0 then receivers := (src, ch.expected) :: !receivers)
-    t.channels;
+  for peer = n - 1 downto 0 do
+    let out = t.channels.(node).(peer) in
+    if out.next_seq > 0 then senders := (peer, out.next_seq) :: !senders;
+    let in_ = t.channels.(peer).(node) in
+    if in_.expected > 0 then receivers := (peer, in_.expected) :: !receivers
+  done;
   let w = Dpc_util.Serialize.writer () in
   Dpc_util.Serialize.write_string w snapshot_magic;
   let pair (peer, seq) =
     Dpc_util.Serialize.write_varint w peer;
     Dpc_util.Serialize.write_varint w seq
   in
-  Dpc_util.Serialize.write_list w pair (List.sort compare !senders);
-  Dpc_util.Serialize.write_list w pair (List.sort compare !receivers);
+  Dpc_util.Serialize.write_list w pair !senders;
+  Dpc_util.Serialize.write_list w pair !receivers;
   Dpc_util.Serialize.contents w
 
 let restore t ~node blob =
@@ -262,8 +269,11 @@ let transport t : Transport.t =
   (module struct
     let name = "reliable+" ^ T.name
     let nodes = T.nodes
+    let shards = T.shards
+    let shard_of = T.shard_of
     let now = T.now
     let schedule = T.schedule
+    let schedule_on = T.schedule_on
     let send ~src ~dst ~bytes k = send t ~src ~dst ~bytes k
 
     let broadcast ~src ~bytes k =
@@ -278,13 +288,13 @@ let transport t : Transport.t =
 
 let stats t : stats =
   {
-    data_msgs = t.data_msgs;
-    data_bytes = t.data_bytes;
-    retransmits = t.retransmits;
-    retransmit_bytes = t.retransmit_bytes;
-    acks = t.acks;
-    ack_bytes_total = t.ack_bytes_total;
-    dup_dropped = t.dup_dropped;
-    held = t.held;
-    abandoned = t.abandoned;
+    data_msgs = Atomic.get t.data_msgs;
+    data_bytes = Atomic.get t.data_bytes;
+    retransmits = Atomic.get t.retransmits;
+    retransmit_bytes = Atomic.get t.retransmit_bytes;
+    acks = Atomic.get t.acks;
+    ack_bytes_total = Atomic.get t.ack_bytes_total;
+    dup_dropped = Atomic.get t.dup_dropped;
+    held = Atomic.get t.held;
+    abandoned = Atomic.get t.abandoned;
   }

@@ -1,0 +1,70 @@
+(** Multi-domain sharded transport.
+
+    Partitions the node set round-robin into [domains] shards, each owned
+    by one OCaml 5 domain with its own event heap, virtual clock, and
+    byte/message counters. Cross-shard messages cross mutex-guarded
+    inboxes between the barrier-separated phases of a conservative
+    time-window loop: each round processes every event in
+    [T, T + latency), where [T] is the global minimum pending timestamp
+    and [latency] (the minimum wire delay) is the lookahead that makes it
+    impossible for a shard to receive a message from its past.
+
+    {b Ownership.} All callbacks concerning node [n] — deliveries, timers
+    armed with [schedule_on ~node:n] — execute on shard
+    [n mod domains]. Per-node engine state (the [Node.t] registries, the
+    store tables, the reliable-channel endpoints) therefore stays
+    single-owner and lock-free.
+
+    {b Determinism.} Every event is keyed [(time, origin, ctr)] where
+    [origin] is the creating node and [ctr] a per-origin counter; the key
+    totally orders events identically whatever the shard count. A fault-
+    free run under [~domains:4] executes each node's event sequence — and
+    therefore produces provenance digests — byte-identical to
+    [~domains:1]; under hashed fault or crash schedules the existing
+    confluence oracles close the gap. [run] returning is the merge
+    barrier: the worker-domain joins order every shard effect before
+    anything the caller does next. *)
+
+type t
+
+val create :
+  ?latency:float -> ?jitter:float -> ?seed:int -> domains:int -> nodes:int -> unit -> t
+(** [latency] (default [0.001]) is the fixed wire delay and the window
+    lookahead; it must be positive. [jitter] (default [0]) adds a
+    per-message extra delay, uniform in [0, jitter), drawn from a pure
+    hash of [(seed, src, dst, channel count)] so it is identical whatever
+    the shard count.
+    @raise Invalid_argument if [domains] or [nodes] is not positive,
+    [latency] is not positive, or [jitter] is negative. *)
+
+val transport : t -> Transport.t
+(** The {!Transport.S} view; [Transport.shards] is [domains]. *)
+
+val domains : t -> int
+val nodes : t -> int
+
+val shard_of : t -> int -> int
+(** [shard_of t n = n mod domains t]. *)
+
+val partition : domains:int -> nodes:int -> int array
+(** The round-robin shard map as an array ([partition.(n)] is [n]'s
+    shard), for tests and tooling that reason about the layout without
+    building a transport.
+    @raise Invalid_argument if either argument is not positive. *)
+
+val run : ?until:float -> t -> unit
+(** Same contract as {!Transport.run} (half-open horizon). [~domains:1]
+    runs inline on the calling domain; otherwise one worker domain per
+    shard is spawned for the duration of the call and joined before it
+    returns. A callback exception is re-raised here on the caller, after
+    all workers have parked.
+    @raise Invalid_argument on re-entrant use. *)
+
+val now : t -> float
+(** The calling shard's clock mid-run; outside [run], the maximum clock
+    reached so far. *)
+
+val total_bytes : t -> int
+val messages : t -> int
+(** Cluster-wide accounting, summed over shards; call from outside [run]
+    (the per-shard counters are owner-written). *)

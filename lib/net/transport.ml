@@ -1,8 +1,11 @@
 module type S = sig
   val name : string
   val nodes : int
+  val shards : int
+  val shard_of : int -> int
   val now : unit -> float
   val schedule : delay:float -> (unit -> unit) -> unit
+  val schedule_on : node:int -> delay:float -> (unit -> unit) -> unit
   val send : src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
   val broadcast : src:int -> bytes:int -> (int -> unit) -> unit
   val run : ?until:float -> unit -> unit
@@ -14,8 +17,11 @@ type t = (module S)
 
 let name (module T : S) = T.name
 let nodes (module T : S) = T.nodes
+let shards (module T : S) = T.shards
+let shard_of (module T : S) node = T.shard_of node
 let now (module T : S) = T.now ()
 let schedule (module T : S) ~delay k = T.schedule ~delay k
+let schedule_on (module T : S) ~node ~delay k = T.schedule_on ~node ~delay k
 let send (module T : S) ~src ~dst ~bytes k = T.send ~src ~dst ~bytes k
 let broadcast (module T : S) ~src ~bytes k = T.broadcast ~src ~bytes k
 let run ?until (module T : S) = T.run ?until ()
@@ -26,8 +32,11 @@ let of_sim sim : t =
   (module struct
     let name = "sim"
     let nodes = Topology.size (Sim.topology sim)
+    let shards = 1
+    let shard_of _ = 0
     let now () = Sim.now sim
     let schedule ~delay k = Sim.schedule sim ~delay k
+    let schedule_on ~node:_ ~delay k = Sim.schedule sim ~delay k
     let send ~src ~dst ~bytes k = Sim.send sim ~src ~dst ~bytes k
 
     (* The sig broadcast of §5.5: one message per node, the origin
@@ -62,11 +71,15 @@ let direct ~nodes:n () : t =
   (module struct
     let name = "direct"
     let nodes = n
+    let shards = 1
+    let shard_of _ = 0
     let now () = !clock
 
     let schedule ~delay k =
       if delay < 0.0 then invalid_arg "Transport.direct: negative delay";
       schedule_at (!clock +. delay) k
+
+    let schedule_on ~node:_ ~delay k = schedule ~delay k
 
     (* Zero-latency delivery: the message arrives at the current time,
        through the queue so ordering is preserved. Bytes are still
@@ -121,38 +134,44 @@ let fault_config ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0) ?(delay_max = 0
   { drop; duplicate; delay; delay_max }
 
 type fault_stats = {
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable duplicated : int;
-  mutable delayed : int;
+  delivered : int Atomic.t;
+  dropped : int Atomic.t;
+  duplicated : int Atomic.t;
+  delayed : int Atomic.t;
 }
 
 let faulty_with ~decide (module T : S) : t * fault_stats =
-  let stats = { delivered = 0; dropped = 0; duplicated = 0; delayed = 0 } in
+  let stats =
+    { delivered = Atomic.make 0; dropped = Atomic.make 0; duplicated = Atomic.make 0;
+      delayed = Atomic.make 0 }
+  in
   let transport : t =
     (module struct
       let name = "faulty+" ^ T.name
       let nodes = T.nodes
+      let shards = T.shards
+      let shard_of = T.shard_of
       let now = T.now
       let schedule = T.schedule
+      let schedule_on = T.schedule_on
 
       let send ~src ~dst ~bytes k =
         match decide ~src ~dst ~bytes with
         | F_deliver ->
-            stats.delivered <- stats.delivered + 1;
+            Atomic.incr stats.delivered;
             T.send ~src ~dst ~bytes k
         | F_drop ->
             (* The transmission happened — the inner backend charges its
                bytes and advances its counters — but the receiver never
                sees it. *)
-            stats.dropped <- stats.dropped + 1;
+            Atomic.incr stats.dropped;
             T.send ~src ~dst ~bytes (fun () -> ())
         | F_duplicate ->
-            stats.duplicated <- stats.duplicated + 1;
+            Atomic.incr stats.duplicated;
             T.send ~src ~dst ~bytes k;
             T.send ~src ~dst ~bytes k
         | F_delay extra ->
-            stats.delayed <- stats.delayed + 1;
+            Atomic.incr stats.delayed;
             T.send ~src ~dst ~bytes (fun () -> T.schedule ~delay:extra k)
 
       (* Per-destination faults: one broadcast may reach some nodes and
@@ -178,10 +197,42 @@ let faulty ~config ~rng inner =
       F_delay (Dpc_util.Rng.float rng config.delay_max)
     else F_deliver)
 
+(* SplitMix64 finalizer: the per-channel hashed fault schedule needs a
+   high-quality stateless mix so decisions depend only on
+   (seed, src, dst, per-channel count), never on global draw order. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix_absorb state x = mix64 (Int64.add state (Int64.mul golden (Int64.of_int (x + 1))))
+
+(* Top 53 bits as a uniform float in [0, 1). *)
+let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let hashed_decide ~config ~seed ~nodes =
+  if nodes <= 0 then invalid_arg "Transport.hashed_decide: nodes must be positive";
+  let counts = Array.make (nodes * nodes) 0 in
+  fun ~src ~dst ~bytes:_ ->
+    if src < 0 || src >= nodes || dst < 0 || dst >= nodes then
+      invalid_arg "Transport.hashed_decide: node out of range";
+    let idx = (src * nodes) + dst in
+    let n = counts.(idx) in
+    counts.(idx) <- n + 1;
+    let h = mix_absorb (mix_absorb (mix_absorb (Int64.of_int seed) src) dst) n in
+    let u = unit_float h in
+    if u < config.drop then F_drop
+    else if u < config.drop +. config.duplicate then F_duplicate
+    else if u < config.drop +. config.duplicate +. config.delay then
+      F_delay (unit_float (mix64 h) *. config.delay_max)
+    else F_deliver
+
 (* ------------------------------------------------------------------ *)
 (* Crash faults *)
 
-type crash_stats = { mutable crashes : int; mutable suppressed : int }
+type crash_stats = { crashes : int Atomic.t; suppressed : int Atomic.t }
 
 type crash_control = {
   crash : int -> unit;
@@ -192,7 +243,7 @@ type crash_control = {
 
 let crashable (module T : S) : t * crash_control =
   let up = Array.make T.nodes true in
-  let stats = { crashes = 0; suppressed = 0 } in
+  let stats = { crashes = Atomic.make 0; suppressed = Atomic.make 0 } in
   let control =
     {
       crash =
@@ -201,7 +252,7 @@ let crashable (module T : S) : t * crash_control =
             invalid_arg (Printf.sprintf "Transport.crashable: node %d out of range" node);
           if up.(node) then begin
             up.(node) <- false;
-            stats.crashes <- stats.crashes + 1
+            Atomic.incr stats.crashes
           end);
       restart =
         (fun node ->
@@ -220,18 +271,24 @@ let crashable (module T : S) : t * crash_control =
     (module struct
       let name = "crashable+" ^ T.name
       let nodes = T.nodes
+      let shards = T.shards
+      let shard_of = T.shard_of
       let now = T.now
       let schedule = T.schedule
+      let schedule_on = T.schedule_on
 
       (* The wire still carries the message (bytes are charged, the clock
          advances), but a down destination never sees the delivery. The
          up-check runs at ARRIVAL time, not send time: a node that crashes
          while a message is in flight loses it, and a message sent at a
          down node before it recovers is lost even if the node is back up
-         when the send is issued — matching a dead NIC, not a full mailbox. *)
+         when the send is issued — matching a dead NIC, not a full mailbox.
+         Under a sharded transport the check runs on the destination's
+         shard and crash/restart actions are scheduled on the same shard
+         (see [Durable.schedule_crash]), so [up.(dst)] stays single-owner. *)
       let send ~src ~dst ~bytes k =
         T.send ~src ~dst ~bytes (fun () ->
-          if up.(dst) then k () else stats.suppressed <- stats.suppressed + 1)
+          if up.(dst) then k () else Atomic.incr stats.suppressed)
 
       let broadcast ~src ~bytes k =
         for dst = 0 to nodes - 1 do

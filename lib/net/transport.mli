@@ -2,8 +2,8 @@
 
     The runtime ships tuples and control messages through this interface
     only; how they travel — through the discrete-event simulator, directly
-    in process, or (later) over sockets — is the backend's business. Two
-    backends are provided:
+    in process, across OCaml domains, or (later) over sockets — is the
+    backend's business. Three backends are provided:
 
     - {!of_sim} wraps a {!Sim.t}: hop-by-hop latency and bandwidth,
       per-link byte accounting. Behavior-identical to calling the
@@ -12,10 +12,18 @@
       library embedding: messages are delivered at the current virtual
       time (FIFO among equal times), [schedule] still honors its delay,
       and total bytes/messages are counted.
+    - {!Shard_sim} (its own module) partitions the node set into shards,
+      one OCaml domain each, and exposes itself through this interface.
 
     All backends deliver callbacks through an event queue, never
     synchronously from [send] — senders can rely on run-to-completion of
-    the current handler. *)
+    the current handler.
+
+    {b Shard ownership.} A backend partitions nodes into [shards]
+    execution contexts ([1] for the sequential backends). All callbacks
+    concerning node [n] — deliveries addressed to [n], timers placed with
+    [schedule_on ~node:n] — run on shard [shard_of n], so per-node state
+    needs no locking as long as timers name their owning node. *)
 
 module type S = sig
   val name : string
@@ -23,15 +31,30 @@ module type S = sig
   val nodes : int
   (** Number of addressable nodes; valid ids are [0 .. nodes-1]. *)
 
+  val shards : int
+  (** Number of execution contexts (domains). Sequential backends are 1. *)
+
+  val shard_of : int -> int
+  (** The shard owning a node; constant for the transport's lifetime. *)
+
   val now : unit -> float
 
   val schedule : delay:float -> (unit -> unit) -> unit
-  (** Run a callback [delay] seconds from now. Events at equal times fire
-      in scheduling order. @raise Invalid_argument on a negative delay. *)
+  (** Run a callback [delay] seconds from now, on the calling shard (or
+      shard 0 when called from outside [run]). Events at equal times fire
+      in a deterministic order. Prefer {!schedule_on} whenever the
+      callback touches a node's state.
+      @raise Invalid_argument on a negative delay. *)
+
+  val schedule_on : node:int -> delay:float -> (unit -> unit) -> unit
+  (** Like [schedule], but the callback runs on [shard_of node] — the only
+      safe way to arm a timer that touches node state on a sharded
+      backend. Sequential backends treat it as [schedule]. *)
 
   val send : src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
   (** Deliver a message of [bytes] to [dst]; the callback fires at the
-      arrival time. @raise Failure if [dst] is unreachable. *)
+      arrival time, on [shard_of dst]. @raise Failure if [dst] is
+      unreachable. *)
 
   val broadcast : src:int -> bytes:int -> (int -> unit) -> unit
   (** Send [bytes] from [src] to every node (the origin included); the
@@ -40,7 +63,9 @@ module type S = sig
   val run : ?until:float -> unit -> unit
   (** Process queued events in timestamp order until quiescence, or stop
       at the [until] horizon. The horizon is half-open: an event at
-      exactly [until] stays queued for the next run. *)
+      exactly [until] stays queued for the next run. On a sharded backend
+      this drives all shard domains and returning is the merge barrier:
+      every effect of every shard happens-before the return. *)
 
   val total_bytes : unit -> int
   val messages : unit -> int
@@ -50,8 +75,11 @@ type t = (module S)
 
 val name : t -> string
 val nodes : t -> int
+val shards : t -> int
+val shard_of : t -> int -> int
 val now : t -> float
 val schedule : t -> delay:float -> (unit -> unit) -> unit
+val schedule_on : t -> node:int -> delay:float -> (unit -> unit) -> unit
 val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
 val broadcast : t -> src:int -> bytes:int -> (int -> unit) -> unit
 val run : ?until:float -> t -> unit
@@ -93,11 +121,13 @@ val fault_config :
 (** All rates default to 0.  @raise Invalid_argument if a rate is outside
     [0, 1], the rates sum past 1, or [delay_max] is negative. *)
 
+(** Counts are [Atomic] because [decide] runs on the sending node's shard:
+    under a sharded backend several domains bump them concurrently. *)
 type fault_stats = {
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable duplicated : int;
-  mutable delayed : int;
+  delivered : int Atomic.t;
+  dropped : int Atomic.t;
+  duplicated : int Atomic.t;
+  delayed : int Atomic.t;
 }
 
 val faulty_with : decide:(src:int -> dst:int -> bytes:int -> fault) -> t -> t * fault_stats
@@ -108,7 +138,22 @@ val faulty_with : decide:(src:int -> dst:int -> bytes:int -> fault) -> t -> t * 
 
 val faulty : config:fault_config -> rng:Dpc_util.Rng.t -> t -> t * fault_stats
 (** Seeded random fault injection at the [config] rates. One fault at most
-    per transmission; duplicates are not themselves re-faulted. *)
+    per transmission; duplicates are not themselves re-faulted. The shared
+    [rng] is consumed in global send order, so this decider is only
+    deterministic on single-shard backends; sharded runs want
+    {!hashed_decide}. *)
+
+val hashed_decide :
+  config:fault_config -> seed:int -> nodes:int -> src:int -> dst:int -> bytes:int -> fault
+(** A [decide] function whose verdict for the [n]th transmission on
+    channel [(src, dst)] is a pure hash of [(seed, src, dst, n)] — no
+    shared random stream, so the fault schedule is identical however
+    sends from different channels interleave. Each channel counter is
+    only ever touched from the sending node's shard. This is the decider
+    the parallel-vs-sequential digest oracle uses: both runs see the same
+    per-channel fault history by construction.
+    @raise Invalid_argument if [nodes] is not positive or a node id is
+    out of range. *)
 
 (** {2 Crash faults}
 
@@ -120,8 +165,8 @@ val faulty : config:fault_config -> rng:Dpc_util.Rng.t -> t -> t * fault_stats
     engine's business (see [Runtime] and [Durable]). *)
 
 type crash_stats = {
-  mutable crashes : int;  (** transitions from up to down *)
-  mutable suppressed : int;  (** deliveries dropped at a down node *)
+  crashes : int Atomic.t;  (** transitions from up to down *)
+  suppressed : int Atomic.t;  (** deliveries dropped at a down node *)
 }
 
 type crash_control = {
@@ -134,6 +179,8 @@ type crash_control = {
 val crashable : t -> t * crash_control
 (** Wrap a backend with per-node up/down switches. All nodes start up.
     The up-check runs at arrival time, so messages in flight when the
-    destination crashes are lost with it.
+    destination crashes are lost with it. On a sharded backend, call
+    [crash]/[restart] either before [run] or from a timer placed with
+    [schedule_on ~node] so the switch flips on the owning shard.
     @raise Invalid_argument from the control functions if the node id is
     out of range. *)

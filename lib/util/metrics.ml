@@ -6,14 +6,25 @@ type snapshot = {
   histograms : (string * histogram) list;
 }
 
+(* One mutex per registry guards every table operation. Registries are
+   owned by their node's shard, so the lock is almost always uncontended;
+   it exists for the cross-shard readers (snapshots taken at the merge
+   barrier, durable counter rematerialization) and for registries shared
+   deliberately, e.g. the concurrency property tests. *)
 type t = {
+  lock : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histograms : (string, histogram ref) Hashtbl.t;
 }
 
 let create () =
-  { counters = Hashtbl.create 16; gauges = Hashtbl.create 8; histograms = Hashtbl.create 8 }
+  {
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
 
 let cell tbl ~make name =
   match Hashtbl.find_opt tbl name with
@@ -24,39 +35,45 @@ let cell tbl ~make name =
       r
 
 let incr t ?(by = 1) name =
-  let r = cell t.counters ~make:(fun () -> ref 0) name in
-  r := !r + by
+  Mutex.protect t.lock (fun () ->
+    let r = cell t.counters ~make:(fun () -> ref 0) name in
+    r := !r + by)
 
 let counter_value t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  Mutex.protect t.lock (fun () ->
+    match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
 let set_gauge t name v =
-  let r = cell t.gauges ~make:(fun () -> ref 0.0) name in
-  r := v
+  Mutex.protect t.lock (fun () ->
+    let r = cell t.gauges ~make:(fun () -> ref 0.0) name in
+    r := v)
 
 let observe t name v =
-  match Hashtbl.find_opt t.histograms name with
-  | Some r ->
-      let h = !r in
-      r := { count = h.count + 1; sum = h.sum +. v; min = Float.min h.min v;
-             max = Float.max h.max v }
-  | None -> Hashtbl.add t.histograms name (ref { count = 1; sum = v; min = v; max = v })
+  Mutex.protect t.lock (fun () ->
+    match Hashtbl.find_opt t.histograms name with
+    | Some r ->
+        let h = !r in
+        r := { count = h.count + 1; sum = h.sum +. v; min = Float.min h.min v;
+               max = Float.max h.max v }
+    | None -> Hashtbl.add t.histograms name (ref { count = 1; sum = v; min = v; max = v }))
 
 let clear t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.histograms
+  Mutex.protect t.lock (fun () ->
+    Hashtbl.reset t.counters;
+    Hashtbl.reset t.gauges;
+    Hashtbl.reset t.histograms)
 
 let sorted_bindings deref tbl =
   Hashtbl.fold (fun k r acc -> (k, deref r) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot t : snapshot =
-  {
-    counters = sorted_bindings ( ! ) t.counters;
-    gauges = sorted_bindings ( ! ) t.gauges;
-    histograms = sorted_bindings ( ! ) t.histograms;
-  }
+  Mutex.protect t.lock (fun () ->
+    {
+      counters = sorted_bindings ( ! ) t.counters;
+      gauges = sorted_bindings ( ! ) t.gauges;
+      histograms = sorted_bindings ( ! ) t.histograms;
+    })
 
 let empty : snapshot = { counters = []; gauges = []; histograms = [] }
 

@@ -15,7 +15,10 @@ type snapshot = {
 }
 
 type t
-(** A mutable registry. Names are created on first use. *)
+(** A mutable registry. Names are created on first use. Every operation is
+    guarded by an internal mutex, so a registry may be read — or, when a
+    workload shares one deliberately, written — from several domains; a
+    {!snapshot} is always internally consistent. *)
 
 val create : unit -> t
 

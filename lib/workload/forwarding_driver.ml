@@ -1,5 +1,6 @@
 type t = {
-  sim : Dpc_net.Sim.t;
+  sim : Dpc_net.Sim.t option;
+  transport : Dpc_net.Transport.t;
   runtime : Dpc_engine.Runtime.t;
   backend : Dpc_core.Backend.t;
   routing : Dpc_net.Routing.t;
@@ -7,14 +8,31 @@ type t = {
   fault_stats : Dpc_net.Transport.fault_stats option;
 }
 
-let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outputs = true)
-    ?faults ?(fault_seed = 0) ?reliable () =
-  let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
+let sim_exn t =
+  match t.sim with
+  | Some sim -> sim
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Forwarding_driver.sim_exn: driver runs on %s, not the simulator"
+           (Dpc_net.Transport.name t.transport))
+
+let build ~sim ~transport ~scheme ~routing ~pairs ~record_outputs ~fault_stats ?reliable () =
   let delp = Dpc_apps.Forwarding.delp () in
   let backend =
     Dpc_core.Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env
-      ~nodes:(Dpc_net.Topology.size topology)
+      ~nodes:(Dpc_net.Transport.nodes transport)
   in
+  let runtime =
+    Dpc_engine.Runtime.create ~transport ?reliable ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
+      ~record_outputs ~nodes:(Dpc_core.Backend.nodes backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
+  { sim; transport; runtime; backend; routing; pairs; fault_stats }
+
+let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outputs = true)
+    ?faults ?(fault_seed = 0) ?reliable () =
+  let sim = Dpc_net.Sim.create ~bucket_width ~topology ~routing () in
   let transport = Dpc_net.Transport.of_sim sim in
   let transport, fault_stats =
     match faults with
@@ -24,13 +42,12 @@ let setup ~scheme ~topology ~routing ~pairs ?(bucket_width = 1.0) ?(record_outpu
         let faulty, stats = Dpc_net.Transport.faulty ~config ~rng transport in
         (faulty, Some stats)
   in
-  let runtime =
-    Dpc_engine.Runtime.create ~transport ?reliable ~delp
-      ~env:Dpc_apps.Forwarding.env ~hook:(Dpc_core.Backend.hook backend)
-      ~record_outputs ~nodes:(Dpc_core.Backend.nodes backend) ()
-  in
-  Dpc_engine.Runtime.load_slow runtime (Dpc_apps.Forwarding.routes_for_pairs routing pairs);
-  { sim; runtime; backend; routing; pairs; fault_stats }
+  build ~sim:(Some sim) ~transport ~scheme ~routing ~pairs ~record_outputs ~fault_stats
+    ?reliable ()
+
+let setup_on ~transport ~scheme ~routing ~pairs ?(record_outputs = true) ?reliable () =
+  build ~sim:None ~transport ~scheme ~routing ~pairs ~record_outputs ~fault_stats:None
+    ?reliable ()
 
 (* Unique payload of exactly [size] bytes: a sequence tag padded with 'x'. *)
 let payload ~pair_index ~seq ~size =

@@ -3,7 +3,12 @@
     routes for the communicating pairs; and injects packet streams. *)
 
 type t = {
-  sim : Dpc_net.Sim.t;
+  sim : Dpc_net.Sim.t option;
+      (** the simulator, when built with {!setup}; [None] under
+          {!setup_on} (e.g. a {!Dpc_net.Shard_sim} backend) *)
+  transport : Dpc_net.Transport.t;
+      (** the transport the runtime sends through (fault wrapper
+          included, when [faults] was given) *)
   runtime : Dpc_engine.Runtime.t;
   backend : Dpc_core.Backend.t;
   routing : Dpc_net.Routing.t;
@@ -11,6 +16,11 @@ type t = {
   fault_stats : Dpc_net.Transport.fault_stats option;
       (** live counters of the fault injector, when [faults] was given *)
 }
+
+val sim_exn : t -> Dpc_net.Sim.t
+(** The simulator behind a {!setup}-built driver, for bucket-based
+    bandwidth measurements. @raise Invalid_argument on a driver built
+    with {!setup_on}. *)
 
 val setup :
   scheme:Dpc_core.Backend.scheme ->
@@ -34,6 +44,22 @@ val setup :
     delivers everything; the retransmit/ack overhead is then readable
     from [Dpc_engine.Runtime.reliability runtime]. Injecting faults
     without [reliable] will lose messages. *)
+
+val setup_on :
+  transport:Dpc_net.Transport.t ->
+  scheme:Dpc_core.Backend.scheme ->
+  routing:Dpc_net.Routing.t ->
+  pairs:(int * int) list ->
+  ?record_outputs:bool ->
+  ?reliable:Dpc_net.Reliable.config ->
+  unit ->
+  t
+(** The same world over an arbitrary transport — the domain-scaling
+    bench runs the forwarding workload over {!Dpc_net.Shard_sim} this
+    way. [routing] still provides the pair routes (and query-time
+    costs); wire latency is whatever the transport models. Drivers built
+    here have no simulator: {!sim_exn} raises, bucketed bandwidth series
+    are unavailable. *)
 
 val inject_stream :
   t -> rate_per_pair:float -> duration:float -> payload_size:int -> int

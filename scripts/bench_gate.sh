@@ -1,0 +1,69 @@
+#!/bin/sh
+# Bench regression gate: run the fig8/fig9 forwarding benchmarks at the
+# same scale and seed as the checked-in baseline (BENCH_PR5.json) and fail
+# if events/s regressed by more than the tolerance on either figure.
+#
+# Wall-clock throughput is noisy, so the tolerance is deliberately wide
+# (15%); the gate catches algorithmic regressions (an accidental O(n^2),
+# a lost index), not scheduler jitter. Improvements never fail the gate.
+#
+#   scripts/bench_gate.sh [baseline.json]
+#
+# Environment:
+#   DPC_BENCH_GATE_SKIP=1   skip entirely (e.g. on known-noisy builders)
+#   DPC_BENCH_GATE_TOL      regression tolerance, default 0.15
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_PR5.json}
+tol=${DPC_BENCH_GATE_TOL:-0.15}
+
+if [ "${DPC_BENCH_GATE_SKIP:-0}" = "1" ]; then
+    echo "bench gate skipped (DPC_BENCH_GATE_SKIP=1)"
+    exit 0
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench gate skipped (python3 unavailable)"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "bench gate: baseline $baseline not found" >&2
+    exit 1
+fi
+
+seed=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['seed'])" "$baseline")
+
+current=$(mktemp /tmp/dpc-bench-gate.XXXXXX.json)
+trap 'rm -f "$current"' EXIT
+
+echo "== bench gate: fig8+fig9, seed $seed, vs $baseline (tolerance ${tol}) =="
+dune exec bench/main.exe -- --fig 8 --fig 9 --seed "$seed" --json "$current" >/dev/null
+
+python3 - "$baseline" "$current" "$tol" <<'PY'
+import json, sys
+
+baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline = json.load(open(baseline_path))
+current = json.load(open(current_path))
+
+assert current["schema"] == baseline["schema"] == "dpc-bench-v1"
+if current["scale"] != baseline["scale"]:
+    sys.exit("bench gate: scale mismatch (%s vs %s)" % (current["scale"], baseline["scale"]))
+
+failed = False
+for fig in ("fig8", "fig9"):
+    base = baseline["figures"][fig]["events_per_s"]
+    cur = current["figures"][fig]["events_per_s"]
+    ratio = cur / base
+    verdict = "ok" if ratio >= 1.0 - tol else "REGRESSED"
+    print("%s: %.1f events/s vs baseline %.1f (%.2fx) %s" % (fig, cur, base, ratio, verdict))
+    if verdict != "ok":
+        failed = True
+
+if failed:
+    sys.exit("bench gate FAILED: events/s regressed more than %.0f%%" % (tol * 100))
+print("bench gate ok")
+PY

@@ -37,6 +37,19 @@ echo "== crash suites (quick) =="
 make crash >/dev/null
 echo "crash suites ok"
 
+# Multicore determinism: the sharded runtime must reproduce the
+# sequential digests at 1/2/4 domains — clean, under hashed faults, and
+# under crash schedules — plus the partition and concurrent-metrics
+# suites and the scaling figure's own digest shape check (`make scaling`).
+echo "== domain-scaling determinism sweep (1/2/4 domains) =="
+make scaling >/dev/null
+echo "scaling sweep ok"
+
+# Throughput regression gate: fig8/fig9 events/s vs the checked-in
+# baseline (BENCH_PR5.json), >15% regression fails. Wall-clock based, so
+# it can be skipped on noisy builders with DPC_BENCH_GATE_SKIP=1.
+sh scripts/bench_gate.sh
+
 # Bench smoke: the tiny fig9 run must finish quickly and produce a valid
 # machine-readable report with all three scheme series present.
 echo "== bench smoke (tiny fig9 + json report) =="

@@ -110,8 +110,8 @@ let chaos_instance seed =
         fail "provenance diverged under faults\nclean:\n%s\nchaos:\n%s" (render clean_digests)
           (render chaos_digests)
       end;
-      sweep_totals.dropped <- sweep_totals.dropped + fstats.dropped;
-      sweep_totals.duplicated <- sweep_totals.duplicated + fstats.duplicated;
+      sweep_totals.dropped <- sweep_totals.dropped + Atomic.get fstats.dropped;
+      sweep_totals.duplicated <- sweep_totals.duplicated + Atomic.get fstats.duplicated;
       sweep_totals.retransmits <- sweep_totals.retransmits + rstats.retransmits;
       sweep_totals.dup_dropped <- sweep_totals.dup_dropped + rstats.dup_dropped)
     all_schemes
@@ -222,8 +222,8 @@ let crash_instance seed =
           (render crash_digests)
       end;
       let stats = control.Dpc_net.Transport.crash_stats in
-      crash_sweep_totals.crashes <- crash_sweep_totals.crashes + stats.crashes;
-      crash_sweep_totals.suppressed <- crash_sweep_totals.suppressed + stats.suppressed;
+      crash_sweep_totals.crashes <- crash_sweep_totals.crashes + Atomic.get stats.crashes;
+      crash_sweep_totals.suppressed <- crash_sweep_totals.suppressed + Atomic.get stats.suppressed;
       Array.iteri
         (fun node _ ->
           crash_sweep_totals.recovered_entries <-
@@ -342,7 +342,7 @@ let test_sig_under_loss () =
   (* The faults fired: 2 broadcasts x 3 destinations, first transmission
      of each dropped. *)
   let fstats = Option.get fstats in
-  check Alcotest.bool "first sig transmissions dropped" true (fstats.dropped >= 6);
+  check Alcotest.bool "first sig transmissions dropped" true (Atomic.get fstats.dropped >= 6);
   let rstats = Option.get (Dpc_engine.Runtime.reliability rt) |> Dpc_net.Reliable.stats in
   check Alcotest.bool "sig retransmits happened" true (rstats.retransmits >= 6);
   check Alcotest.int "no message abandoned" 0 rstats.abandoned;

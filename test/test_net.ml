@@ -389,7 +389,7 @@ let test_crashable_cuts_deliveries () =
   Transport.send tr ~src:0 ~dst:2 ~bytes:10 (fun () -> incr delivered);
   Transport.run tr;
   check Alcotest.int "only the up node heard" 1 !delivered;
-  check Alcotest.int "suppression counted" 1 control.Transport.crash_stats.suppressed;
+  check Alcotest.int "suppression counted" 1 (Atomic.get control.Transport.crash_stats.suppressed);
   (* Bytes are still charged: the failure is at the receiver, not the wire. *)
   check Alcotest.int "bytes charged for both" 20 (Transport.total_bytes tr);
   control.Transport.restart 1;
@@ -409,13 +409,13 @@ let test_crashable_up_check_at_arrival () =
   Transport.schedule tr ~delay:0.001 (fun () -> control.Transport.crash 1);
   Transport.run tr;
   check Alcotest.bool "in-flight message lost" false !delivered;
-  check Alcotest.int "counted" 1 control.Transport.crash_stats.suppressed
+  check Alcotest.int "counted" 1 (Atomic.get control.Transport.crash_stats.suppressed)
 
 let test_crashable_idempotent_and_ranged () =
   let _, control = Transport.crashable (Transport.direct ~nodes:2 ()) in
   control.Transport.crash 0;
   control.Transport.crash 0;
-  check Alcotest.int "double crash counts once" 1 control.Transport.crash_stats.crashes;
+  check Alcotest.int "double crash counts once" 1 (Atomic.get control.Transport.crash_stats.crashes);
   control.Transport.restart 0;
   control.Transport.restart 0;
   check Alcotest.bool "up again" true (control.Transport.is_up 0);

@@ -177,7 +177,7 @@ let test_measure_snapshots () =
       ~pairs ()
   in
   let series =
-    Measure.storage_snapshots ~sim:d.sim ~every:1.0 ~until:4.0 (fun () ->
+    Measure.storage_snapshots ~sim:(Forwarding_driver.sim_exn d) ~every:1.0 ~until:4.0 (fun () ->
       Measure.total_provenance_bytes d.backend)
   in
   ignore (Forwarding_driver.inject_stream d ~rate_per_pair:10.0 ~duration:4.0 ~payload_size:64);
@@ -211,7 +211,7 @@ let test_measure_bandwidth_series () =
   in
   ignore (Forwarding_driver.inject_stream d ~rate_per_pair:10.0 ~duration:3.0 ~payload_size:64);
   Forwarding_driver.run d;
-  let series = Measure.bandwidth_series d.sim in
+  let series = Measure.bandwidth_series (Forwarding_driver.sim_exn d) in
   check Alcotest.bool "non-empty" true (series <> []);
   List.iter (fun (_, bps) -> if bps <= 0.0 then Alcotest.fail "empty bucket reported") series
 

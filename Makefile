@@ -16,10 +16,13 @@ chaos:
 
 # Crash/recovery suites only: the crash oracle sweep (quick by default,
 # full width with DPC_CHAOS_FULL=1 in the environment) plus the
-# durable-recovery and degraded-query groups.
+# durable-recovery, delta-checkpoint drift, crash-schedule hygiene, and
+# degraded-query groups.
 crash:
 	dune exec test/test_chaos.exe -- test 'crash oracle'
 	dune exec test/test_persistence.exe -- test 'mid-run checkpoint'
+	dune exec test/test_persistence.exe -- test 'delta checkpoints'
+	dune exec test/test_persistence.exe -- test 'crash schedule'
 	dune exec test/test_robustness.exe -- test 'degraded queries'
 
 # Multicore determinism sweep: parallel-vs-sequential digest equality at
@@ -31,7 +34,7 @@ scaling:
 	dune exec bench/main.exe -- --fig scaling --tiny
 
 # Throughput regression gate against the checked-in baseline
-# (BENCH_PR5.json): fig8/fig9 events/s may not drop more than 15%.
+# (BENCH_PR7.json): fig8/fig9 events/s may not drop more than 15%.
 bench-gate:
 	sh scripts/bench_gate.sh
 

@@ -739,9 +739,9 @@ let ablation_overhead cfg =
       Dpc_engine.Runtime.inject rt
         (Dpc_apps.Forwarding.packet ~src ~dst ~payload:(Printf.sprintf "p%d" seq))
     done;
-    let t0 = Sys.time () in
+    let t0 = Dpc_util.Clock.now () in
     Dpc_engine.Runtime.run rt;
-    Sys.time () -. t0
+    Dpc_util.Clock.now () -. t0
   in
   let baseline = run Dpc_engine.Prov_hook.null in
   let rows =
@@ -753,7 +753,7 @@ let ablation_overhead cfg =
          (schemes @ [ Backend.S_advanced_interclass ])
   in
   Table_fmt.print
-    ~header:[ "scheme"; "cpu time"; "events/s"; "overhead vs baseline" ]
+    ~header:[ "scheme"; "wall time"; "events/s"; "overhead vs baseline" ]
     ~rows:
       (List.map
          (fun (name, secs) ->
@@ -769,6 +769,101 @@ let ablation_overhead cfg =
     (Printf.sprintf "Advanced's runtime cost (%.0f%% over baseline) below ExSPAN's (%.0f%%)"
        (100.0 *. (advanced /. baseline -. 1.0))
        (100.0 *. (exspan /. baseline -. 1.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: delta checkpoints vs full-state cuts on the Fig 8
+   forwarding workload. Same world, same compaction cadence; the only
+   knob is [rebase_every] (1 = serialize full node state at every cut, 8
+   = ship dirty rows and rebase every 8th cut). The claim: once tables
+   are large, serialized bytes per cut shrink by well over 5x. *)
+
+let ablation_checkpoint cfg =
+  header "A5 (ablation)" "Delta checkpoints vs full cuts (Fig 8 forwarding workload)";
+  let pairs = if cfg.tiny then 5 else 30 in
+  let rate = if cfg.tiny then 5.0 else 20.0 in
+  (* Twice the Fig 8 window: full cuts grow with accumulated state while
+     deltas stay O(changes), so the gap needs room to open. *)
+  let duration = if cfg.tiny then 2.0 else 10.0 in
+  let ts, routing, rng = transit_stub cfg in
+  let pair_list = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:pairs in
+  let run scheme rebase_every =
+    let sim = Dpc_net.Sim.create ~topology:ts.topology ~routing () in
+    let crashable, control =
+      Dpc_net.Transport.crashable (Dpc_net.Transport.of_sim sim)
+    in
+    let d =
+      Forwarding_driver.setup_on ~transport:crashable ~scheme ~routing ~pairs:pair_list
+        ~record_outputs:false ()
+    in
+    let durable =
+      Durable.attach ~backend:d.backend ~runtime:d.runtime ~control
+        ~config:{ Durable.checkpoint_every = (if cfg.tiny then 8 else 32); rebase_every } ()
+    in
+    let injected =
+      Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:500
+    in
+    Forwarding_driver.run d;
+    (* Count only nodes that compacted beyond the attach-time checkpoint
+       0 — idle transit nodes would otherwise swamp the average with
+       empty full cuts (identical under both configs). *)
+    let cuts = ref 0 and bytes = ref 0 and dcuts = ref 0 and dbytes = ref 0 in
+    for n = 0 to Array.length (Backend.nodes d.backend) - 1 do
+      let s = Durable.node_stats durable n in
+      if s.checkpoints >= 2 then begin
+        cuts := !cuts + s.checkpoints;
+        bytes := !bytes + s.checkpoint_bytes;
+        dcuts := !dcuts + s.delta_cuts;
+        dbytes := !dbytes + s.delta_bytes
+      end
+    done;
+    (injected, !cuts, !bytes, !dcuts, !dbytes)
+  in
+  let measurements =
+    List.map
+      (fun scheme ->
+        let injected, fo_cuts, fo_bytes, _, _ = run scheme 1 in
+        let _, cuts, bytes, dcuts, dbytes = run scheme 8 in
+        Report.add_events "ablation_checkpoint" injected;
+        (* Within the delta run: average full rebase vs average delta. *)
+        let full_avg = float_of_int (bytes - dbytes) /. float_of_int (max 1 (cuts - dcuts)) in
+        let delta_avg = float_of_int dbytes /. float_of_int (max 1 dcuts) in
+        let blended_full = float_of_int fo_bytes /. float_of_int (max 1 fo_cuts) in
+        let blended_delta = float_of_int bytes /. float_of_int (max 1 cuts) in
+        (scheme, dcuts, full_avg, delta_avg, blended_full /. blended_delta))
+      schemes
+  in
+  Table_fmt.print
+    ~header:
+      [ "scheme"; "delta cuts"; "full bytes/cut"; "delta bytes/cut"; "shrink";
+        "total vs full-only" ]
+    ~rows:
+      (List.map
+         (fun (scheme, dcuts, full_avg, delta_avg, blended) ->
+           [
+             scheme_label scheme;
+             string_of_int dcuts;
+             Table_fmt.human_bytes (int_of_float full_avg);
+             Table_fmt.human_bytes (int_of_float delta_avg);
+             Printf.sprintf "%.1fx" (full_avg /. delta_avg);
+             Printf.sprintf "%.1fx" blended;
+           ])
+         measurements);
+  List.iteri
+    (fun i (scheme, _, full_avg, delta_avg, _) ->
+      Report.add_series "ablation_checkpoint"
+        (scheme_label scheme ^ " bytes per cut")
+        [ (float_of_int i, int_of_float full_avg);
+          (float_of_int i +. 0.5, int_of_float delta_avg) ])
+    measurements;
+  let ratios =
+    List.map (fun (_, _, full_avg, delta_avg, _) -> full_avg /. delta_avg) measurements
+  in
+  let worst = List.fold_left Float.min infinity ratios in
+  shape_check "ablation-checkpoint"
+    (worst >= 5.0)
+    (Printf.sprintf "bytes per cut shrink %.1fx-%.1fx (full -> delta), every scheme >= 5x"
+       worst
+       (List.fold_left Float.max 0.0 ratios))
 
 (* ------------------------------------------------------------------ *)
 
@@ -866,9 +961,9 @@ let fig_crash cfg =
     done
   in
   let timed_run runtime =
-    let t0 = Sys.time () in
+    let t0 = Dpc_util.Clock.now () in
     Dpc_engine.Runtime.run runtime;
-    Sys.time () -. t0
+    Dpc_util.Clock.now () -. t0
   in
   (* Baseline: same transport stack, durability off, no crashes. *)
   let _, bare_runtime, _ = build () in
@@ -880,7 +975,7 @@ let fig_crash cfg =
   let backend, runtime, control = build () in
   let durable =
     Durable.attach ~backend ~runtime ~control
-      ~config:{ Durable.checkpoint_every = 32 } ()
+      ~config:{ Durable.checkpoint_every = 32; rebase_every = 8 } ()
   in
   inject runtime;
   let schedule =
@@ -922,8 +1017,8 @@ let fig_crash cfg =
   in
   Table_fmt.print
     ~header:
-      [ "node"; "crashes"; "checkpoints"; "wal entries"; "wal bytes"; "recovery ms";
-        "queries degraded" ]
+      [ "node"; "crashes"; "checkpoints"; "ckpt bytes"; "wal entries"; "wal bytes";
+        "recovery ms"; "queries degraded" ]
     ~rows:
       (List.map
          (fun (n, (s : Durable.node_stats)) ->
@@ -931,6 +1026,7 @@ let fig_crash cfg =
              string_of_int n;
              string_of_int s.crashes;
              string_of_int s.checkpoints;
+             Table_fmt.human_bytes s.checkpoint_bytes;
              string_of_int s.wal_entries;
              Table_fmt.human_bytes s.wal_bytes;
              string_of_int s.recovery_ms;
@@ -971,6 +1067,8 @@ let fig_crash cfg =
   Report.add_series "crash" "checkpoints"
     (per_node (fun (s : Durable.node_stats) -> s.checkpoints));
   Report.add_series "crash" "wal bytes" (per_node (fun (s : Durable.node_stats) -> s.wal_bytes));
+  Report.add_series "crash" "checkpoint bytes"
+    (per_node (fun (s : Durable.node_stats) -> s.checkpoint_bytes));
   Report.add_series "crash" "queries degraded"
     (List.map (fun (n, _) -> (float_of_int n, degraded n)) stats);
   Report.add_series "crash" "suppressed deliveries"
@@ -1076,6 +1174,7 @@ let all =
     ("ablation_cross_program", ablation_cross_program);
     ("ablation_replay", ablation_replay);
     ("ablation_overhead", ablation_overhead);
+    ("ablation_checkpoint", ablation_checkpoint);
     ("crash", fig_crash);
     ("scaling", fig_scaling);
     ("metrics", metrics_report);

@@ -89,6 +89,24 @@ let restore_node t node blob =
   | Basic s -> Store_basic.restore_node s node blob
   | Advanced s -> Store_advanced.restore_node s node blob
 
+let set_dirty_tracking t on =
+  match t with
+  | Exspan s -> Store_exspan.set_track_dirty s on
+  | Basic s -> Store_basic.set_track_dirty s on
+  | Advanced s -> Store_advanced.set_track_dirty s on
+
+let checkpoint_delta t node =
+  match t with
+  | Exspan s -> Store_exspan.checkpoint_delta s node
+  | Basic s -> Store_basic.checkpoint_delta s node
+  | Advanced s -> Store_advanced.checkpoint_delta s node
+
+let apply_delta t node blob =
+  match t with
+  | Exspan s -> Store_exspan.apply_delta s node blob
+  | Basic s -> Store_basic.apply_delta s node blob
+  | Advanced s -> Store_advanced.apply_delta s node blob
+
 let restore scheme ~delp ~env blob =
   match scheme with
   | S_exspan -> Exspan (Store_exspan.restore ~delp ~env blob)

@@ -73,3 +73,21 @@ val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}, from
     {!checkpoint_node} output taken on the same scheme.
     @raise Dpc_util.Serialize.Corrupt on malformed or mismatched input. *)
+
+val set_dirty_tracking : t -> bool -> unit
+(** Enable per-node dirty-set tracking so {!checkpoint_delta} captures
+    everything written after this call. {!Durable.attach} turns it on
+    when delta checkpoints are configured; it is off by default because
+    tracking costs a list cons per insert. *)
+
+val checkpoint_delta : t -> int -> string
+(** Serialize one node's changes since its last cut
+    ({!checkpoint_node}, {!checkpoint_delta}, or {!restore_node} /
+    {!apply_delta}) — O(changes), not O(state) — and clear its dirty
+    set. Meaningful only with {!set_dirty_tracking} on. *)
+
+val apply_delta : t -> int -> string -> unit
+(** Replay one {!checkpoint_delta} blob on top of the node's current
+    state; apply a base {!restore_node} first, then each delta oldest
+    to newest. @raise Dpc_util.Serialize.Corrupt on malformed or
+    mismatched input. *)

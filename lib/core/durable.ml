@@ -1,6 +1,7 @@
 module S = Dpc_util.Serialize
 module Metrics = Dpc_util.Metrics
 module Rng = Dpc_util.Rng
+module Clock = Dpc_util.Clock
 module Node = Dpc_engine.Node
 module Db = Dpc_engine.Db
 module Runtime = Dpc_engine.Runtime
@@ -8,27 +9,46 @@ module Journal = Dpc_engine.Journal
 module Transport = Dpc_net.Transport
 module Reliable = Dpc_net.Reliable
 
-type config = { checkpoint_every : int }
+type config = { checkpoint_every : int; rebase_every : int }
 
-let default_config = { checkpoint_every = 64 }
+let default_config = { checkpoint_every = 64; rebase_every = 8 }
 
 (* What a node needs to come back: the store tables, the slow-table
    database, and its reliable-channel sequence state, all as of the same
-   boundary. *)
+   boundary. A delta cut carries the store and db CHANGES since the
+   previous cut; only the channel snapshot (O(channels) sequence
+   numbers, not O(state)) is always full. *)
 type checkpoint = { store : string; db : string; channels : string option }
 
 type node_log = {
-  mutable checkpoint : checkpoint option;
-  mutable wal : string list;  (* serialized entries, newest first *)
+  mutable checkpoint : checkpoint option;  (* last full (base) cut *)
+  mutable deltas : checkpoint list;  (* delta cuts since the base, newest first *)
+  mutable wal : string list;  (* serialized entry groups, newest first *)
   mutable wal_entries : int;
   mutable boundaries : int;  (* boundary entries currently in the wal *)
+  (* Group commit: entries of the current top-level operation accumulate
+     here and land in [wal] as ONE blob when the next boundary (or a
+     crash/checkpoint) closes the group — one buffered append and one
+     metrics tick per operation instead of per entry. *)
+  pending : S.writer;
+  mutable pending_entries : int;
+  mutable pending_bytes : int;
   (* Durable counters: they live here, not in the node registry, so a
      crash cannot erase them; [rematerialize] copies them back into the
      wiped registry so metric snapshots stay complete. *)
   mutable crashes : int;
-  mutable wal_bytes : int;  (* cumulative bytes ever appended *)
+  mutable wal_bytes : int;  (* cumulative bytes ever appended (incl. pending) *)
   mutable checkpoints : int;
-  mutable recovery_ms : int;
+  mutable checkpoint_bytes : int;  (* cumulative serialized cut bytes *)
+  mutable delta_cuts : int;  (* how many of [checkpoints] were deltas *)
+  mutable delta_bytes : int;  (* their share of [checkpoint_bytes] *)
+  (* Recovery time accumulates as a float and is rounded ONCE at each
+     read: summing per-recovery ceilings would overstate a node that
+     recovers many times by up to a millisecond each. [recovery_ms_ticked]
+     is what the metrics registry has already been told, so ticks carry
+     only the rounded delta. *)
+  mutable recovery_s : float;
+  mutable recovery_ms_ticked : int;
   mutable queries_degraded : int;
 }
 
@@ -37,6 +57,9 @@ type node_stats = {
   wal_bytes : int;
   wal_entries : int;
   checkpoints : int;
+  checkpoint_bytes : int;
+  delta_cuts : int;
+  delta_bytes : int;
   recovery_ms : int;
   queries_degraded : int;
 }
@@ -58,60 +81,112 @@ type t = {
 let fresh_log () =
   {
     checkpoint = None;
+    deltas = [];
     wal = [];
     wal_entries = 0;
     boundaries = 0;
+    pending = S.writer ();
+    pending_entries = 0;
+    pending_bytes = 0;
     crashes = 0;
     wal_bytes = 0;
     checkpoints = 0;
-    recovery_ms = 0;
+    checkpoint_bytes = 0;
+    delta_cuts = 0;
+    delta_bytes = 0;
+    recovery_s = 0.0;
+    recovery_ms_ticked = 0;
     queries_degraded = 0;
   }
 
 let metrics t node = Node.metrics (Runtime.node t.runtime node)
 
+let recovery_ms_of log = int_of_float (ceil (log.recovery_s *. 1000.))
+
+(* Close the open entry group: one wal append, one metrics tick. *)
+let flush_group t node =
+  let log = t.logs.(node) in
+  if log.pending_entries > 0 then begin
+    log.wal <- S.contents log.pending :: log.wal;
+    S.reset log.pending;
+    log.pending_entries <- 0;
+    Metrics.incr (metrics t node) ~by:log.pending_bytes "crash.wal_bytes";
+    log.pending_bytes <- 0
+  end
+
+let cut_bytes c =
+  String.length c.store + String.length c.db
+  + match c.channels with Some s -> String.length s | None -> 0
+
+(* A cut is a DELTA while a base exists and fewer than [rebase_every - 1]
+   deltas follow it; the next cut after that rebases to a fresh full
+   checkpoint, bounding recovery to one base + (rebase_every - 1) deltas
+   + the wal. [rebase_every <= 1] means every cut is full. *)
 let take_checkpoint t node =
+  flush_group t node;
   let log = t.logs.(node) in
   let channels =
     match Runtime.reliability t.runtime with
     | None -> None
     | Some r -> Some (Reliable.snapshot r ~node)
   in
-  log.checkpoint <-
-    Some
-      {
-        store = Backend.checkpoint_node t.backend node;
-        db = Db.snapshot (Runtime.db t.runtime node);
-        channels;
-      };
+  let as_delta =
+    log.checkpoint <> None
+    && t.config.rebase_every > 1
+    && List.length log.deltas < t.config.rebase_every - 1
+  in
+  let db =
+    let d = Runtime.db t.runtime node in
+    if as_delta then Db.snapshot_delta d else Db.snapshot d
+  in
+  let cut =
+    if as_delta then begin
+      let c = { store = Backend.checkpoint_delta t.backend node; db; channels } in
+      log.deltas <- c :: log.deltas;
+      c
+    end
+    else begin
+      let c = { store = Backend.checkpoint_node t.backend node; db; channels } in
+      log.checkpoint <- Some c;
+      log.deltas <- [];
+      c
+    end
+  in
   log.wal <- [];
   log.wal_entries <- 0;
   log.boundaries <- 0;
   log.checkpoints <- log.checkpoints + 1;
-  Metrics.incr (metrics t node) "crash.checkpoints"
-
-let serialize_entry entry =
-  let w = S.writer () in
-  Journal.write w entry;
-  S.contents w
+  let bytes = cut_bytes cut in
+  log.checkpoint_bytes <- log.checkpoint_bytes + bytes;
+  if as_delta then begin
+    log.delta_cuts <- log.delta_cuts + 1;
+    log.delta_bytes <- log.delta_bytes + bytes
+  end;
+  let m = metrics t node in
+  Metrics.incr m "crash.checkpoints";
+  Metrics.incr m ~by:bytes "crash.checkpoint_bytes"
 
 (* WAL-then-apply: called before the entry's effects. A boundary entry
    marks the start of a fresh top-level operation — everything before it
-   has fully applied — so compaction cuts the checkpoint just BEFORE
-   appending it: the checkpoint covers the old wal, the new wal starts
-   with this entry. *)
+   has fully applied — so the open group is flushed and compaction cuts
+   the checkpoint just BEFORE buffering it: the checkpoint covers the old
+   wal, the new wal starts with this entry's group. *)
 let append t node entry =
   if not t.recovering.(node) then begin
     let log = t.logs.(node) in
-    let bytes = serialize_entry entry in
-    let boundary = Journal.is_boundary entry in
-    if boundary && t.config.checkpoint_every > 0 && log.boundaries >= t.config.checkpoint_every
-    then take_checkpoint t node;
-    log.wal <- bytes :: log.wal;
+    if Journal.is_boundary entry then begin
+      flush_group t node;
+      if t.config.checkpoint_every > 0 && log.boundaries >= t.config.checkpoint_every
+      then take_checkpoint t node;
+      log.boundaries <- log.boundaries + 1
+    end;
+    let before = S.size log.pending in
+    Journal.write log.pending entry;
+    let len = S.size log.pending - before in
+    log.pending_entries <- log.pending_entries + 1;
+    log.pending_bytes <- log.pending_bytes + len;
     log.wal_entries <- log.wal_entries + 1;
-    if boundary then log.boundaries <- log.boundaries + 1;
-    log.wal_bytes <- log.wal_bytes + String.length bytes;
-    Metrics.incr (metrics t node) ~by:(String.length bytes) "crash.wal_bytes"
+    log.wal_bytes <- log.wal_bytes + len
   end
 
 let on_channel_event t (ev : Reliable.channel_event) =
@@ -122,6 +197,8 @@ let on_channel_event t (ev : Reliable.channel_event) =
 let attach ~backend ~runtime ~control ?(config = default_config) () =
   if config.checkpoint_every < 0 then
     invalid_arg "Durable.attach: checkpoint_every must be non-negative";
+  if config.rebase_every < 0 then
+    invalid_arg "Durable.attach: rebase_every must be non-negative";
   let n = Array.length (Runtime.nodes runtime) in
   let t =
     {
@@ -145,6 +222,15 @@ let attach ~backend ~runtime ~control ?(config = default_config) () =
   | None -> ()
   | Some r -> Reliable.set_persist r (fun ev -> on_channel_event t ev));
   Runtime.set_availability runtime control.Transport.is_up;
+  (* Dirty tracking must be live BEFORE the first cut so every write
+     after checkpoint 0 lands in some delta — both the provenance stores
+     and each node's relational db. *)
+  if config.rebase_every > 1 then begin
+    Backend.set_dirty_tracking backend true;
+    Array.iteri
+      (fun node _ -> Db.set_dirty_tracking (Runtime.db runtime node) true)
+      (Runtime.nodes runtime)
+  end;
   (* Seal the pre-attach state (slow tables loaded at build time, empty
      stores) into checkpoint 0, so recovery never depends on journal
      entries from before the journal existed. *)
@@ -157,14 +243,21 @@ let rematerialize t node =
   let m = metrics t node in
   let log = t.logs.(node) in
   if log.crashes > 0 then Metrics.incr m ~by:log.crashes "crash.crashes";
-  if log.wal_bytes > 0 then Metrics.incr m ~by:log.wal_bytes "crash.wal_bytes";
+  (* Bytes still sitting in the open group have not been ticked yet; the
+     registry stays behind by exactly that much until the next flush. *)
+  let ticked_wal = log.wal_bytes - log.pending_bytes in
+  if ticked_wal > 0 then Metrics.incr m ~by:ticked_wal "crash.wal_bytes";
   if log.checkpoints > 0 then Metrics.incr m ~by:log.checkpoints "crash.checkpoints";
-  if log.recovery_ms > 0 then Metrics.incr m ~by:log.recovery_ms "crash.recovery_ms";
+  if log.checkpoint_bytes > 0 then Metrics.incr m ~by:log.checkpoint_bytes "crash.checkpoint_bytes";
+  if log.recovery_ms_ticked > 0 then Metrics.incr m ~by:log.recovery_ms_ticked "crash.recovery_ms";
   if log.queries_degraded > 0 then
     Metrics.incr m ~by:log.queries_degraded "crash.queries_degraded"
 
 let crash t node =
   if is_up t node then begin
+    (* The open group reaches the wal before the node state dies — the
+       simulated WAL is durable, the group buffer is just batching. *)
+    flush_group t node;
     t.control.Transport.crash node;
     Node.reset (Runtime.node t.runtime node);
     (match Runtime.reliability t.runtime with
@@ -177,7 +270,10 @@ let crash t node =
 
 let restart t node =
   if not (is_up t node) then begin
-    let t0 = Sys.time () in
+    (* Wall clock, NOT [Sys.time]: recovery replays on whatever domain
+       runs the shard, and CPU time summed across domains both inflates
+       multi-domain recoveries and misses time spent blocked. *)
+    let t0 = Clock.now () in
     let log = t.logs.(node) in
     t.recovering.(node) <- true;
     Fun.protect
@@ -185,20 +281,44 @@ let restart t node =
       (fun () ->
         (match log.checkpoint with
         | None -> ()
-        | Some c ->
-            Backend.restore_node t.backend node c.store;
-            Db.load (Runtime.db t.runtime node) c.db;
-            (match (c.channels, Runtime.reliability t.runtime) with
+        | Some base ->
+            Backend.restore_node t.backend node base.store;
+            (* Store and db: base plus deltas, oldest first. Channels:
+               every cut carries a full snapshot, so only the newest
+               matters. *)
+            let db = Runtime.db t.runtime node in
+            Db.load db base.db;
+            List.iter
+              (fun (d : checkpoint) ->
+                Backend.apply_delta t.backend node d.store;
+                Db.apply_delta db d.db)
+              (List.rev log.deltas);
+            let newest = match log.deltas with d :: _ -> d | [] -> base in
+            (match (newest.channels, Runtime.reliability t.runtime) with
             | Some blob, Some r -> Reliable.restore r ~node blob
             | _ -> ()));
         (* The wal is NOT truncated: a second crash before the next
            compaction replays the same checkpoint plus the same entries
-           (and whatever lands after this recovery). *)
-        let entries = List.rev_map (fun bytes -> Journal.read (S.reader bytes)) log.wal in
+           (and whatever lands after this recovery). Each wal blob is one
+           flushed group; decode entries until the group is exhausted. *)
+        let entries =
+          List.concat_map
+            (fun blob ->
+              let r = S.reader blob in
+              let acc = ref [] in
+              while not (S.at_end r) do
+                acc := Journal.read r :: !acc
+              done;
+              List.rev !acc)
+            (List.rev log.wal)
+        in
         Runtime.replay t.runtime ~node entries);
-    let ms = int_of_float (ceil ((Sys.time () -. t0) *. 1000.)) in
-    log.recovery_ms <- log.recovery_ms + ms;
-    Metrics.incr (metrics t node) ~by:ms "crash.recovery_ms";
+    log.recovery_s <- log.recovery_s +. (Clock.now () -. t0);
+    let total = recovery_ms_of log in
+    if total > log.recovery_ms_ticked then begin
+      Metrics.incr (metrics t node) ~by:(total - log.recovery_ms_ticked) "crash.recovery_ms";
+      log.recovery_ms_ticked <- total
+    end;
     (* Reconnect the wire last: no delivery can race the rebuild. *)
     t.control.Transport.restart node
   end
@@ -214,7 +334,10 @@ let node_stats t node =
     wal_bytes = log.wal_bytes;
     wal_entries = log.wal_entries;
     checkpoints = log.checkpoints;
-    recovery_ms = log.recovery_ms;
+    checkpoint_bytes = log.checkpoint_bytes;
+    delta_cuts = log.delta_cuts;
+    delta_bytes = log.delta_bytes;
+    recovery_ms = recovery_ms_of log;
     queries_degraded = log.queries_degraded;
   }
 
@@ -227,10 +350,29 @@ let schedule_crash t ~node ~at ~downtime =
   Transport.schedule_on tr ~node ~delay:(delay_to at) (fun () -> crash t node);
   Transport.schedule_on tr ~node ~delay:(delay_to (at +. downtime)) (fun () -> restart t node)
 
-(* Seeded crash schedules. Candidates are drawn uniformly, then filtered
-   so one node's outages never overlap (an overlapping restart would cut
-   a later outage short); the result is sorted by crash time and stable
-   for a given seed. *)
+(* Reject any candidate that overlaps a kept outage of the same node —
+   INCLUDING a crash at exactly the previous restart instant ([<=], not
+   [<]): the crash and the restart would be scheduled for the same
+   simulated time, and which fires first is an event-queue tie, not part
+   of the schedule's contract. Kept outages are sorted by crash time and
+   stable for a given input. *)
+let prune_overlaps ~nodes schedule =
+  if nodes <= 0 then invalid_arg "Durable.prune_overlaps: need at least one node";
+  let by_time = List.sort (fun (_, a, _) (_, b, _) -> compare a b) schedule in
+  let busy_until = Array.make nodes Float.neg_infinity in
+  List.filter
+    (fun (node, at, downtime) ->
+      if node < 0 || node >= nodes then
+        invalid_arg "Durable.prune_overlaps: node out of range";
+      if at <= busy_until.(node) then false
+      else begin
+        busy_until.(node) <- at +. downtime;
+        true
+      end)
+    by_time
+
+(* Seeded crash schedules: candidates drawn uniformly, then filtered so
+   one node's outages never collide. *)
 let random_schedule ~seed ~nodes ~count ~horizon ~min_down ~max_down =
   if nodes <= 0 then invalid_arg "Durable.random_schedule: need at least one node";
   if min_down <= 0.0 || max_down < min_down then
@@ -245,16 +387,7 @@ let random_schedule ~seed ~nodes ~count ~horizon ~min_down ~max_down =
         in
         (node, at, downtime))
   in
-  let by_time = List.sort (fun (_, a, _) (_, b, _) -> compare a b) candidates in
-  let busy_until = Array.make nodes 0.0 in
-  List.filter
-    (fun (node, at, downtime) ->
-      if at < busy_until.(node) then false
-      else begin
-        busy_until.(node) <- at +. downtime;
-        true
-      end)
-    by_time
+  prune_overlaps ~nodes candidates
 
 let schedule t schedule_list =
   List.iter (fun (node, at, downtime) -> schedule_crash t ~node ~at ~downtime) schedule_list

@@ -24,10 +24,17 @@ type config = {
       (** boundary journal entries between automatic compactions; [0]
           disables automatic checkpoints (the journal grows until
           {!checkpoint_now}) *)
+  rebase_every : int;
+      (** cuts per full checkpoint: after a full (base) cut, the next
+          [rebase_every - 1] cuts serialize only the changes since the
+          previous cut ({!Backend.checkpoint_delta} — O(changes), not
+          O(state)), then the cycle rebases to a fresh full checkpoint so
+          recovery never chains more than [rebase_every - 1] deltas.
+          [0] or [1] makes every cut a full checkpoint. *)
 }
 
 val default_config : config
-(** Compact every 64 boundary entries. *)
+(** Compact every 64 boundary entries; rebase every 8th cut. *)
 
 type t
 
@@ -78,8 +85,17 @@ val random_schedule :
 (** A seeded crash schedule [(node, at, downtime)]: [count] candidates
     drawn uniformly over [nodes] and [[0, horizon)] with downtimes in
     [[min_down, max_down)], minus candidates that would overlap an earlier
-    outage of the same node. Sorted by crash time; deterministic for a
-    given seed. *)
+    outage of the same node (see {!prune_overlaps}). Sorted by crash
+    time; deterministic for a given seed. *)
+
+val prune_overlaps :
+  nodes:int -> (int * float * float) list -> (int * float * float) list
+(** Sort [(node, at, downtime)] entries by crash time and drop any whose
+    crash lands during — or at the exact restart instant of — a kept
+    outage of the same node: a crash scheduled AT the restart time would
+    tie with the restart in the event queue, making the outcome an
+    ordering accident rather than part of the schedule.
+    @raise Invalid_argument on [nodes <= 0] or an out-of-range node. *)
 
 val schedule : t -> (int * float * float) list -> unit
 (** {!schedule_crash} for every entry of a {!random_schedule}-shaped
@@ -100,7 +116,16 @@ type node_stats = {
   wal_bytes : int;  (** cumulative journal bytes ever appended *)
   wal_entries : int;  (** entries currently in the tail (since last compaction) *)
   checkpoints : int;  (** compactions, including checkpoint 0 at attach *)
-  recovery_ms : int;  (** total wall-clock ms spent in {!restart} *)
+  checkpoint_bytes : int;
+      (** cumulative serialized bytes across all cuts (full and delta) —
+          the number delta checkpoints shrink *)
+  delta_cuts : int;  (** how many of [checkpoints] were delta cuts *)
+  delta_bytes : int;
+      (** the delta cuts' share of [checkpoint_bytes]; the remainder is
+          full rebases (and checkpoint 0) *)
+  recovery_ms : int;
+      (** total wall-clock time spent in {!restart}, accumulated as a
+          float and rounded up once here — never summed per-recovery *)
   queries_degraded : int;
       (** queries from this node that touched a down peer (durably
           counted here via {!Backend.set_degraded_sink}, so the tally

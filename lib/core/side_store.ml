@@ -5,12 +5,16 @@ type t = { tuples : (string, Tuple.t) Hashtbl.t; mutable bytes : int }
 
 let create () = { tuples = Hashtbl.create 32; bytes = 0 }
 
-let put t ~key tuple =
+let put_new t ~key tuple =
   let k = Dpc_util.Sha1.to_raw key in
-  if not (Hashtbl.mem t.tuples k) then begin
+  if Hashtbl.mem t.tuples k then false
+  else begin
     Hashtbl.add t.tuples k tuple;
-    t.bytes <- t.bytes + 20 + Tuple.wire_size tuple
+    t.bytes <- t.bytes + 20 + Tuple.wire_size tuple;
+    true
   end
+
+let put t ~key tuple = ignore (put_new t ~key tuple)
 
 let get t ~key = Hashtbl.find_opt t.tuples (Dpc_util.Sha1.to_raw key)
 let bytes t = t.bytes

@@ -18,6 +18,10 @@ val create : unit -> t
 val put : t -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> unit
 (** Idempotent for an existing key. *)
 
+val put_new : t -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t -> bool
+(** Like {!put}, but reports whether the entry was actually inserted —
+    the hook delta checkpointing needs to track first insertions. *)
+
 val get : t -> key:Dpc_util.Sha1.t -> Dpc_ndlog.Tuple.t option
 
 val bytes : t -> int

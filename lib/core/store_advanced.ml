@@ -2,6 +2,26 @@ open Dpc_ndlog
 open Dpc_util
 module Node = Dpc_engine.Node
 
+(* State changes since the node's last checkpoint cut, for O(changes)
+   delta checkpoints. Row tables and side stores never delete, so their
+   dirty sets are plain "newly inserted" lists. The equivalence state
+   does mutate: [htequi] can be wiped wholesale by a slow update
+   ([htequi_cleared] records that; [d_htequi] then holds only post-wipe
+   insertions), and an [hmap] entry's ref list can grow ([d_hmap] keys
+   the touched classes; the delta ships their CURRENT full ref lists,
+   which replay replace-wise like [restore_node]). *)
+type dirty = {
+  mutable d_prov : Rows.prov_row list;
+  mutable d_exec : Rows.rule_exec_row list;
+  mutable d_exec_nodes : Rows.rule_exec_row list;
+  mutable d_exec_links : Rows.link_row list;
+  mutable d_htequi : string list;
+  mutable htequi_cleared : bool;
+  d_hmap : (string, unit) Hashtbl.t;
+  mutable d_slow : (Sha1.t * Tuple.t) list;
+  mutable d_events : (Sha1.t * Tuple.t) list;
+}
+
 type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* plain layout, keyed by rid hex *)
@@ -12,6 +32,7 @@ type node_state = {
   mutable hmap_refs : int;  (* total chain roots across hmap, for O(1) equi_bytes *)
   slow_tuples : Side_store.t;
   events : Side_store.t;  (* evid -> input event at ingress *)
+  dirty : dirty;
 }
 
 type t = {
@@ -22,6 +43,7 @@ type t = {
   nodes : Node.t array;
   key : node_state Node.key;
   orphans : int Atomic.t;
+  mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
 }
 
@@ -36,6 +58,18 @@ let fresh_state () =
     hmap_refs = 0;
     slow_tuples = Side_store.create ();
     events = Side_store.create ();
+    dirty =
+      {
+        d_prov = [];
+        d_exec = [];
+        d_exec_nodes = [];
+        d_exec_links = [];
+        d_htequi = [];
+        htequi_cleared = false;
+        d_hmap = Hashtbl.create 8;
+        d_slow = [];
+        d_events = [];
+      };
   }
 
 let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
@@ -47,8 +81,11 @@ let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
     nodes = Node.cluster nodes;
     key = Node.key ~name:"store.advanced" ();
     orphans = Atomic.make 0;
+    track_dirty = false;
     degraded_sink = None;
   }
+
+let set_track_dirty t on = t.track_dirty <- on
 
 let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
@@ -66,32 +103,75 @@ let degraded_for t querier () =
   | None -> Dpc_util.Metrics.incr (Node.metrics t.nodes.(querier)) "crash.queries_degraded"
 
 let add_prov t ~node ~key row =
-  if Rows.Table.add (state t node).prov ~key row then tick t node "store.prov_rows"
+  let st = state t node in
+  if Rows.Table.add st.prov ~key row then begin
+    if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
+    tick t node "store.prov_rows"
+  end
 
 let add_rule_exec t ~node ~key row =
-  if Rows.Table.add (state t node).rule_exec ~key row then tick t node "store.rule_exec_rows"
+  let st = state t node in
+  if Rows.Table.add st.rule_exec ~key row then begin
+    if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
+    tick t node "store.rule_exec_rows"
+  end
 
 let add_exec_node t ~node ~key row =
-  if Rows.Table.add (state t node).exec_nodes ~key row then tick t node "store.rule_exec_rows"
+  let st = state t node in
+  if Rows.Table.add st.exec_nodes ~key row then begin
+    if t.track_dirty then st.dirty.d_exec_nodes <- row :: st.dirty.d_exec_nodes;
+    tick t node "store.rule_exec_rows"
+  end
 
 let add_exec_link t ~node ~key row =
-  if Rows.Table.add (state t node).exec_links ~key row then tick t node "store.rule_exec_rows"
+  let st = state t node in
+  if Rows.Table.add st.exec_links ~key row then begin
+    if t.track_dirty then st.dirty.d_exec_links <- row :: st.dirty.d_exec_links;
+    tick t node "store.rule_exec_rows"
+  end
+
+let slow_put t ~node ~key tuple =
+  let st = state t node in
+  if Side_store.put_new st.slow_tuples ~key tuple && t.track_dirty then
+    st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+
+let event_put t ~node ~key tuple =
+  let st = state t node in
+  if Side_store.put_new st.events ~key tuple && t.track_dirty then
+    st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
 
 (* Plain layout: the rid must identify the whole chain suffix, so it hashes
    the back-pointer too (Table 3's sha1(rule, vids) is ambiguous as soon as
    two classes share a final rule execution node). *)
 let chain_rid ~rule_name ~node ~slow_vids ~prev =
-  let prev_part =
+  Sha1.digest_iter (fun f ->
+    f rule_name;
+    f "+";
+    f (string_of_int node);
+    List.iter
+      (fun vid ->
+        f "+";
+        f (Sha1.to_raw vid))
+      slow_vids;
     match prev with
-    | None -> [ "leaf" ]
-    | Some (l, r) -> [ string_of_int l; Rows.hex r ]
-  in
-  Sha1.digest_concat
-    ((rule_name :: string_of_int node :: List.map Rows.hex slow_vids) @ prev_part)
+    | None -> f "+leaf"
+    | Some (l, r) ->
+        f "+";
+        f (string_of_int l);
+        f "+";
+        f (Sha1.to_raw r))
 
 (* §5.4 layout: the node rid is shared across classes. *)
 let node_rid ~rule_name ~node ~slow_vids =
-  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex slow_vids)
+  Sha1.digest_iter (fun f ->
+    f rule_name;
+    f "+";
+    f (string_of_int node);
+    List.iter
+      (fun vid ->
+        f "+";
+        f (Sha1.to_raw vid))
+      slow_vids)
 
 let on_input t ~node event =
   let meta = Dpc_engine.Prov_hook.initial_meta event in
@@ -100,8 +180,13 @@ let on_input t ~node event =
   let st = state t node in
   let exist_flag = Hashtbl.mem st.htequi k_key in
   tick t node (if exist_flag then "store.equi_hits" else "store.equi_misses");
-  if not exist_flag then Hashtbl.add st.htequi k_key ();
-  Side_store.put st.events ~key:meta.evid event;
+  if not exist_flag then begin
+    Hashtbl.add st.htequi k_key ();
+    (* No dupes possible: once present, [mem] short-circuits until the
+       next wipe, and the wipe empties this list too. *)
+    if t.track_dirty then st.dirty.d_htequi <- k_key :: st.dirty.d_htequi
+  end;
+  event_put t ~node ~key:meta.evid event;
   { meta with exist_flag; eqkey = Some k }
 
 let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
@@ -109,8 +194,7 @@ let on_fire t ~node ~(rule : Ast.rule) ~event:_ ~slow ~head:_
   if meta.exist_flag then meta
   else begin
     let slow_vids = List.map Rows.vid_of slow in
-    let st = state t node in
-    List.iter2 (fun tuple vid -> Side_store.put st.slow_tuples ~key:vid tuple) slow slow_vids;
+    List.iter2 (fun tuple vid -> slow_put t ~node ~key:vid tuple) slow slow_vids;
     if t.interclass then begin
       let rid = node_rid ~rule_name:rule.name ~node ~slow_vids in
       add_exec_node t ~node ~key:(Rows.key rid)
@@ -157,7 +241,8 @@ let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
         in
         if not (List.mem rref !refs) then begin
           refs := !refs @ [ rref ];
-          st.hmap_refs <- st.hmap_refs + 1
+          st.hmap_refs <- st.hmap_refs + 1;
+          if t.track_dirty then Hashtbl.replace st.dirty.d_hmap k_key ()
         end;
         add_row rref
   end
@@ -168,8 +253,16 @@ let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
   end
 
 (* §5.5: any slow-table update — insert or delete — invalidates the
-   equivalence classes observed so far; incoming events re-materialize. *)
-let on_slow_update t ~node ~op:_ _tuple = Hashtbl.reset (state t node).htequi
+   equivalence classes observed so far; incoming events re-materialize.
+   The delta records the wipe so replay reproduces it, and post-wipe
+   insertions start a fresh dirty list. *)
+let on_slow_update t ~node ~op:_ _tuple =
+  let st = state t node in
+  Hashtbl.reset st.htequi;
+  if t.track_dirty then begin
+    st.dirty.htequi_cleared <- true;
+    st.dirty.d_htequi <- []
+  end
 
 let hook t =
   {
@@ -556,16 +649,31 @@ let restore ~delp ~env ~keys blob =
    state, so it is not part of the blob. *)
 
 let node_magic = "dpc-advanced-node-v1"
+let delta_magic = "dpc-advanced-delta-v1"
 
-let write_node_side w store =
+let clear_dirty (st : node_state) =
+  st.dirty.d_prov <- [];
+  st.dirty.d_exec <- [];
+  st.dirty.d_exec_nodes <- [];
+  st.dirty.d_exec_links <- [];
+  st.dirty.d_htequi <- [];
+  st.dirty.htequi_cleared <- false;
+  Hashtbl.reset st.dirty.d_hmap;
+  st.dirty.d_slow <- [];
+  st.dirty.d_events <- []
+
+let write_side_list w entries =
   let open Dpc_util.Serialize in
-  let acc = ref [] in
-  Side_store.iter store (fun ~key tuple -> acc := (key, tuple) :: !acc);
   write_list w
     (fun (key, tuple) ->
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) !acc)
+    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) entries)
+
+let write_node_side w store =
+  let acc = ref [] in
+  Side_store.iter store (fun ~key tuple -> acc := (key, tuple) :: !acc);
+  write_side_list w !acc
 
 let read_node_side r store =
   let open Dpc_util.Serialize in
@@ -574,18 +682,8 @@ let read_node_side r store =
        let key = Sha1.of_raw (read_string r) in
        Side_store.put store ~key (Tuple.deserialize r)))
 
-let checkpoint_node t node =
+let write_hmap_assocs w assocs =
   let open Dpc_util.Serialize in
-  let st = state t node in
-  let w = writer () in
-  write_string w node_magic;
-  write_bool w t.interclass;
-  write_list w (Rows.write_prov_row w) (table_rows st.prov);
-  write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-  write_list w (Rows.write_rule_exec_row w) (table_rows st.exec_nodes);
-  write_list w (Rows.write_link_row w) (table_rows st.exec_links);
-  write_list w (write_string w)
-    (Hashtbl.fold (fun k () acc -> k :: acc) st.htequi [] |> List.sort compare);
   write_list w
     (fun (k, refs) ->
       write_string w k;
@@ -594,32 +692,13 @@ let checkpoint_node t node =
           write_varint w n;
           write_string w (Sha1.to_raw d))
         refs)
-    (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) st.hmap [] |> List.sort compare);
-  write_node_side w st.slow_tuples;
-  write_node_side w st.events;
-  contents w
+    (List.sort compare assocs)
 
-let restore_node t node blob =
+(* Replace-wise hmap load shared by full restore and delta replay: the
+   blob carries each touched class's FULL ref list, so installing it
+   means subtracting whatever list was there before. *)
+let read_hmap_assocs r (st : node_state) =
   let open Dpc_util.Serialize in
-  let r = reader blob in
-  if not (String.equal (read_string r) node_magic) then
-    raise (Corrupt "not an Advanced node checkpoint");
-  let interclass = read_bool r in
-  if interclass <> t.interclass then raise (Corrupt "node checkpoint layout mismatch");
-  let st = state t node in
-  List.iter
-    (fun (row : Rows.prov_row) -> add_prov t ~node ~key:(Rows.key row.vid) row)
-    (read_list r (fun () -> Rows.read_prov_row r));
-  List.iter
-    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node ~key:(Rows.key row.rid) row)
-    (read_list r (fun () -> Rows.read_rule_exec_row r));
-  List.iter
-    (fun (row : Rows.rule_exec_row) -> add_exec_node t ~node ~key:(Rows.key row.rid) row)
-    (read_list r (fun () -> Rows.read_rule_exec_row r));
-  List.iter
-    (fun (row : Rows.link_row) -> add_exec_link t ~node ~key:(Rows.key row.link_rid) row)
-    (read_list r (fun () -> Rows.read_link_row r));
-  ignore (read_list r (fun () -> Hashtbl.replace st.htequi (read_string r) ()));
   ignore
     (read_list r (fun () ->
        let k = read_string r in
@@ -632,6 +711,102 @@ let restore_node t node blob =
        | Some existing -> st.hmap_refs <- st.hmap_refs - List.length !existing
        | None -> ());
        st.hmap_refs <- st.hmap_refs + List.length refs;
-       Hashtbl.replace st.hmap k (ref refs)));
+       Hashtbl.replace st.hmap k (ref refs)))
+
+let checkpoint_node t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let blob =
+    with_scratch (fun w ->
+        write_string w node_magic;
+        write_bool w t.interclass;
+        write_list w (Rows.write_prov_row w) (table_rows st.prov);
+        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+        write_list w (Rows.write_rule_exec_row w) (table_rows st.exec_nodes);
+        write_list w (Rows.write_link_row w) (table_rows st.exec_links);
+        write_list w (write_string w)
+          (Hashtbl.fold (fun k () acc -> k :: acc) st.htequi [] |> List.sort compare);
+        write_hmap_assocs w (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) st.hmap []);
+        write_node_side w st.slow_tuples;
+        write_node_side w st.events)
+  in
+  clear_dirty st;
+  blob
+
+(* O(changes) delta: dirty rows and side entries plus the equivalence-
+   state change record — whether htequi was wiped, the keys added since
+   (the wipe, or the last cut), and the full current ref list of every
+   hmap class that grew. Same encodings as [checkpoint_node], canonically
+   sorted. *)
+let checkpoint_delta t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let blob =
+    with_scratch (fun w ->
+        write_string w delta_magic;
+        write_bool w t.interclass;
+        write_list w (Rows.write_prov_row w) (List.sort compare st.dirty.d_prov);
+        write_list w (Rows.write_rule_exec_row w) (List.sort compare st.dirty.d_exec);
+        write_list w (Rows.write_rule_exec_row w) (List.sort compare st.dirty.d_exec_nodes);
+        write_list w (Rows.write_link_row w) (List.sort compare st.dirty.d_exec_links);
+        write_bool w st.dirty.htequi_cleared;
+        write_list w (write_string w) (List.sort compare st.dirty.d_htequi);
+        write_hmap_assocs w
+          (Hashtbl.fold
+             (fun k () acc ->
+               match Hashtbl.find_opt st.hmap k with
+               | Some refs -> (k, !refs) :: acc
+               | None -> acc)
+             st.dirty.d_hmap []);
+        write_side_list w st.dirty.d_slow;
+        write_side_list w st.dirty.d_events)
+  in
+  clear_dirty st;
+  blob
+
+let read_rows_into t node r =
+  let open Dpc_util.Serialize in
+  List.iter
+    (fun (row : Rows.prov_row) -> add_prov t ~node ~key:(Rows.key row.vid) row)
+    (read_list r (fun () -> Rows.read_prov_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node ~key:(Rows.key row.rid) row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_exec_node t ~node ~key:(Rows.key row.rid) row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  List.iter
+    (fun (row : Rows.link_row) -> add_exec_link t ~node ~key:(Rows.key row.link_rid) row)
+    (read_list r (fun () -> Rows.read_link_row r))
+
+let apply_delta t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) delta_magic) then
+    raise (Corrupt "not an Advanced node delta");
+  let interclass = read_bool r in
+  if interclass <> t.interclass then raise (Corrupt "node delta layout mismatch");
+  read_rows_into t node r;
+  let st = state t node in
+  if read_bool r then Hashtbl.reset st.htequi;
+  ignore (read_list r (fun () -> Hashtbl.replace st.htequi (read_string r) ()));
+  read_hmap_assocs r st;
   read_node_side r st.slow_tuples;
-  read_node_side r st.events
+  read_node_side r st.events;
+  if not (at_end r) then raise (Corrupt "trailing bytes in Advanced node delta");
+  clear_dirty st
+
+let restore_node t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) node_magic) then
+    raise (Corrupt "not an Advanced node checkpoint");
+  let interclass = read_bool r in
+  if interclass <> t.interclass then raise (Corrupt "node checkpoint layout mismatch");
+  read_rows_into t node r;
+  let st = state t node in
+  ignore (read_list r (fun () -> Hashtbl.replace st.htequi (read_string r) ()));
+  read_hmap_assocs r st;
+  read_node_side r st.slow_tuples;
+  read_node_side r st.events;
+  clear_dirty st

@@ -99,3 +99,19 @@ val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}.
     @raise Dpc_util.Serialize.Corrupt on malformed input or a layout
     mismatch. *)
+
+val set_track_dirty : t -> bool -> unit
+(** Enable dirty-set tracking for delta checkpoints — same contract as
+    {!Store_exspan.set_track_dirty}. *)
+
+val checkpoint_delta : t -> int -> string
+(** One node's changes since its last cut — new rows and side entries,
+    plus the equivalence-state change record: whether [htequi] was wiped
+    by a slow update, the keys added since, and the full current ref list
+    of every [hmap] class that grew. O(changes); clears the dirty set. *)
+
+val apply_delta : t -> int -> string -> unit
+(** Replay a {!checkpoint_delta} blob on top of the node's current
+    state (base checkpoint plus earlier deltas, oldest first).
+    @raise Dpc_util.Serialize.Corrupt on malformed input or a layout
+    mismatch. *)

@@ -2,11 +2,22 @@ open Dpc_ndlog
 open Dpc_util
 module Node = Dpc_engine.Node
 
+(* Rows and side entries first written since the node's last checkpoint
+   cut, for O(changes) delta checkpoints (see [Store_exspan] for the
+   contract; tables never delete, so "dirty" = "newly inserted"). *)
+type dirty = {
+  mutable d_prov : Rows.prov_row list;
+  mutable d_exec : Rows.rule_exec_row list;
+  mutable d_slow : (Sha1.t * Tuple.t) list;
+  mutable d_events : (Sha1.t * Tuple.t) list;
+}
+
 type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex; outputs only *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
   slow_tuples : Side_store.t;  (* vid -> slow tuple, at the executing node *)
   events : Side_store.t;  (* evid -> input event, at the ingress node *)
+  dirty : dirty;
 }
 
 type t = {
@@ -14,6 +25,7 @@ type t = {
   env : Dpc_engine.Env.t;
   nodes : Node.t array;
   key : node_state Node.key;
+  mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
 }
 
@@ -23,11 +35,14 @@ let fresh_state () =
     rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:true) ();
     slow_tuples = Side_store.create ();
     events = Side_store.create ();
+    dirty = { d_prov = []; d_exec = []; d_slow = []; d_events = [] };
   }
 
 let create ~delp ~env ~nodes =
   { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.basic" ();
-    degraded_sink = None }
+    track_dirty = false; degraded_sink = None }
+
+let set_track_dirty t on = t.track_dirty <- on
 
 (* Degraded-query accounting. By default the tick lands in the querier's
    volatile registry and dies with it on a crash; a durable layer
@@ -44,15 +59,41 @@ let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 
 let add_prov t ~node ~key row =
-  if Rows.Table.add (state t node).prov ~key row then
+  let st = state t node in
+  if Rows.Table.add st.prov ~key row then begin
+    if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
+  end
 
 let add_rule_exec t ~node ~key row =
-  if Rows.Table.add (state t node).rule_exec ~key row then
+  let st = state t node in
+  if Rows.Table.add st.rule_exec ~key row then begin
+    if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
+  end
 
+let slow_put t ~node ~key tuple =
+  let st = state t node in
+  if Side_store.put_new st.slow_tuples ~key tuple && t.track_dirty then
+    st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+
+let event_put t ~node ~key tuple =
+  let st = state t node in
+  if Side_store.put_new st.events ~key tuple && t.track_dirty then
+    st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
+
+(* Must stay byte-identical to [Store_exspan.rid_of]: Table 2 reuses
+   Table 1's rids. Same streamed raw-vid encoding, no hex. *)
 let rid_of ~rule_name ~node ~vids =
-  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
+  Sha1.digest_iter (fun f ->
+    f rule_name;
+    f "+";
+    f (string_of_int node);
+    List.iter
+      (fun vid ->
+        f "+";
+        f (Sha1.to_raw vid))
+      vids)
 
 let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.Prov_hook.meta) =
   let event_vid = Rows.vid_of event in
@@ -64,9 +105,7 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow ~head:_ (meta : Dpc_engine.P
   let vids = if meta.prev = None then slow_vids @ [ event_vid ] else slow_vids in
   add_rule_exec t ~node ~key:(Rows.key rid)
     { Rows.rloc = node; rid; rule = rule.name; vids; next = meta.prev };
-  List.iter2
-    (fun tuple vid -> Side_store.put (state t node).slow_tuples ~key:vid tuple)
-    slow slow_vids;
+  List.iter2 (fun tuple vid -> slow_put t ~node ~key:vid tuple) slow slow_vids;
   { meta with prev = Some (node, rid) }
 
 let on_output t ~node output (meta : Dpc_engine.Prov_hook.meta) =
@@ -80,7 +119,7 @@ let hook t =
     on_input =
       (fun ~node event ->
         let meta = Dpc_engine.Prov_hook.initial_meta event in
-        Side_store.put (state t node).events ~key:meta.evid event;
+        event_put t ~node ~key:meta.evid event;
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node output meta -> on_output t ~node output meta);
@@ -377,16 +416,26 @@ let restore ~delp ~env blob =
    node's tables are exactly what it owns. *)
 
 let node_magic = "dpc-basic-node-v1"
+let delta_magic = "dpc-basic-delta-v1"
 
-let write_node_side w store =
+let clear_dirty (st : node_state) =
+  st.dirty.d_prov <- [];
+  st.dirty.d_exec <- [];
+  st.dirty.d_slow <- [];
+  st.dirty.d_events <- []
+
+let write_side_list w entries =
   let open Dpc_util.Serialize in
-  let acc = ref [] in
-  Side_store.iter store (fun ~key tuple -> acc := (key, tuple) :: !acc);
   write_list w
     (fun (key, tuple) ->
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) !acc)
+    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) entries)
+
+let write_node_side w store =
+  let acc = ref [] in
+  Side_store.iter store (fun ~key tuple -> acc := (key, tuple) :: !acc);
+  write_side_list w !acc
 
 let read_node_side r store =
   let open Dpc_util.Serialize in
@@ -398,25 +447,61 @@ let read_node_side r store =
 let checkpoint_node t node =
   let open Dpc_util.Serialize in
   let st = state t node in
-  let w = writer () in
-  write_string w node_magic;
-  write_list w (Rows.write_prov_row w) (table_rows st.prov);
-  write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-  write_node_side w st.slow_tuples;
-  write_node_side w st.events;
-  contents w
+  let blob =
+    with_scratch (fun w ->
+        write_string w node_magic;
+        write_list w (Rows.write_prov_row w) (table_rows st.prov);
+        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+        write_node_side w st.slow_tuples;
+        write_node_side w st.events)
+  in
+  clear_dirty st;
+  blob
+
+(* O(changes) delta: the dirty rows/side entries only, same encodings as
+   [checkpoint_node], canonically sorted. *)
+let checkpoint_delta t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let blob =
+    with_scratch (fun w ->
+        write_string w delta_magic;
+        write_list w (Rows.write_prov_row w) (List.sort compare st.dirty.d_prov);
+        write_list w (Rows.write_rule_exec_row w) (List.sort compare st.dirty.d_exec);
+        write_side_list w st.dirty.d_slow;
+        write_side_list w st.dirty.d_events)
+  in
+  clear_dirty st;
+  blob
+
+let read_rows_into t node r =
+  let open Dpc_util.Serialize in
+  List.iter
+    (fun (row : Rows.prov_row) -> add_prov t ~node ~key:(Rows.key row.vid) row)
+    (read_list r (fun () -> Rows.read_prov_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node ~key:(Rows.key row.rid) row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r))
+
+let apply_delta t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) delta_magic) then
+    raise (Corrupt "not a Basic node delta");
+  read_rows_into t node r;
+  let st = state t node in
+  read_node_side r st.slow_tuples;
+  read_node_side r st.events;
+  if not (at_end r) then raise (Corrupt "trailing bytes in Basic node delta");
+  clear_dirty st
 
 let restore_node t node blob =
   let open Dpc_util.Serialize in
   let r = reader blob in
   if not (String.equal (read_string r) node_magic) then
     raise (Corrupt "not a Basic node checkpoint");
-  List.iter
-    (fun (row : Rows.prov_row) -> add_prov t ~node ~key:(Rows.key row.vid) row)
-    (read_list r (fun () -> Rows.read_prov_row r));
-  List.iter
-    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node ~key:(Rows.key row.rid) row)
-    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  read_rows_into t node r;
   let st = state t node in
   read_node_side r st.slow_tuples;
-  read_node_side r st.events
+  read_node_side r st.events;
+  clear_dirty st

@@ -57,3 +57,15 @@ val checkpoint_node : t -> int -> string
 val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}.
     @raise Dpc_util.Serialize.Corrupt on malformed input. *)
+
+val set_track_dirty : t -> bool -> unit
+(** Enable dirty-set tracking for delta checkpoints — same contract as
+    {!Store_exspan.set_track_dirty}. *)
+
+val checkpoint_delta : t -> int -> string
+(** One node's rows/side entries inserted since its last cut — O(changes);
+    clears the dirty set. See {!Store_exspan.checkpoint_delta}. *)
+
+val apply_delta : t -> int -> string -> unit
+(** Replay a {!checkpoint_delta} blob on top of the node's current tables.
+    @raise Dpc_util.Serialize.Corrupt on malformed input. *)

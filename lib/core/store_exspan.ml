@@ -2,10 +2,22 @@ open Dpc_ndlog
 open Dpc_util
 module Node = Dpc_engine.Node
 
+(* Rows and side entries first written since the node's last checkpoint
+   cut, for O(changes) delta checkpoints. Only ever appended to when the
+   store's [track_dirty] is on (the durable layer flips it at attach);
+   each checkpoint/delta/restore operation clears it. Tables never delete,
+   so "dirty" is exactly "newly inserted". *)
+type dirty = {
+  mutable d_prov : Rows.prov_row list;
+  mutable d_exec : Rows.rule_exec_row list;
+  mutable d_side : (Sha1.t * Tuple.t) list;
+}
+
 type node_state = {
   prov : Rows.prov_row Rows.Table.t;  (* keyed by vid hex *)
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
   tuples : Side_store.t;  (* vid -> materialized tuple *)
+  dirty : dirty;
 }
 
 type t = {
@@ -13,6 +25,7 @@ type t = {
   env : Dpc_engine.Env.t;
   nodes : Node.t array;
   key : node_state Node.key;
+  mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
 }
 
@@ -21,11 +34,14 @@ let fresh_state () =
     prov = Rows.Table.create ~row_bytes:(Rows.prov_row_bytes ~with_evid:false) ();
     rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
     tuples = Side_store.create ();
+    dirty = { d_prov = []; d_exec = []; d_side = [] };
   }
 
 let create ~delp ~env ~nodes =
   { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.exspan" ();
-    degraded_sink = None }
+    track_dirty = false; degraded_sink = None }
+
+let set_track_dirty t on = t.track_dirty <- on
 
 (* Degraded-query accounting. By default the tick lands in the querier's
    volatile registry and dies with it on a crash; a durable layer
@@ -42,15 +58,38 @@ let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 
 let add_prov t ~node (row : Rows.prov_row) =
-  if Rows.Table.add (state t node).prov ~key:(Rows.key row.vid) row then
+  let st = state t node in
+  if Rows.Table.add st.prov ~key:(Rows.key row.vid) row then begin
+    if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
+  end
 
 let add_rule_exec t ~node (row : Rows.rule_exec_row) =
-  if Rows.Table.add (state t node).rule_exec ~key:(Rows.key row.rid) row then
+  let st = state t node in
+  if Rows.Table.add st.rule_exec ~key:(Rows.key row.rid) row then begin
+    if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
+  end
 
+let side_put t ~node ~key tuple =
+  let st = state t node in
+  if Side_store.put_new st.tuples ~key tuple && t.track_dirty then
+    st.dirty.d_side <- (key, tuple) :: st.dirty.d_side
+
+(* One streamed SHA-1 over "+"-separated parts, vids as their raw 20
+   bytes: same injectivity as the old hex-rendered digest_concat (parts
+   after the variable-length rule name and node are fixed-width), no hex
+   strings and no intermediate list on the per-firing hot path. *)
 let rid_of ~rule_name ~node ~vids =
-  Sha1.digest_concat (rule_name :: string_of_int node :: List.map Rows.hex vids)
+  Sha1.digest_iter (fun f ->
+    f rule_name;
+    f "+";
+    f (string_of_int node);
+    List.iter
+      (fun vid ->
+        f "+";
+        f (Sha1.to_raw vid))
+      vids)
 
 (* The prov row of a derived tuple is written by the RECEIVER, from the
    (RLoc, RID) reference the tuple ships with — not by the sender reaching
@@ -65,7 +104,7 @@ let record_arrival t ~node event (meta : Dpc_engine.Prov_hook.meta) =
   | None -> ()
   | Some rref ->
       add_prov t ~node { Rows.loc = node; vid = Rows.vid_of event; rid = Some rref; evid = None };
-      Side_store.put (state t node).tuples ~key:(Rows.vid_of event) event
+      side_put t ~node ~key:(Rows.vid_of event) event
 
 let on_fire t ~node ~(rule : Ast.rule) ~event ~slow (meta : Dpc_engine.Prov_hook.meta) =
   record_arrival t ~node event meta;
@@ -78,13 +117,13 @@ let on_fire t ~node ~(rule : Ast.rule) ~event ~slow (meta : Dpc_engine.Prov_hook
   List.iter2
     (fun tuple vid ->
       add_prov t ~node { Rows.loc = node; vid; rid = None; evid = None };
-      Side_store.put (state t node).tuples ~key:vid tuple)
+      side_put t ~node ~key:vid tuple)
     slow slow_vids;
   (* The input event is a base tuple; intermediate events get their prov
      row from [record_arrival]. *)
   if meta.prev = None then begin
     add_prov t ~node { Rows.loc = node; vid = event_vid; rid = None; evid = None };
-    Side_store.put (state t node).tuples ~key:event_vid event
+    side_put t ~node ~key:event_vid event
   end;
   { meta with prev = Some (node, rid) }
 
@@ -94,7 +133,7 @@ let hook t =
     on_input =
       (fun ~node event ->
         let meta = Dpc_engine.Prov_hook.initial_meta event in
-        Side_store.put (state t node).tuples ~key:(Rows.vid_of event) event;
+        side_put t ~node ~key:(Rows.vid_of event) event;
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head:_ meta -> on_fire t ~node ~rule ~event ~slow meta);
     on_output = (fun ~node event meta -> record_arrival t ~node event meta);
@@ -351,22 +390,77 @@ let restore ~delp ~env blob =
    paths so the store.* counters (wiped with the node) are rebuilt. *)
 
 let node_magic = "dpc-exspan-node-v1"
+let delta_magic = "dpc-exspan-delta-v1"
 
-let checkpoint_node t node =
+let clear_dirty (st : node_state) =
+  st.dirty.d_prov <- [];
+  st.dirty.d_exec <- [];
+  st.dirty.d_side <- []
+
+let write_node_side w entries =
   let open Dpc_util.Serialize in
-  let st = state t node in
-  let w = writer () in
-  write_string w node_magic;
-  write_list w (Rows.write_prov_row w) (table_rows st.prov);
-  write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-  let side = ref [] in
-  Side_store.iter st.tuples (fun ~key tuple -> side := (key, tuple) :: !side);
   write_list w
     (fun (key, tuple) ->
       write_string w (Sha1.to_raw key);
       Tuple.serialize w tuple)
-    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) !side);
-  contents w
+    (List.sort (fun (k1, _) (k2, _) -> compare (Sha1.to_raw k1) (Sha1.to_raw k2)) entries)
+
+let read_node_side r put =
+  let open Dpc_util.Serialize in
+  List.iter
+    (fun () -> ())
+    (read_list r (fun () ->
+       let key = Sha1.of_raw (read_string r) in
+       let tuple = Tuple.deserialize r in
+       put ~key tuple))
+
+let checkpoint_node t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let blob =
+    with_scratch (fun w ->
+        write_string w node_magic;
+        write_list w (Rows.write_prov_row w) (table_rows st.prov);
+        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+        let side = ref [] in
+        Side_store.iter st.tuples (fun ~key tuple -> side := (key, tuple) :: !side);
+        write_node_side w !side)
+  in
+  clear_dirty st;
+  blob
+
+(* A delta covers exactly the rows/side entries first inserted since the
+   last cut (tables never delete, so that is the whole state change).
+   Same row/side encodings as [checkpoint_node], canonically sorted so
+   deltas are byte-stable for a given dirty set. *)
+let checkpoint_delta t node =
+  let open Dpc_util.Serialize in
+  let st = state t node in
+  let blob =
+    with_scratch (fun w ->
+        write_string w delta_magic;
+        write_list w (Rows.write_prov_row w) (List.sort compare st.dirty.d_prov);
+        write_list w (Rows.write_rule_exec_row w) (List.sort compare st.dirty.d_exec);
+        write_node_side w st.dirty.d_side)
+  in
+  clear_dirty st;
+  blob
+
+let apply_delta t node blob =
+  let open Dpc_util.Serialize in
+  let r = reader blob in
+  if not (String.equal (read_string r) delta_magic) then
+    raise (Corrupt "not an ExSPAN node delta");
+  List.iter
+    (fun (row : Rows.prov_row) -> add_prov t ~node row)
+    (read_list r (fun () -> Rows.read_prov_row r));
+  List.iter
+    (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node row)
+    (read_list r (fun () -> Rows.read_rule_exec_row r));
+  let st = state t node in
+  read_node_side r (fun ~key tuple -> Side_store.put st.tuples ~key tuple);
+  if not (at_end r) then raise (Corrupt "trailing bytes in ExSPAN node delta");
+  clear_dirty st
 
 let restore_node t node blob =
   let open Dpc_util.Serialize in
@@ -380,9 +474,5 @@ let restore_node t node blob =
     (fun (row : Rows.rule_exec_row) -> add_rule_exec t ~node row)
     (read_list r (fun () -> Rows.read_rule_exec_row r));
   let st = state t node in
-  List.iter
-    (fun () -> ())
-    (read_list r (fun () ->
-       let key = Sha1.of_raw (read_string r) in
-       let tuple = Tuple.deserialize r in
-       Side_store.put st.tuples ~key tuple))
+  read_node_side r (fun ~key tuple -> Side_store.put st.tuples ~key tuple);
+  clear_dirty st

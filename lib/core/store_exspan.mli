@@ -60,3 +60,20 @@ val restore_node : t -> int -> string -> unit
 (** Reload one node's tables from {!checkpoint_node} output, after a
     {!Dpc_engine.Node.reset} — row writes re-tick the node's [store.*]
     counters. @raise Dpc_util.Serialize.Corrupt on malformed input. *)
+
+val set_track_dirty : t -> bool -> unit
+(** Turn dirty-set tracking on (the durable layer does at attach when
+    delta checkpoints are enabled). While on, every first insertion of a
+    row or side entry is remembered until the next checkpoint/delta cut
+    of its node. Off by default — tracking costs a list cons per insert. *)
+
+val checkpoint_delta : t -> int -> string
+(** Serialize only the rows/side entries of ONE node inserted since its
+    last {!checkpoint_node}/{!checkpoint_delta}/{!restore_node} cut —
+    O(changes), not O(state) — and clear the node's dirty set. Requires
+    {!set_track_dirty}[ t true] since the last cut to be meaningful. *)
+
+val apply_delta : t -> int -> string -> unit
+(** Replay one {!checkpoint_delta} blob on top of the node's current
+    tables (base checkpoint plus any earlier deltas, oldest first).
+    @raise Dpc_util.Serialize.Corrupt on malformed input. *)

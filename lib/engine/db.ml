@@ -15,9 +15,19 @@ type rel_state = {
   mutable indexes : (int list * index) list;
 }
 
-type t = { tables : (string, rel_state) Hashtbl.t }
+type t = {
+  tables : (string, rel_state) Hashtbl.t;
+  (* Dirty op log for delta snapshots: every effective insert/remove
+     since the last cut, NEWEST FIRST ([true] = insert). Chronological
+     order matters — a tuple removed and re-added must end up present —
+     so this is a log, not a pair of sets. *)
+  mutable track_dirty : bool;
+  mutable dirty : (bool * Tuple.t) list;
+}
 
-let create () = { tables = Hashtbl.create 8 }
+let create () = { tables = Hashtbl.create 8; track_dirty = false; dirty = [] }
+
+let set_dirty_tracking t b = t.track_dirty <- b
 
 let debug_recount = ref false
 let set_debug_recount b = debug_recount := b
@@ -60,6 +70,7 @@ let insert t tuple =
     Hashtbl.add rs.tuples ck tuple;
     rs.bytes <- rs.bytes + Tuple.serialized_size tuple;
     List.iter (fun (ps, idx) -> bucket_add idx (key_of_tuple tuple ps) tuple) rs.indexes;
+    if t.track_dirty then t.dirty <- (true, tuple) :: t.dirty;
     true
   end
 
@@ -72,6 +83,7 @@ let remove t tuple =
         Hashtbl.remove rs.tuples ck;
         rs.bytes <- rs.bytes - Tuple.serialized_size tuple;
         List.iter (fun (ps, idx) -> bucket_remove idx (key_of_tuple tuple ps) tuple) rs.indexes;
+        if t.track_dirty then t.dirty <- (false, tuple) :: t.dirty;
         true
       end
       else false
@@ -127,8 +139,12 @@ let cardinality t rel =
 
 let total_tuples t = Hashtbl.fold (fun _ rs acc -> acc + Hashtbl.length rs.tuples) t.tables 0
 
-let clear t = Hashtbl.reset t.tables
+let clear t =
+  Hashtbl.reset t.tables;
+  t.dirty <- []
 
+(* Full and delta snapshots both SEAL a cut: the dirty log restarts, so
+   the next [snapshot_delta] carries exactly the changes since here. *)
 let snapshot t =
   let w = Dpc_util.Serialize.writer () in
   Dpc_util.Serialize.write_list w
@@ -136,15 +152,38 @@ let snapshot t =
       Dpc_util.Serialize.write_string w rel;
       Dpc_util.Serialize.write_list w (Tuple.serialize w) (scan t rel))
     (relations t);
+  t.dirty <- [];
   Dpc_util.Serialize.contents w
 
+let snapshot_delta t =
+  let w = Dpc_util.Serialize.writer () in
+  Dpc_util.Serialize.write_list w
+    (fun (add, tuple) ->
+      Dpc_util.Serialize.write_bool w add;
+      Tuple.serialize w tuple)
+    (List.rev t.dirty);
+  t.dirty <- [];
+  Dpc_util.Serialize.contents w
+
+(* Restores clear the dirty log: the loaded state IS the cut, not a
+   change since it. *)
 let load t blob =
   let r = Dpc_util.Serialize.reader blob in
   ignore
     (Dpc_util.Serialize.read_list r (fun () ->
        let _rel = Dpc_util.Serialize.read_string r in
        ignore
-         (Dpc_util.Serialize.read_list r (fun () -> ignore (insert t (Tuple.deserialize r))))))
+         (Dpc_util.Serialize.read_list r (fun () -> ignore (insert t (Tuple.deserialize r))))));
+  t.dirty <- []
+
+let apply_delta t blob =
+  let r = Dpc_util.Serialize.reader blob in
+  ignore
+    (Dpc_util.Serialize.read_list r (fun () ->
+       let add = Dpc_util.Serialize.read_bool r in
+       let tuple = Tuple.deserialize r in
+       if add then ignore (insert t tuple) else ignore (remove t tuple)));
+  t.dirty <- []
 
 let recount_bytes t =
   let w = Dpc_util.Serialize.writer () in

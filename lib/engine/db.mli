@@ -43,11 +43,28 @@ val clear : t -> unit
 
 val snapshot : t -> string
 (** Deterministic serialization of the whole store: relations sorted by
-    name, tuples in {!scan} order. *)
+    name, tuples in {!scan} order. Seals a cut: the dirty log behind
+    {!snapshot_delta} restarts here. *)
 
 val load : t -> string -> unit
 (** Insert every tuple of a {!snapshot} (set semantics: tuples already
-    present are kept once). Does not clear first.
+    present are kept once). Does not clear first; clears the dirty log
+    (the loaded state is a cut, not a change since one).
+    @raise Dpc_util.Serialize.Corrupt on a malformed blob. *)
+
+val set_dirty_tracking : t -> bool -> unit
+(** Record every effective insert/remove (in order) so {!snapshot_delta}
+    can serialize just the changes since the last cut. Off by default. *)
+
+val snapshot_delta : t -> string
+(** The insert/remove log since the last cut ({!snapshot},
+    {!snapshot_delta}, {!load}, or {!apply_delta}), chronological —
+    O(changes), not O(store). Seals a cut. Meaningful only with
+    {!set_dirty_tracking} on. *)
+
+val apply_delta : t -> string -> unit
+(** Replay one {!snapshot_delta} blob: apply a base {!load} first, then
+    each delta oldest to newest. Clears the dirty log.
     @raise Dpc_util.Serialize.Corrupt on a malformed blob. *)
 
 val relations : t -> string list

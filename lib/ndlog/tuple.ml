@@ -71,16 +71,34 @@ let canonical t =
     s
   end
 
+(* The digest streams the canonical pieces straight into SHA-1 — except
+   that large [Str] payloads are INTERNED: the stream carries the
+   payload's own cached digest ("h:<len>:<raw>") instead of its bytes, so
+   a big payload is hashed once per distinct content, not once per tuple
+   instance carrying it (each hop of a forwarding chain builds a fresh
+   head tuple around the same payload). The digest is therefore sha1 of
+   the canonical string with large payloads replaced by their interned
+   rendering — NOT sha1 (canonical t) — but it remains injective and
+   deterministic, which is all the schemes key on. Payload digests are
+   computed before the stream starts: a digest_iter feeder must not
+   itself digest (the streaming context is shared). *)
 let digest t =
   match t.digest_memo with
   | Some d -> d
   | None ->
-      (* Stream the canonical pieces straight into SHA-1: most tuples are
-         digested exactly once and never need the canonical string
-         itself, so don't materialize (or retain) it just to hash it. *)
+      let interned = Array.map Value.interned_digest t.args in
       let d =
-        if t.canonical_memo <> "" then Dpc_util.Sha1.digest_string t.canonical_memo
-        else Dpc_util.Sha1.digest_iter (canonical_feed t)
+        Dpc_util.Sha1.digest_iter (fun f ->
+          f t.rel;
+          f "(";
+          Array.iteri
+            (fun i v ->
+              if i > 0 then f ",";
+              match interned.(i) with
+              | Some (len, pd) -> Value.interned_feed f ~len pd
+              | None -> Value.canonical_iter f v)
+            t.args;
+          f ")")
       in
       t.digest_memo <- Some d;
       d

@@ -27,8 +27,14 @@ val canonical : t -> string
     tuple value. *)
 
 val digest : t -> Dpc_util.Sha1.t
-(** [sha1 (canonical t)], memoized per tuple value — the vid every
-    provenance scheme keys on. *)
+(** The tuple's SHA-1, memoized per tuple value — the vid every
+    provenance scheme keys on. Computed over the canonical rendering with
+    one twist: [Str] payloads longer than {!Value.payload_inline_max}
+    contribute their interned rendering ({!Value.interned_feed} — length
+    plus the payload's own cached digest) instead of their raw bytes, so
+    repeated large payloads are hashed once per distinct content.
+    Injective and deterministic like [sha1 (canonical t)], but NOT equal
+    to it for tuples with large payloads. *)
 
 val pp : Format.formatter -> t -> unit
 (** e.g. [packet(@n1, n1, n3, "data")]. *)

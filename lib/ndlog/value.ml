@@ -35,6 +35,49 @@ let canonical = function
   | Bool b -> if b then "b:true" else "b:false"
   | Addr a -> "@" ^ string_of_int a
 
+(* Payload interning for the digest path. A [Str] payload longer than
+   [payload_inline_max] contributes its own SHA-1 (20 bytes) to the tuple
+   digest instead of its raw bytes, and that inner digest is cached per
+   domain keyed by content — so a 500-byte payload forwarded over k hops
+   is hashed once, not k times (each hop rebuilds the head tuple, which
+   shares the payload string but not the tuple's digest memo). Injective
+   vs plain rendering: the "h:" lead piece is disjoint from "i:"/"s:"/
+   "b:"/"@", and the length-based threshold is deterministic, so equal
+   values always render the same way and distinct values never collide
+   (short of a SHA-1 collision). The cache is bounded and reset-on-cap;
+   eviction only costs a re-hash. *)
+let payload_inline_max = 64
+
+let payload_cache_key : (string, Dpc_util.Sha1.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let payload_cache_cap = 4096
+
+let payload_digest s =
+  let cache = Domain.DLS.get payload_cache_key in
+  match Hashtbl.find_opt cache s with
+  | Some d -> d
+  | None ->
+      if Hashtbl.length cache >= payload_cache_cap then Hashtbl.reset cache;
+      let d = Dpc_util.Sha1.digest_string s in
+      Hashtbl.add cache s d;
+      d
+
+(* [Some (len, payload_digest)] when the value digests via interning,
+   [None] when its canonical pieces are fed verbatim. Callers that stream
+   into a shared SHA-1 context call this for every argument FIRST (it
+   digests), then feed — a digest_iter feeder must never digest. *)
+let interned_digest = function
+  | Str s when String.length s > payload_inline_max ->
+      Some (String.length s, payload_digest s)
+  | Int _ | Str _ | Bool _ | Addr _ -> None
+
+let interned_feed f ~len d =
+  f "h:";
+  f (string_of_int len);
+  f ":";
+  f (Dpc_util.Sha1.to_raw d)
+
 let pp fmt = function
   | Int i -> Format.pp_print_int fmt i
   | Str s -> Format.fprintf fmt "%S" s

@@ -23,6 +23,24 @@ val canonical_iter : (string -> unit) -> t -> unit
     order without concatenating them — a [Str] payload is passed through
     by reference, so hashing a value never copies it. *)
 
+val payload_inline_max : int
+(** [Str] payloads longer than this digest via interning (see
+    {!interned_digest}); shorter ones are fed verbatim. *)
+
+val interned_digest : t -> (int * Dpc_util.Sha1.t) option
+(** [Some (len, sha1 payload)] when the value is a [Str] longer than
+    {!payload_inline_max} — the digest comes from a bounded per-domain
+    content-keyed cache, so repeated payloads (a packet forwarded hop by
+    hop) are hashed once. [None] otherwise. Callers streaming a tuple
+    digest must call this for every argument BEFORE starting the stream:
+    it digests, and a {!Dpc_util.Sha1.digest_iter} feeder must not. *)
+
+val interned_feed : (string -> unit) -> len:int -> Dpc_util.Sha1.t -> unit
+(** Feed the interned rendering ["h:<len>:<raw digest>"] — the digest-path
+    stand-in for {!canonical_iter} on a large payload. The ["h:"] lead
+    piece is disjoint from every {!canonical_iter} lead piece, keeping the
+    digest input injective across the two renderings. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering: [42], ["data"], [true], [n7]. *)
 

@@ -1,0 +1,12 @@
+(** Wall-clock time for every reported duration.
+
+    Clock discipline (see DESIGN.md): anything shown to a user as elapsed
+    time — bench figures, [crash.recovery_ms], throughput — must be
+    measured with {!now}, never [Sys.time]. [Sys.time] is process CPU
+    time, which SUMS across OCaml 5 domains: on the sharded runtime a
+    4-domain run with a genuine 2x wall-clock speedup reports a slowdown.
+    CPU time remains available directly via [Sys.time] for the rare
+    cases that want it (none of the reported metrics do). *)
+
+val now : unit -> float
+(** [Unix.gettimeofday]: seconds since the epoch, wall clock. *)

@@ -41,6 +41,36 @@ let write_list buf f xs =
 
 let contents = Buffer.contents
 let size = Buffer.length
+let reset = Buffer.clear
+
+(* Per-domain scratch writer for one-shot blobs (checkpoints, deltas).
+   The buffer is reused across calls, so a hot path that serializes
+   thousands of blobs allocates the backing store once per domain instead
+   of once per blob — and a blob bigger than any before grows the arena
+   for all that follow. Nested calls on the same domain fall back to a
+   fresh buffer rather than corrupting the arena. *)
+type scratch = { buf : Buffer.t; mutable busy : bool }
+
+let scratch_key = Domain.DLS.new_key (fun () -> { buf = Buffer.create 4096; busy = false })
+
+let with_scratch f =
+  let s = Domain.DLS.get scratch_key in
+  if s.busy then begin
+    let w = Buffer.create 4096 in
+    f w;
+    Buffer.contents w
+  end
+  else begin
+    s.busy <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        s.busy <- false;
+        Buffer.clear s.buf)
+      (fun () ->
+        Buffer.clear s.buf;
+        f s.buf;
+        Buffer.contents s.buf)
+  end
 
 type reader = { data : string; mutable pos : int }
 

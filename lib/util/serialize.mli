@@ -29,6 +29,18 @@ val write_list : writer -> ('a -> unit) -> 'a list -> unit
 val contents : writer -> string
 val size : writer -> int
 
+val reset : writer -> unit
+(** Drop everything written so far, keeping the backing store — the
+    writer restarts empty. For long-lived writers that batch work (e.g.
+    the WAL group-commit buffer). *)
+
+val with_scratch : (writer -> unit) -> string
+(** [with_scratch f] runs [f] against a per-domain reusable scratch
+    writer and returns its contents. Equivalent to
+    [let w = writer () in f w; contents w] minus the per-call buffer
+    allocation; use for one-shot blobs on hot paths (checkpoints,
+    deltas). Re-entrant calls on the same domain get a fresh writer. *)
+
 type reader
 
 val reader : string -> reader

@@ -356,21 +356,26 @@ let final ctx =
   done;
   Bytes.unsafe_to_string out
 
-(* One shared context: digesting is never re-entered (the [digest_iter]
-   feeder only renders value pieces; it must not itself digest). *)
-let shared = init ()
+(* One shared context PER DOMAIN: digesting is never re-entered within a
+   domain (the [digest_iter] feeder only renders value pieces; it must
+   not itself digest), but sharded runtimes digest concurrently from
+   several domains — a process-global context would tear. *)
+let shared_key = Domain.DLS.new_key init
 
 let digest_string s =
+  let shared = Domain.DLS.get shared_key in
   reset shared;
   feed shared s;
   final shared
 
 let digest_iter feeder =
+  let shared = Domain.DLS.get shared_key in
   reset shared;
   feeder (feed shared);
   final shared
 
 let digest_concat parts =
+  let shared = Domain.DLS.get shared_key in
   reset shared;
   List.iteri
     (fun i part ->

@@ -196,7 +196,7 @@ let crash_instance seed =
       in
       let durable =
         Durable.attach ~backend:world.Delp_gen.backend ~runtime:world.Delp_gen.runtime ~control
-          ~config:{ Durable.checkpoint_every = 8 } ()
+          ~config:{ Durable.checkpoint_every = 8; rebase_every = 4 } ()
       in
       Durable.schedule durable schedule;
       Delp_gen.run_events ~spacing:crash_spacing world instance.events;

@@ -106,32 +106,60 @@ let test_tuple_canonical_sensitivity () =
   check Alcotest.bool "relation matters" false
     (String.equal (Tuple.canonical t1) (Tuple.canonical t3))
 
-(* vid = sha1(canonical): the digest streams canonical pieces without
-   building the string, so check both code paths agree in both orders —
-   digest-before-canonical (streams) and canonical-before-digest (hashes
-   the memoized string) — including payloads spanning SHA-1 blocks. *)
-let test_tuple_digest_is_sha1_of_canonical () =
+(* The digest contract with payload interning: for tuples whose [Str]
+   payloads are at most [Value.payload_inline_max] bytes the digest is
+   exactly sha1(canonical); larger payloads contribute their interned
+   rendering ("h:" ^ length ^ ":" ^ raw payload digest) in place of the
+   raw bytes, so the digest equals sha1 of the canonical string with
+   that substitution. Both memoization orders must agree, and payloads
+   spanning SHA-1 blocks are covered. *)
+let test_tuple_digest_contract () =
   let mk payload = Tuple.make "packet" [ Value.Addr 3; Value.Int 7; Value.Str payload ] in
+  let expected_digest payload =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "packet(";
+    Buffer.add_string buf (Value.canonical (Value.Addr 3));
+    Buffer.add_char buf ',';
+    Buffer.add_string buf (Value.canonical (Value.Int 7));
+    Buffer.add_char buf ',';
+    (match Value.interned_digest (Value.Str payload) with
+    | Some (len, d) ->
+        check Alcotest.bool "interned only above the inline threshold" true
+          (String.length payload > Value.payload_inline_max);
+        check Alcotest.int "interned length is the payload length" (String.length payload) len;
+        Value.interned_feed (Buffer.add_string buf) ~len d
+    | None ->
+        check Alcotest.bool "inline at or below the threshold" true
+          (String.length payload <= Value.payload_inline_max);
+        Buffer.add_string buf (Value.canonical (Value.Str payload)));
+    Buffer.add_char buf ')';
+    Dpc_util.Sha1.digest_string (Buffer.contents buf)
+  in
   List.iter
     (fun payload ->
-      (* digest first: the streaming path *)
       let a = mk payload in
       let da = Tuple.digest a in
-      let expected = Dpc_util.Sha1.digest_string (Tuple.canonical a) in
-      check Alcotest.bool "streamed digest = sha1 canonical" true
-        (Dpc_util.Sha1.equal da expected);
-      (* canonical first: the memoized-string path *)
+      check Alcotest.bool "digest matches the interned canonical rendering" true
+        (Dpc_util.Sha1.equal da (expected_digest payload));
+      (* Small payloads keep the historical vid = sha1(canonical). *)
+      if String.length payload <= Value.payload_inline_max then
+        check Alcotest.bool "inline digest = sha1 canonical" true
+          (Dpc_util.Sha1.equal da (Dpc_util.Sha1.digest_string (Tuple.canonical a)));
+      (* canonical first: the memoized-string path must agree *)
       let b = mk payload in
       ignore (Tuple.canonical b);
       check Alcotest.bool "memoized digest agrees" true
         (Dpc_util.Sha1.equal (Tuple.digest b) da);
+      (* the interned digest is cached per domain; a repeat build agrees *)
+      check Alcotest.bool "repeat digest agrees" true
+        (Dpc_util.Sha1.equal (Tuple.digest (mk payload)) da);
       (* canonical_iter pieces concatenate to canonical *)
       let buf = Buffer.create 16 in
       Value.canonical_iter (Buffer.add_string buf) (Value.Str payload);
       check Alcotest.string "value pieces concat to canonical"
         (Value.canonical (Value.Str payload))
         (Buffer.contents buf))
-    [ ""; "x"; String.make 55 'p'; String.make 64 'q'; String.make 500 'r' ]
+    [ ""; "x"; String.make 55 'p'; String.make 64 'q'; String.make 65 's'; String.make 500 'r' ]
 
 let test_tuple_serialize_roundtrip () =
   let w = Dpc_util.Serialize.writer () in
@@ -443,8 +471,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_tuple_basics;
           Alcotest.test_case "requires location" `Quick test_tuple_requires_location;
           Alcotest.test_case "canonical sensitivity" `Quick test_tuple_canonical_sensitivity;
-          Alcotest.test_case "digest is sha1 of canonical" `Quick
-            test_tuple_digest_is_sha1_of_canonical;
+          Alcotest.test_case "digest contract with payload interning" `Quick
+            test_tuple_digest_contract;
           Alcotest.test_case "serialize round-trip" `Quick test_tuple_serialize_roundtrip;
           Alcotest.test_case "wire size" `Quick test_tuple_wire_size_grows_with_payload;
         ] );

@@ -185,7 +185,7 @@ let test_midrun_checkpoint name scheme =
       in
       let durable =
         Durable.attach ~backend:world.Delp_gen.backend ~runtime:world.Delp_gen.runtime ~control
-          ~config:{ Durable.checkpoint_every = 4 } ()
+          ~config:{ Durable.checkpoint_every = 4; rebase_every = 4 } ()
       in
       let victim = seed mod instance.nodes in
       let tr = Dpc_engine.Runtime.transport world.Delp_gen.runtime in
@@ -206,6 +206,108 @@ let test_midrun_checkpoint name scheme =
         Alcotest.failf "%s seed %d: queries diverged after mid-run checkpoint + replay\n%s" name
           seed instance.description)
     [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Delta-checkpoint drift suite: a base cut plus a chain of deltas,
+   replayed onto a fresh backend, must rebuild state BYTE-IDENTICAL to a
+   full checkpoint of the original at the same point — for every scheme.
+   This is the invariant that lets [Durable] emit O(changes) deltas
+   between periodic full rebases without risking state drift. *)
+
+let batches = [ [ "a"; "b" ]; [ "c"; "d" ]; [ "e" ] ]
+
+let test_delta_drift name scheme =
+  let topo = topology () in
+  let routing = Dpc_net.Routing.compute topo in
+  let sim = Dpc_net.Sim.create ~topology:topo ~routing () in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make scheme ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
+  Backend.set_dirty_tracking backend true;
+  let runtime =
+    Dpc_engine.Runtime.create ~transport:(Dpc_net.Transport.of_sim sim) ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime routes;
+  let run_batch payloads =
+    List.iter
+      (fun payload ->
+        Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload))
+      payloads;
+    Dpc_engine.Runtime.run runtime
+  in
+  (* Cut after every batch: batch 0 seals the full base, later batches
+     emit deltas capturing just that batch's changes. *)
+  let cuts =
+    List.mapi
+      (fun i batch ->
+        run_batch batch;
+        Array.init 3 (fun node ->
+          if i = 0 then Backend.checkpoint_node backend node
+          else Backend.checkpoint_delta backend node))
+      batches
+  in
+  let replay =
+    Backend.make scheme ~delp:(Dpc_apps.Forwarding.delp ()) ~env:Dpc_apps.Forwarding.env
+      ~nodes:3
+  in
+  List.iteri
+    (fun i cut ->
+      Array.iteri
+        (fun node blob ->
+          if i = 0 then Backend.restore_node replay node blob
+          else Backend.apply_delta replay node blob)
+        cut)
+    cuts;
+  for node = 0 to 2 do
+    let full = Backend.checkpoint_node backend node in
+    let rebuilt = Backend.checkpoint_node replay node in
+    if not (String.equal full rebuilt) then
+      Alcotest.failf "%s node %d: delta chain drifted from full checkpoint (full %dB, rebuilt %dB)"
+        name node (String.length full) (String.length rebuilt)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Crash-schedule hygiene: a crash landing at the exact instant a node's
+   previous outage ends is an event-queue tie (restart and crash race)
+   and must be pruned, not admitted. *)
+
+let schedule_t =
+  Alcotest.list (Alcotest.triple Alcotest.int (Alcotest.float 1e-9) (Alcotest.float 1e-9))
+
+let test_prune_overlaps () =
+  let pruned =
+    Durable.prune_overlaps ~nodes:2
+      [ (0, 1.0, 0.5); (0, 1.5, 0.3); (1, 1.5, 0.3); (0, 1.6, 0.2); (0, 0.0, 0.1) ]
+  in
+  (* (0, 1.5, _) collides with node 0's restart at exactly 1.0 + 0.5 and
+     must go; the same instant on node 1 is fine; time 0.0 is a valid
+     crash time (busy_until starts at -inf, not 0). *)
+  check schedule_t "exact-restart-instant crash rejected"
+    [ (0, 0.0, 0.1); (0, 1.0, 0.5); (1, 1.5, 0.3); (0, 1.6, 0.2) ]
+    pruned;
+  (match Durable.prune_overlaps ~nodes:0 [] with
+   | _ -> Alcotest.fail "expected Invalid_argument for nodes = 0"
+   | exception Invalid_argument _ -> ());
+  match Durable.prune_overlaps ~nodes:1 [ (1, 0.5, 0.1) ] with
+  | _ -> Alcotest.fail "expected Invalid_argument for out-of-range node"
+  | exception Invalid_argument _ -> ()
+
+let test_random_schedule_no_ties () =
+  List.iter
+    (fun seed ->
+      let sched =
+        Durable.random_schedule ~seed ~nodes:3 ~count:40 ~horizon:10.0 ~min_down:0.1
+          ~max_down:0.5
+      in
+      let busy = Array.make 3 Float.neg_infinity in
+      List.iter
+        (fun (node, at, down) ->
+          if at <= busy.(node) then
+            Alcotest.failf "seed %d: crash at %.6f while node %d busy until %.6f" seed at node
+              busy.(node);
+          busy.(node) <- at +. down)
+        sched)
+    [ 1; 7; 42 ]
 
 let scheme_cases f =
   List.map
@@ -232,4 +334,10 @@ let () =
           Alcotest.test_case "truncated blob" `Quick test_truncated_blob_rejected;
         ] );
       ("mid-run checkpoint + replay", scheme_cases test_midrun_checkpoint);
+      ("delta checkpoints", scheme_cases test_delta_drift);
+      ( "crash schedule",
+        [
+          Alcotest.test_case "prune overlaps" `Quick test_prune_overlaps;
+          Alcotest.test_case "random schedule never ties" `Quick test_random_schedule_no_ties;
+        ] );
     ]

@@ -171,7 +171,7 @@ let crash_world instance scheme domains =
   in
   let durable =
     Durable.attach ~backend:w.Delp_gen.backend ~runtime:w.Delp_gen.runtime ~control
-      ~config:{ Durable.checkpoint_every = 8 } ()
+      ~config:{ Durable.checkpoint_every = 8; rebase_every = 4 } ()
   in
   let schedule =
     Durable.random_schedule ~seed:777 ~nodes ~count:2 ~horizon:3.0 ~min_down:0.3 ~max_down:1.0

@@ -430,6 +430,39 @@ let test_table_human_units () =
   checks "gb" "2.00 GB" (Table_fmt.human_bytes 2_000_000_000);
   checks "rate" "10.30 MB/s" (Table_fmt.human_rate 10.3e6)
 
+(* Clock-discipline regression (the PR 2 -> PR 6 timing lie): [Sys.time]
+   is CPU time summed across every domain of the process, so it both
+   misses time a domain spends blocked and multiply-counts concurrent
+   work. [Clock.now] must behave like a wall clock: two domains sleeping
+   concurrently advance it by the sleep duration, while the CPU clock
+   barely moves (sleeping burns no CPU anywhere). This works on any core
+   count — sleeps are concurrent even on one core. *)
+let test_clock_is_wall_clock () =
+  let wall0 = Clock.now () in
+  let cpu0 = Sys.time () in
+  let sleeper () = Unix.sleepf 0.05 in
+  let d1 = Domain.spawn sleeper and d2 = Domain.spawn sleeper in
+  Domain.join d1;
+  Domain.join d2;
+  let wall = Clock.now () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  check Alcotest.bool
+    (Printf.sprintf "wall clock advanced by the sleep (%.4fs)" wall)
+    true (wall >= 0.04);
+  check Alcotest.bool
+    (Printf.sprintf "CPU time did not (%.4fs) - Clock.now must not be Sys.time" cpu)
+    true (cpu < 0.04)
+
+let test_clock_monotone_enough () =
+  (* gettimeofday can step backwards under NTP, but within a test run
+     successive reads must be non-decreasing for timing code to make
+     sense; catch a Clock.now that returns garbage (e.g. uninitialized
+     or CPU-seconds mixing). *)
+  let a = Clock.now () in
+  let b = Clock.now () in
+  check Alcotest.bool "non-decreasing" true (b >= a);
+  check Alcotest.bool "plausible epoch (after 2020)" true (a > 1_577_836_800.)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -503,5 +536,10 @@ let () =
         [
           Alcotest.test_case "alignment" `Quick test_table_fmt_alignment;
           Alcotest.test_case "human units" `Quick test_table_human_units;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "wall clock, not CPU time" `Quick test_clock_is_wall_clock;
+          Alcotest.test_case "sane readings" `Quick test_clock_monotone_enough;
         ] );
     ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench chaos crash scaling bench-gate ci clean
+.PHONY: all build test bench chaos crash scaling queries bench-gate ci clean
 
 all: build
 
@@ -33,8 +33,19 @@ scaling:
 	dune exec test/test_scaling.exe
 	dune exec bench/main.exe -- --fig scaling --tiny
 
+# Query serving tier: the full-width test_query suite (cache semantics,
+# §5.5 invalidation regression, pagination properties, cost drift, and
+# the Zipfian storm sweep across all four schemes — the quick run that
+# `dune runtest` executes storms Advanced only) plus the queries bench
+# figure with its own shape checks (hit rate >= 50%, warm p99 faster
+# than cache-off, degraded-but-bounded crash-window storm).
+queries:
+	DPC_QUERIES_FULL=1 dune exec test/test_query.exe
+	dune exec bench/main.exe -- --fig queries --tiny
+
 # Throughput regression gate against the checked-in baseline
-# (BENCH_PR7.json): fig8/fig9 events/s may not drop more than 15%.
+# (BENCH_PR8.json): fig8/fig9 events/s may not drop more than 15%, and
+# the queries figure's modeled warm-cache p99 may not regress.
 bench-gate:
 	sh scripts/bench_gate.sh
 

@@ -1159,6 +1159,248 @@ let fig_scaling cfg =
        barrier overhead, not parallelism)\n"
       cores speedup top_domains
 
+(* ------------------------------------------------------------------ *)
+(* Query serving tier (not a paper figure): the memoized re-execution
+   cache under a Zipfian query storm. Three storms per scheme over one
+   forwarding world — cache off (baseline), cold cache (populates; its
+   hit rate is the steady-state claim), warm cache (repeat of the same
+   seeded storm; its p99 is the speedup claim) — then two liveness
+   phases on the Advanced scheme: a storm open-loop-scheduled against a
+   still-ingesting run, and a storm across crash windows riding the
+   degraded [?up] path. All latencies are modeled (Query_cost), so the
+   series are deterministic and the bench gate can pin them. *)
+
+let fig_queries cfg =
+  header "Q" "Query serving tier: memoized re-execution under a Zipfian query storm";
+  let pairs = if cfg.tiny then 5 else if cfg.paper_scale then 60 else 20 in
+  let rate = if cfg.tiny then 5.0 else 20.0 in
+  let duration = if cfg.tiny then 2.0 else 5.0 in
+  let storm_n = if cfg.tiny then 80 else if cfg.paper_scale then 2000 else 400 in
+  let storm_seed = cfg.seed + 3 in
+  let dedup_targets outputs =
+    let seen = Hashtbl.create 256 in
+    List.filter
+      (fun t -> if Hashtbl.mem seen t then false else (Hashtbl.add seen t (); true))
+      outputs
+    |> Array.of_list
+  in
+  (* Hot set scaled to the storm so the Zipf head actually repeats. *)
+  let hot_set targets =
+    let keep = min (Array.length targets) (max 8 (storm_n / 4)) in
+    Array.sub targets 0 keep
+  in
+  Printf.printf
+    "workload: %d pairs, %.0f packets/s each, %.0fs; storms of %d Zipfian queries (seed %d)\n"
+    pairs rate duration storm_n storm_seed;
+  let per_scheme =
+    List.map
+      (fun scheme ->
+        let d, injected, _, _ =
+          forwarding_run cfg ~scheme ~pairs ~rate ~duration ~payload:500 ()
+        in
+        Report.add_events "queries" injected;
+        let targets = hot_set (dedup_targets (Forwarding_driver.received d)) in
+        let storm () =
+          Query_driver.storm
+            (Query_driver.create ~backend:d.Forwarding_driver.backend
+               ~routing:d.Forwarding_driver.routing ~targets ~seed:storm_seed ())
+            ~count:storm_n ()
+        in
+        let off = storm () in
+        let cache = Backend.attach_query_cache d.Forwarding_driver.backend in
+        let cold = storm () in
+        let cold_stats = Query_cache.stats cache in
+        let warm = storm () in
+        (scheme, Array.length targets, off, cold, cold_stats, warm))
+      schemes
+  in
+  let hit_rate (s : Query_cache.stats) =
+    float_of_int s.hits /. float_of_int (max 1 (s.hits + s.misses))
+  in
+  Table_fmt.print
+    ~header:
+      [ "scheme"; "targets"; "hit rate"; "p50 off (ms)"; "p99 off (ms)"; "p50 warm (ms)";
+        "p99 warm (ms)"; "p99 speedup" ]
+    ~rows:
+      (List.map
+         (fun (scheme, ntargets, off, _, st, warm) ->
+           let po = Query_driver.percentiles_ms off
+           and pw = Query_driver.percentiles_ms warm in
+           [
+             scheme_label scheme;
+             string_of_int ntargets;
+             Printf.sprintf "%.0f%%" (100.0 *. hit_rate st);
+             Printf.sprintf "%.2f" po.p50;
+             Printf.sprintf "%.2f" po.p99;
+             Printf.sprintf "%.2f" pw.p50;
+             Printf.sprintf "%.2f" pw.p99;
+             Printf.sprintf "%.1fx" (po.p99 /. pw.p99);
+           ])
+         per_scheme);
+  List.iteri
+    (fun i (scheme, _, off, _, st, warm) ->
+      let po = Query_driver.percentiles_ms off
+      and pw = Query_driver.percentiles_ms warm in
+      let x = float_of_int i in
+      let us ms = int_of_float (ms *. 1000.0) in
+      Report.add_series "queries" (scheme_label scheme ^ " p99 us (no cache)") [ (x, us po.p99) ];
+      Report.add_series "queries" (scheme_label scheme ^ " p50 us (no cache)") [ (x, us po.p50) ];
+      Report.add_series "queries" (scheme_label scheme ^ " p99 us (warm cache)") [ (x, us pw.p99) ];
+      Report.add_series "queries" (scheme_label scheme ^ " p50 us (warm cache)") [ (x, us pw.p50) ];
+      Report.add_series "queries"
+        (scheme_label scheme ^ " hit rate %")
+        [ (x, int_of_float (100.0 *. hit_rate st)) ])
+    per_scheme;
+  shape_check "queries-hit-rate"
+    (List.for_all (fun (_, _, _, _, st, _) -> hit_rate st >= 0.5) per_scheme)
+    (String.concat ", "
+       (List.map
+          (fun (s, _, _, _, st, _) ->
+            Printf.sprintf "%s %.0f%%" (scheme_label s) (100.0 *. hit_rate st))
+          per_scheme));
+  shape_check "queries-speedup"
+    (List.for_all
+       (fun (_, _, off, _, _, warm) ->
+         (Query_driver.percentiles_ms warm).p99 < (Query_driver.percentiles_ms off).p99)
+       per_scheme)
+    (String.concat ", "
+       (List.map
+          (fun (s, _, off, _, _, warm) ->
+            Printf.sprintf "%s %.1fx" (scheme_label s)
+              ((Query_driver.percentiles_ms off).p99 /. (Query_driver.percentiles_ms warm).p99))
+          per_scheme));
+  (* The cache must be invisible to results: every storm (off, cold
+     populate, warm hit) sees the same completeness and emptiness. *)
+  shape_check "queries-transparent"
+    (List.for_all
+       (fun (_, _, off, cold, _, warm) ->
+         off.Query_driver.complete = cold.Query_driver.complete
+         && cold.Query_driver.complete = warm.Query_driver.complete
+         && off.Query_driver.empty = cold.Query_driver.empty
+         && cold.Query_driver.empty = warm.Query_driver.empty)
+       per_scheme)
+    "off/cold/warm storms agree on complete and empty counts";
+  (* Phase 2: the same storm open-loop against a run still ingesting —
+     queries interleave with writes, the generation checks keep entries
+     honest, and every result is complete (nothing is down). *)
+  let live =
+    let ts, routing, rng = transit_stub cfg in
+    let pair_list = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:pairs in
+    let d =
+      Forwarding_driver.setup ~scheme:Backend.S_advanced ~topology:ts.topology ~routing
+        ~pairs:pair_list ()
+    in
+    ignore (Forwarding_driver.inject_stream d ~rate_per_pair:rate ~duration ~payload_size:500);
+    ignore (Backend.attach_query_cache d.Forwarding_driver.backend);
+    (* Targets from a completed twin of this world: same seed, same
+       topology, same injection — its outputs are this run's future. *)
+    let targets =
+      let d0, _, _, _ =
+        forwarding_run cfg ~scheme:Backend.S_advanced ~pairs ~rate ~duration ~payload:500 ()
+      in
+      hot_set (dedup_targets (Forwarding_driver.received d0))
+    in
+    let driver =
+      Query_driver.create ~backend:d.Forwarding_driver.backend
+        ~routing:d.Forwarding_driver.routing ~targets ~seed:storm_seed ()
+    in
+    let storm_rate = float_of_int storm_n /. (duration /. 2.0) in
+    let collect =
+      Query_driver.schedule_storm driver ~transport:d.Forwarding_driver.transport
+        ~start:(duration /. 4.0) ~rate:storm_rate ~count:storm_n ()
+    in
+    Forwarding_driver.run d;
+    collect ()
+  in
+  Printf.printf
+    "concurrent-with-ingest storm: %d issued, %d complete, %d empty (queried before derivation)\n"
+    live.Query_driver.issued live.Query_driver.complete live.Query_driver.empty;
+  Report.add_series "queries" "live storm empty"
+    [ (0.0, live.Query_driver.empty) ];
+  shape_check "queries-live"
+    (live.Query_driver.issued = storm_n
+    && live.Query_driver.partial = 0
+    && live.Query_driver.complete = storm_n)
+    (Printf.sprintf "%d open-loop queries during ingest, all complete, %d hit not-yet-derived outputs"
+       live.Query_driver.issued live.Query_driver.empty);
+  (* Phase 3: a storm across crash windows (the fig_crash world). Queries
+     landing in an outage degrade via [?up] instead of hanging; the cache
+     never serves an entry whose dependency is down, and Node.reset
+     invalidation drops entries owned by the crashed node. *)
+  let crash_outcome, crash_invalidations =
+    let nodes = 3 in
+    let packets = if cfg.tiny then 60 else 600 in
+    let spacing = 0.01 in
+    let window = float_of_int packets *. spacing in
+    let delp = Dpc_apps.Forwarding.delp () in
+    let routes =
+      [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+        Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ]
+    in
+    let routing =
+      let topo = Dpc_net.Topology.create ~n:nodes in
+      let l = { Dpc_net.Topology.latency = 0.001; bandwidth = 1e9 } in
+      Dpc_net.Topology.add_link topo 0 1 l;
+      Dpc_net.Topology.add_link topo 1 2 l;
+      Dpc_net.Routing.compute topo
+    in
+    let crashable, control =
+      Dpc_net.Transport.crashable (Dpc_net.Transport.direct ~nodes ())
+    in
+    let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env ~nodes in
+    let runtime =
+      Dpc_engine.Runtime.create ~transport:crashable
+        ~reliable:Dpc_net.Reliable.default_config ~delp ~env:Dpc_apps.Forwarding.env
+        ~hook:(Backend.hook backend) ~nodes:(Backend.nodes backend) ~record_outputs:false ()
+    in
+    Dpc_engine.Runtime.load_slow runtime routes;
+    let durable =
+      Durable.attach ~backend ~runtime ~control
+        ~config:{ Durable.checkpoint_every = 32; rebase_every = 8 } ()
+    in
+    let cache = Backend.attach_query_cache backend in
+    for i = 0 to packets - 1 do
+      Dpc_engine.Runtime.inject runtime ~delay:(float_of_int i *. spacing)
+        (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "p%d" i))
+    done;
+    Durable.schedule durable
+      (Durable.random_schedule ~seed:cfg.seed ~nodes ~count:4 ~horizon:(window *. 0.8)
+         ~min_down:(10.0 *. spacing) ~max_down:(40.0 *. spacing));
+    (* Query the early packets: derived before the storm starts, so an
+       incomplete result means a crash window, not a missing output. *)
+    let targets =
+      Array.init 16 (fun i ->
+        Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:(Printf.sprintf "p%d" i))
+    in
+    let driver =
+      Query_driver.create ~backend ~routing ~targets ~cost:Query_cost.simulation
+        ~seed:storm_seed ()
+    in
+    let count = if cfg.tiny then 40 else 120 in
+    let start = 20.0 *. spacing in
+    let collect =
+      Query_driver.schedule_storm driver
+        ~transport:(Dpc_engine.Runtime.transport runtime)
+        ~up:(Durable.is_up durable) ~start
+        ~rate:(float_of_int count /. (window -. start)) ~count ()
+    in
+    Dpc_engine.Runtime.run runtime;
+    (collect (), (Query_cache.stats cache).invalidations)
+  in
+  Printf.printf
+    "crash-window storm: %d issued, %d complete, %d degraded, %d cache invalidations on reset\n"
+    crash_outcome.Query_driver.issued crash_outcome.Query_driver.complete
+    crash_outcome.Query_driver.partial crash_invalidations;
+  Report.add_series "queries" "crash storm degraded"
+    [ (0.0, crash_outcome.Query_driver.partial) ];
+  let bounded =
+    List.for_all (fun l -> l < 60.0) crash_outcome.Query_driver.latencies
+  in
+  shape_check "queries-crash-degraded"
+    (crash_outcome.Query_driver.partial > 0 && bounded)
+    (Printf.sprintf "%d of %d storm queries degraded inside outages, all bounded"
+       crash_outcome.Query_driver.partial crash_outcome.Query_driver.issued)
+
 let all =
   [
     ("fig8", fig8);
@@ -1176,6 +1418,7 @@ let all =
     ("ablation_overhead", ablation_overhead);
     ("ablation_checkpoint", ablation_checkpoint);
     ("crash", fig_crash);
+    ("queries", fig_queries);
     ("scaling", fig_scaling);
     ("metrics", metrics_report);
   ]

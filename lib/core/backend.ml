@@ -67,6 +67,30 @@ let query t ~cost ~routing ?evid ?up output =
   | Basic s -> Store_basic.query s ~cost ~routing ?evid ?up output
   | Advanced s -> Store_advanced.query s ~cost ~routing ?evid ?up output
 
+let query_page t ~cost ~routing ?evid ?up ?cursor ~limit output =
+  let r = query t ~cost ~routing ?evid ?up output in
+  (r, Query_result.paginate ?cursor ~limit r.Query_result.trees)
+
+let set_query_cache t cache =
+  match t with
+  | Exspan s -> Store_exspan.set_query_cache s cache
+  | Basic s -> Store_basic.set_query_cache s cache
+  | Advanced s -> Store_advanced.set_query_cache s cache
+
+let query_cache = function
+  | Exspan s -> Store_exspan.query_cache s
+  | Basic s -> Store_basic.query_cache s
+  | Advanced s -> Store_advanced.query_cache s
+
+let attach_query_cache ?capacity t =
+  let cluster = nodes t in
+  let tick ~node name by = Dpc_util.Metrics.incr ~by (Dpc_engine.Node.metrics cluster.(node)) name in
+  let cache = Query_cache.create ?capacity ~tick () in
+  set_query_cache t (Some cache);
+  cache
+
+let detach_query_cache t = set_query_cache t None
+
 let dump = function
   | Exspan s -> Store_exspan.dump s
   | Basic s -> Store_basic.dump s

@@ -52,6 +52,36 @@ val query :
     from {!Query_cost} and returns a result marked
     [Query_result.complete = false] instead of hanging or raising. *)
 
+val query_page :
+  t ->
+  cost:Query_cost.t ->
+  routing:Dpc_net.Routing.t ->
+  ?evid:Dpc_util.Sha1.t ->
+  ?up:(int -> bool) ->
+  ?cursor:string ->
+  limit:int ->
+  Dpc_ndlog.Tuple.t ->
+  Query_result.t * Query_result.page
+(** {!query}, then one bounded page of the canonical tree order (see
+    {!Query_result.paginate}). The full result is returned alongside so
+    callers still see latency/completeness accounting.
+    @raise Invalid_argument on a bad [limit] or [cursor]. *)
+
+(** {2 Query serving tier: memoization}
+
+    One {!Query_cache.t} is shared by every node of the backend. Attach
+    registers the crash-invalidation hooks ({!Dpc_engine.Node.on_reset})
+    and wires [query.cache.*] metrics into the per-node registries; §5.5
+    [sig] deliveries invalidate through each store's [on_slow_update]. *)
+
+val attach_query_cache : ?capacity:int -> t -> Query_cache.t
+val query_cache : t -> Query_cache.t option
+val detach_query_cache : t -> unit
+
+val set_query_cache : t -> Query_cache.t option -> unit
+(** Install a specific cache instance (e.g. one shared across backends);
+    {!attach_query_cache} is the common path. *)
+
 val dump : t -> (string * string list * string list list) list
 (** The backend's relational tables as [(name, header, rows)], for
     inspection and the example programs. *)

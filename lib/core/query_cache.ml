@@ -1,0 +1,129 @@
+type entry = {
+  trees : Prov_tree.t list;
+  deps : (int * int) list;  (* (node, generation when read) *)
+  mutable last_use : int;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  tick : node:int -> string -> int -> unit;
+  mutable clock : int;  (* monotone use counter driving LRU eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  lock : Mutex.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  size : int;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) ~tick () =
+  if capacity < 1 then invalid_arg "Query_cache.create: capacity must be positive";
+  {
+    table = Hashtbl.create 256;
+    capacity;
+    tick;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+    lock = Mutex.create ();
+  }
+
+let key ~loc ~rid ~ctx =
+  let b = Buffer.create (8 + 20 + String.length ctx) in
+  Buffer.add_string b (string_of_int loc);
+  Buffer.add_char b '|';
+  Buffer.add_string b (Dpc_util.Sha1.to_raw rid);
+  Buffer.add_string b ctx;
+  Buffer.contents b
+
+let find t ~querier ~up ~gen key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None ->
+          t.misses <- t.misses + 1;
+          t.tick ~node:querier "query.cache.miss" 1;
+          None
+      | Some entry ->
+          if List.exists (fun (node, _) -> not (up node)) entry.deps then begin
+            (* A dep is down: the real walk degrades exactly as it would
+               cache-off, so this must be a miss — but the entry itself is
+               still valid once the node is back, so keep it. *)
+            t.misses <- t.misses + 1;
+            t.tick ~node:querier "query.cache.miss" 1;
+            None
+          end
+          else if List.exists (fun (node, g) -> gen node <> g) entry.deps then begin
+            Hashtbl.remove t.table key;
+            t.invalidations <- t.invalidations + 1;
+            t.tick ~node:querier "query.cache.invalidate" 1;
+            t.misses <- t.misses + 1;
+            t.tick ~node:querier "query.cache.miss" 1;
+            None
+          end
+          else begin
+            t.clock <- t.clock + 1;
+            entry.last_use <- t.clock;
+            t.hits <- t.hits + 1;
+            t.tick ~node:querier "query.cache.hit" 1;
+            Some entry.trees
+          end)
+
+(* Over capacity: drop the least-recently-used half in one sweep. Cheaper
+   than a per-hit ordering structure, and the cache is consulted far more
+   often than it overflows. *)
+let evict_locked t ~querier =
+  let uses = Hashtbl.fold (fun _ e acc -> e.last_use :: acc) t.table [] in
+  let sorted = List.sort compare uses in
+  let keep = max 1 (t.capacity / 2) in
+  let cutoff = List.nth sorted (List.length sorted - keep) in
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if e.last_use < cutoff then k :: acc else acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  let n = List.length doomed in
+  t.evictions <- t.evictions + n;
+  if n > 0 then t.tick ~node:querier "query.cache.evict" n
+
+let add t ~querier ~deps key trees =
+  Mutex.protect t.lock (fun () ->
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.table key { trees; deps; last_use = t.clock };
+      if Hashtbl.length t.table > t.capacity then evict_locked t ~querier)
+
+let invalidate_node t node =
+  Mutex.protect t.lock (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun k e acc -> if List.mem_assoc node e.deps then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) doomed;
+      let n = List.length doomed in
+      t.invalidations <- t.invalidations + n;
+      if n > 0 then t.tick ~node "query.cache.invalidate" n)
+
+let clear t = Mutex.protect t.lock (fun () -> Hashtbl.reset t.table)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        invalidations = t.invalidations;
+        size = Hashtbl.length t.table;
+      })
+
+let capacity t = t.capacity

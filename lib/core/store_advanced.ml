@@ -33,6 +33,9 @@ type node_state = {
   slow_tuples : Side_store.t;
   events : Side_store.t;  (* evid -> input event at ingress *)
   dirty : dirty;
+  (* Write generation for the query cache's staleness check: bumped on
+     every accepted insert (see [Store_basic.node_state]). *)
+  mutable gen : int;
 }
 
 type t = {
@@ -45,6 +48,8 @@ type t = {
   orphans : int Atomic.t;
   mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
+  mutable cache : Query_cache.t option;
+  mutable reset_hooked : bool;
 }
 
 let fresh_state () =
@@ -70,6 +75,7 @@ let fresh_state () =
         d_slow = [];
         d_events = [];
       };
+    gen = 0;
   }
 
 let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
@@ -83,6 +89,8 @@ let create ~delp ~env ~keys ?(interclass = false) ~nodes () =
     orphans = Atomic.make 0;
     track_dirty = false;
     degraded_sink = None;
+    cache = None;
+    reset_hooked = false;
   }
 
 let set_track_dirty t on = t.track_dirty <- on
@@ -102,9 +110,25 @@ let degraded_for t querier () =
   | Some f -> f querier
   | None -> Dpc_util.Metrics.incr (Node.metrics t.nodes.(querier)) "crash.queries_degraded"
 
+(* Query-cache plumbing — see [Store_basic] for the contract. *)
+let invalidate_cache t node =
+  match t.cache with None -> () | Some cache -> Query_cache.invalidate_node cache node
+
+let set_query_cache t cache =
+  t.cache <- cache;
+  if cache <> None && not t.reset_hooked then begin
+    t.reset_hooked <- true;
+    Array.iteri
+      (fun node n -> Node.on_reset n (fun () -> invalidate_cache t node))
+      t.nodes
+  end
+
+let query_cache t = t.cache
+
 let add_prov t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.prov ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
     tick t node "store.prov_rows"
   end
@@ -112,6 +136,7 @@ let add_prov t ~node ~key row =
 let add_rule_exec t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.rule_exec ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
     tick t node "store.rule_exec_rows"
   end
@@ -119,6 +144,7 @@ let add_rule_exec t ~node ~key row =
 let add_exec_node t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.exec_nodes ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_exec_nodes <- row :: st.dirty.d_exec_nodes;
     tick t node "store.rule_exec_rows"
   end
@@ -126,19 +152,24 @@ let add_exec_node t ~node ~key row =
 let add_exec_link t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.exec_links ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_exec_links <- row :: st.dirty.d_exec_links;
     tick t node "store.rule_exec_rows"
   end
 
 let slow_put t ~node ~key tuple =
   let st = state t node in
-  if Side_store.put_new st.slow_tuples ~key tuple && t.track_dirty then
-    st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+  if Side_store.put_new st.slow_tuples ~key tuple then begin
+    st.gen <- st.gen + 1;
+    if t.track_dirty then st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+  end
 
 let event_put t ~node ~key tuple =
   let st = state t node in
-  if Side_store.put_new st.events ~key tuple && t.track_dirty then
-    st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
+  if Side_store.put_new st.events ~key tuple then begin
+    st.gen <- st.gen + 1;
+    if t.track_dirty then st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
+  end
 
 (* Plain layout: the rid must identify the whole chain suffix, so it hashes
    the back-pointer too (Table 3's sha1(rule, vids) is ambiguous as soon as
@@ -262,7 +293,10 @@ let on_slow_update t ~node ~op:_ _tuple =
   if t.track_dirty then begin
     st.dirty.htequi_cleared <- true;
     st.dirty.d_htequi <- []
-  end
+  end;
+  (* The flush means re-materialization is coming: trees served from this
+     node's pre-flush state must not be replayed from the memo cache. *)
+  invalidate_cache t node
 
 let hook t =
   {
@@ -317,8 +351,16 @@ type acct = {
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable rederives : int;
+  mutable hop_s : float;
+  mutable downs : int;
   mutable complete : bool;
+  mutable touched : int list;  (* nodes read, for the cache dep snapshot *)
 }
+
+let fresh_acct ~cost ~routing ~up ~querier ~degraded =
+  { cost; routing; up; querier; degraded; latency = 0.0; entries = 0; bytes = 0;
+    rederives = 0; hop_s = 0.0; downs = 0; complete = true; touched = [] }
 
 let charge_entries acct n =
   acct.entries <- acct.entries + n;
@@ -329,15 +371,23 @@ let charge_bytes acct n =
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
 
 let charge_rederive acct n =
+  acct.rederives <- acct.rederives + n;
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
 
 let charge_hop acct ~src ~dst =
-  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+  let h = Query_cost.hop acct.cost acct.routing ~src ~dst in
+  acct.hop_s <- acct.hop_s +. h;
+  acct.latency <- acct.latency +. h
+
+let touch acct node =
+  if not (List.mem node acct.touched) then acct.touched <- node :: acct.touched
 
 (* Call before reading any state at [node]: a down node costs the bounded
    retry budget, marks the result partial, and abandons the branch. *)
 let require_up acct node =
+  touch acct node;
   if not (acct.up node) then begin
+    acct.downs <- acct.downs + 1;
     acct.latency <-
       acct.latency
       +. (float_of_int (acct.cost.Query_cost.down_retries + 1)
@@ -348,6 +398,31 @@ let require_up acct node =
     end;
     raise (Broken (Printf.sprintf "node %d is down" node))
   end
+
+(* Memoize one root reference's reconstruction — see [Store_basic.with_cache].
+   Advanced's context must also cover the event id: the same shared chain
+   serves every event of the equivalence class, and each (rref, evid) pair
+   re-derives a different tree. *)
+let with_cache t acct ~rref:(rloc, rid) ~ctx compute =
+  match t.cache with
+  | None -> compute ()
+  | Some cache -> (
+      let key = Query_cache.key ~loc:rloc ~rid ~ctx in
+      let gen node = (state t node).gen in
+      match Query_cache.find cache ~querier:acct.querier ~up:acct.up ~gen key with
+      | Some trees ->
+          charge_entries acct 1;
+          trees
+      | None ->
+          let outer = acct.touched and downs0 = acct.downs in
+          acct.touched <- [];
+          let trees = compute () in
+          if acct.downs = downs0 then
+            Query_cache.add cache ~querier:acct.querier
+              ~deps:(List.map (fun n -> (n, gen n)) acct.touched)
+              key trees;
+          acct.touched <- List.rev_append outer acct.touched;
+          trees)
 
 let find_rule t name =
   match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
@@ -452,11 +527,7 @@ let rederive t acct ~evid chain =
 
 let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
-  let acct =
-    { cost; routing; up; querier;
-      degraded = degraded_for t querier;
-      latency = 0.0; entries = 0; bytes = 0; complete = true }
-  in
+  let acct = fresh_acct ~cost ~routing ~up ~querier ~degraded:(degraded_for t querier) in
   let trees =
     match require_up acct querier with
     | exception Broken _ -> []
@@ -482,25 +553,27 @@ let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
             in
             match r.rid with
             | None -> []
-            | Some rref -> begin
-                match fetch_chains t acct ~start:querier rref with
-                | chains ->
-                    List.filter_map
-                      (fun chain ->
-                        match rederive t acct ~evid:row_evid chain with
-                        | tree, head when Tuple.equal head output -> Some tree
-                        | _ -> None
-                        | exception Broken _ -> None)
-                      chains
-                | exception Broken _ -> []
-              end)
+            | Some rref ->
+                let ctx = Sha1.to_raw row_evid ^ Sha1.to_raw htp in
+                with_cache t acct ~rref ~ctx (fun () ->
+                    match fetch_chains t acct ~start:querier rref with
+                    | chains ->
+                        List.filter_map
+                          (fun chain ->
+                            match rederive t acct ~evid:row_evid chain with
+                            | tree, head when Tuple.equal head output -> Some tree
+                            | _ -> None
+                            | exception Broken _ -> None)
+                          chains
+                    | exception Broken _ -> []))
           rows
   in
   (match trees with
   | [] -> ()
   | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes; complete = acct.complete }
+    entries = acct.entries; bytes = acct.bytes; rederives = acct.rederives;
+    hop_s = acct.hop_s; downs = acct.downs; complete = acct.complete }
 
 let dump t =
   let n = Array.length t.nodes in

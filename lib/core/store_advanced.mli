@@ -41,6 +41,13 @@ val nodes : t -> Dpc_engine.Node.t array
 (** The cluster owning all per-node state; pass to
     [Runtime.create ~nodes] so the runtime shares it. *)
 
+val set_query_cache : t -> Query_cache.t option -> unit
+(** Attach (or detach, with [None]) the shared memoization cache — same
+    contract as {!Store_basic.set_query_cache}. The §5.5 [htequi] wipe in
+    [on_slow_update] additionally invalidates the flushed node's entries. *)
+
+val query_cache : t -> Query_cache.t option
+
 val hook : t -> Dpc_engine.Prov_hook.t
 
 val node_storage : t -> int -> Rows.storage

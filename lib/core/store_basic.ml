@@ -18,6 +18,10 @@ type node_state = {
   slow_tuples : Side_store.t;  (* vid -> slow tuple, at the executing node *)
   events : Side_store.t;  (* evid -> input event, at the ingress node *)
   dirty : dirty;
+  (* Write generation: bumped on every accepted insert (rows and side
+     entries). The query cache snapshots the generations of the nodes a
+     walk read; a moved generation invalidates the memo entry. *)
+  mutable gen : int;
 }
 
 type t = {
@@ -27,6 +31,8 @@ type t = {
   key : node_state Node.key;
   mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
+  mutable cache : Query_cache.t option;
+  mutable reset_hooked : bool;
 }
 
 let fresh_state () =
@@ -36,11 +42,12 @@ let fresh_state () =
     slow_tuples = Side_store.create ();
     events = Side_store.create ();
     dirty = { d_prov = []; d_exec = []; d_slow = []; d_events = [] };
+    gen = 0;
   }
 
 let create ~delp ~env ~nodes =
   { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.basic" ();
-    track_dirty = false; degraded_sink = None }
+    track_dirty = false; degraded_sink = None; cache = None; reset_hooked = false }
 
 let set_track_dirty t on = t.track_dirty <- on
 
@@ -58,9 +65,28 @@ let degraded_for t querier () =
 let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 
+(* Query-cache plumbing: the backend attaches one shared cache; the store
+   invalidates by node on §5.5 sig flushes and on crash resets. The
+   Node.on_reset hooks are registered once per store and survive the
+   reset itself (see [Node]). *)
+let invalidate_cache t node =
+  match t.cache with None -> () | Some cache -> Query_cache.invalidate_node cache node
+
+let set_query_cache t cache =
+  t.cache <- cache;
+  if cache <> None && not t.reset_hooked then begin
+    t.reset_hooked <- true;
+    Array.iteri
+      (fun node n -> Node.on_reset n (fun () -> invalidate_cache t node))
+      t.nodes
+  end
+
+let query_cache t = t.cache
+
 let add_prov t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.prov ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
   end
@@ -68,19 +94,24 @@ let add_prov t ~node ~key row =
 let add_rule_exec t ~node ~key row =
   let st = state t node in
   if Rows.Table.add st.rule_exec ~key row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
   end
 
 let slow_put t ~node ~key tuple =
   let st = state t node in
-  if Side_store.put_new st.slow_tuples ~key tuple && t.track_dirty then
-    st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+  if Side_store.put_new st.slow_tuples ~key tuple then begin
+    st.gen <- st.gen + 1;
+    if t.track_dirty then st.dirty.d_slow <- (key, tuple) :: st.dirty.d_slow
+  end
 
 let event_put t ~node ~key tuple =
   let st = state t node in
-  if Side_store.put_new st.events ~key tuple && t.track_dirty then
-    st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
+  if Side_store.put_new st.events ~key tuple then begin
+    st.gen <- st.gen + 1;
+    if t.track_dirty then st.dirty.d_events <- (key, tuple) :: st.dirty.d_events
+  end
 
 (* Must stay byte-identical to [Store_exspan.rid_of]: Table 2 reuses
    Table 1's rids. Same streamed raw-vid encoding, no hex. *)
@@ -123,7 +154,10 @@ let hook t =
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head meta -> on_fire t ~node ~rule ~event ~slow ~head meta);
     on_output = (fun ~node output meta -> on_output t ~node output meta);
-    on_slow_update = (fun ~node:_ ~op:_ _ -> ());
+    (* Basic keeps no equivalence state to wipe, but a §5.5 sig still
+       means the slow world changed under previously served trees: drop
+       this node's memoized reconstructions. *)
+    on_slow_update = (fun ~node ~op:_ _ -> invalidate_cache t node);
     (* Ships the (NLoc, NRID) back-pointer. *)
     meta_bytes = (fun _ -> Rows.ref_bytes);
   }
@@ -154,8 +188,18 @@ type acct = {
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable rederives : int;
+  mutable hop_s : float;
+  mutable downs : int;
   mutable complete : bool;
+  (* Nodes whose state the walk read (or tried to), for the query cache's
+     dependency snapshot. Reset around each memoizable unit of work. *)
+  mutable touched : int list;
 }
+
+let fresh_acct ~cost ~routing ~up ~querier ~degraded =
+  { cost; routing; up; querier; degraded; latency = 0.0; entries = 0; bytes = 0;
+    rederives = 0; hop_s = 0.0; downs = 0; complete = true; touched = [] }
 
 let charge_entries acct n =
   acct.entries <- acct.entries + n;
@@ -166,15 +210,23 @@ let charge_bytes acct n =
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
 
 let charge_rederive acct n =
+  acct.rederives <- acct.rederives + n;
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
 
 let charge_hop acct ~src ~dst =
-  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+  let h = Query_cost.hop acct.cost acct.routing ~src ~dst in
+  acct.hop_s <- acct.hop_s +. h;
+  acct.latency <- acct.latency +. h
+
+let touch acct node =
+  if not (List.mem node acct.touched) then acct.touched <- node :: acct.touched
 
 (* Call before reading any state at [node]: a down node costs the bounded
    retry budget, marks the result partial, and abandons the branch. *)
 let require_up acct node =
+  touch acct node;
   if not (acct.up node) then begin
+    acct.downs <- acct.downs + 1;
     acct.latency <-
       acct.latency
       +. (float_of_int (acct.cost.Query_cost.down_retries + 1)
@@ -185,6 +237,31 @@ let require_up acct node =
     end;
     raise (Broken (Printf.sprintf "node %d is down" node))
   end
+
+(* Memoize one unit of reconstruction (everything reachable from [rref]
+   for the context [ctx]) in the attached cache, if any. Only walks that
+   never hit a down node are recorded; a hit charges one lookup entry and
+   skips the hops/rederives entirely — that's the serving-tier win. *)
+let with_cache t acct ~rref:(rloc, rid) ~ctx compute =
+  match t.cache with
+  | None -> compute ()
+  | Some cache -> (
+      let key = Query_cache.key ~loc:rloc ~rid ~ctx in
+      let gen node = (state t node).gen in
+      match Query_cache.find cache ~querier:acct.querier ~up:acct.up ~gen key with
+      | Some trees ->
+          charge_entries acct 1;
+          trees
+      | None ->
+          let outer = acct.touched and downs0 = acct.downs in
+          acct.touched <- [];
+          let trees = compute () in
+          if acct.downs = downs0 then
+            Query_cache.add cache ~querier:acct.querier
+              ~deps:(List.map (fun n -> (n, gen n)) acct.touched)
+              key trees;
+          acct.touched <- List.rev_append outer acct.touched;
+          trees)
 
 let find_rule t name =
   match List.find_opt (fun (r : Ast.rule) -> String.equal r.name name) t.delp.program.rules with
@@ -287,34 +364,31 @@ let rederive t acct chain =
 
 let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
-  let acct =
-    { cost; routing; up; querier;
-      degraded = degraded_for t querier;
-      latency = 0.0; entries = 0; bytes = 0; complete = true }
-  in
+  let acct = fresh_acct ~cost ~routing ~up ~querier ~degraded:(degraded_for t querier) in
   let trees =
     match require_up acct querier with
     | exception Broken _ -> []
     | () ->
         let htp = Rows.vid_of output in
+        let ctx = Sha1.to_raw htp in
         let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
         charge_entries acct (max 1 (List.length rows));
         List.concat_map
           (fun (r : Rows.prov_row) ->
             match r.rid with
             | None -> []
-            | Some rref -> begin
-                match fetch_chains t acct ~start:querier rref with
-                | chains ->
-                    List.filter_map
-                      (fun chain ->
-                        match rederive t acct chain with
-                        | tree, head when Tuple.equal head output -> Some tree
-                        | _ -> None
-                        | exception Broken _ -> None)
-                      chains
-                | exception Broken _ -> []
-              end)
+            | Some rref ->
+                with_cache t acct ~rref ~ctx (fun () ->
+                    match fetch_chains t acct ~start:querier rref with
+                    | chains ->
+                        List.filter_map
+                          (fun chain ->
+                            match rederive t acct chain with
+                            | tree, head when Tuple.equal head output -> Some tree
+                            | _ -> None
+                            | exception Broken _ -> None)
+                          chains
+                    | exception Broken _ -> []))
           rows
   in
   let trees =
@@ -326,7 +400,8 @@ let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   | [] -> ()
   | tr :: _ -> charge_hop acct ~src:(Tuple.loc (Prov_tree.event_of tr)) ~dst:querier);
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes; complete = acct.complete }
+    entries = acct.entries; bytes = acct.bytes; rederives = acct.rederives;
+    hop_s = acct.hop_s; downs = acct.downs; complete = acct.complete }
 
 let dump t =
   let n = Array.length t.nodes in

@@ -21,6 +21,14 @@ val nodes : t -> Dpc_engine.Node.t array
 (** The cluster owning all per-node state; pass to
     [Runtime.create ~nodes] so the runtime shares it. *)
 
+val set_query_cache : t -> Query_cache.t option -> unit
+(** Attach (or detach, with [None]) the shared memoization cache the
+    query path consults. Attaching registers per-node crash-invalidation
+    hooks ({!Dpc_engine.Node.on_reset}) once; §5.5 [sig] deliveries
+    invalidate through the store's own [on_slow_update]. *)
+
+val query_cache : t -> Query_cache.t option
+
 val hook : t -> Dpc_engine.Prov_hook.t
 
 val node_storage : t -> int -> Rows.storage

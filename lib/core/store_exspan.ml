@@ -18,6 +18,9 @@ type node_state = {
   rule_exec : Rows.rule_exec_row Rows.Table.t;  (* keyed by rid hex *)
   tuples : Side_store.t;  (* vid -> materialized tuple *)
   dirty : dirty;
+  (* Write generation for the query cache's staleness check: bumped on
+     every accepted insert (see [Store_basic.node_state]). *)
+  mutable gen : int;
 }
 
 type t = {
@@ -27,6 +30,8 @@ type t = {
   key : node_state Node.key;
   mutable track_dirty : bool;
   mutable degraded_sink : (int -> unit) option;
+  mutable cache : Query_cache.t option;
+  mutable reset_hooked : bool;
 }
 
 let fresh_state () =
@@ -35,11 +40,12 @@ let fresh_state () =
     rule_exec = Rows.Table.create ~row_bytes:(Rows.rule_exec_row_bytes ~with_next:false) ();
     tuples = Side_store.create ();
     dirty = { d_prov = []; d_exec = []; d_side = [] };
+    gen = 0;
   }
 
 let create ~delp ~env ~nodes =
   { delp; env; nodes = Node.cluster nodes; key = Node.key ~name:"store.exspan" ();
-    track_dirty = false; degraded_sink = None }
+    track_dirty = false; degraded_sink = None; cache = None; reset_hooked = false }
 
 let set_track_dirty t on = t.track_dirty <- on
 
@@ -57,9 +63,25 @@ let degraded_for t querier () =
 let nodes t = t.nodes
 let state t node = Node.get_or_init t.nodes.(node) t.key ~init:fresh_state
 
+(* Query-cache plumbing — see [Store_basic] for the contract. *)
+let invalidate_cache t node =
+  match t.cache with None -> () | Some cache -> Query_cache.invalidate_node cache node
+
+let set_query_cache t cache =
+  t.cache <- cache;
+  if cache <> None && not t.reset_hooked then begin
+    t.reset_hooked <- true;
+    Array.iteri
+      (fun node n -> Node.on_reset n (fun () -> invalidate_cache t node))
+      t.nodes
+  end
+
+let query_cache t = t.cache
+
 let add_prov t ~node (row : Rows.prov_row) =
   let st = state t node in
   if Rows.Table.add st.prov ~key:(Rows.key row.vid) row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_prov <- row :: st.dirty.d_prov;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.prov_rows"
   end
@@ -67,14 +89,17 @@ let add_prov t ~node (row : Rows.prov_row) =
 let add_rule_exec t ~node (row : Rows.rule_exec_row) =
   let st = state t node in
   if Rows.Table.add st.rule_exec ~key:(Rows.key row.rid) row then begin
+    st.gen <- st.gen + 1;
     if t.track_dirty then st.dirty.d_exec <- row :: st.dirty.d_exec;
     Metrics.incr (Node.metrics t.nodes.(node)) "store.rule_exec_rows"
   end
 
 let side_put t ~node ~key tuple =
   let st = state t node in
-  if Side_store.put_new st.tuples ~key tuple && t.track_dirty then
-    st.dirty.d_side <- (key, tuple) :: st.dirty.d_side
+  if Side_store.put_new st.tuples ~key tuple then begin
+    st.gen <- st.gen + 1;
+    if t.track_dirty then st.dirty.d_side <- (key, tuple) :: st.dirty.d_side
+  end
 
 (* One streamed SHA-1 over "+"-separated parts, vids as their raw 20
    bytes: same injectivity as the old hex-rendered digest_concat (parts
@@ -137,7 +162,9 @@ let hook t =
         meta);
     on_fire = (fun ~node ~rule ~event ~slow ~head:_ meta -> on_fire t ~node ~rule ~event ~slow meta);
     on_output = (fun ~node event meta -> record_arrival t ~node event meta);
-    on_slow_update = (fun ~node:_ ~op:_ _ -> ());
+    (* §5.5 sig delivery: the slow world changed; drop this node's
+       memoized reconstructions. *)
+    on_slow_update = (fun ~node ~op:_ _ -> invalidate_cache t node);
     (* ExSPAN ships the (RID, RLoc) reference so the receiver can store the
        prov row of the derived tuple. *)
     meta_bytes = (fun _ -> Rows.ref_bytes);
@@ -174,8 +201,16 @@ type acct = {
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable rederives : int;
+  mutable hop_s : float;
+  mutable downs : int;
   mutable complete : bool;
+  mutable touched : int list;  (* nodes read, for the cache dep snapshot *)
 }
+
+let fresh_acct ~cost ~routing ~up ~querier ~degraded =
+  { cost; routing; up; querier; degraded; latency = 0.0; entries = 0; bytes = 0;
+    rederives = 0; hop_s = 0.0; downs = 0; complete = true; touched = [] }
 
 let charge_entries acct n =
   acct.entries <- acct.entries + n;
@@ -186,11 +221,18 @@ let charge_bytes acct n =
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
 
 let charge_hop acct ~src ~dst =
-  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+  let h = Query_cost.hop acct.cost acct.routing ~src ~dst in
+  acct.hop_s <- acct.hop_s +. h;
+  acct.latency <- acct.latency +. h
+
+let touch acct node =
+  if not (List.mem node acct.touched) then acct.touched <- node :: acct.touched
 
 (* Call before reading any state at [node]. *)
 let require_up acct node =
+  touch acct node;
   if not (acct.up node) then begin
+    acct.downs <- acct.downs + 1;
     acct.latency <-
       acct.latency
       +. (float_of_int (acct.cost.Query_cost.down_retries + 1)
@@ -201,6 +243,28 @@ let require_up acct node =
     end;
     raise (Broken (Printf.sprintf "node %d is down" node))
   end
+
+(* Memoize one root reference's reconstruction — see [Store_basic.with_cache]. *)
+let with_cache t acct ~rref:(rloc, rid) ~ctx compute =
+  match t.cache with
+  | None -> compute ()
+  | Some cache -> (
+      let key = Query_cache.key ~loc:rloc ~rid ~ctx in
+      let gen node = (state t node).gen in
+      match Query_cache.find cache ~querier:acct.querier ~up:acct.up ~gen key with
+      | Some trees ->
+          charge_entries acct 1;
+          trees
+      | None ->
+          let outer = acct.touched and downs0 = acct.downs in
+          acct.touched <- [];
+          let trees = compute () in
+          if acct.downs = downs0 then
+            Query_cache.add cache ~querier:acct.querier
+              ~deps:(List.map (fun n -> (n, gen n)) acct.touched)
+              key trees;
+          acct.touched <- List.rev_append outer acct.touched;
+          trees)
 
 let resolve_tuple t ~node vid =
   match Side_store.get (state t node).tuples ~key:vid with
@@ -264,27 +328,24 @@ let rec fetch_trees t acct ~at ~output (rloc, rid) =
 
 let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
   let querier = Tuple.loc output in
-  let acct =
-    { cost; routing; up; querier;
-      degraded = degraded_for t querier;
-      latency = 0.0; entries = 0; bytes = 0; complete = true }
-  in
+  let acct = fresh_acct ~cost ~routing ~up ~querier ~degraded:(degraded_for t querier) in
   let trees =
     match require_up acct querier with
     | exception Broken _ -> []
     | () ->
         let htp = Rows.vid_of output in
+        let ctx = Sha1.to_raw htp in
         let rows = Rows.Table.find (state t querier).prov (Rows.key htp) in
         charge_entries acct (max 1 (List.length rows));
         List.concat_map
           (fun (r : Rows.prov_row) ->
             match r.rid with
             | None -> []
-            | Some rref -> begin
-                match fetch_trees t acct ~at:querier ~output rref with
-                | trees -> trees
-                | exception Broken _ -> []
-              end)
+            | Some rref ->
+                with_cache t acct ~rref ~ctx (fun () ->
+                    match fetch_trees t acct ~at:querier ~output rref with
+                    | trees -> trees
+                    | exception Broken _ -> []))
           rows
   in
   let trees =
@@ -299,7 +360,8 @@ let query t ~cost ~routing ?evid ?(up = fun _ -> true) output =
       let leaf_event = Prov_tree.event_of tr in
       charge_hop acct ~src:(Tuple.loc leaf_event) ~dst:querier);
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes; complete = acct.complete }
+    entries = acct.entries; bytes = acct.bytes; rederives = acct.rederives;
+    hop_s = acct.hop_s; downs = acct.downs; complete = acct.complete }
 
 let dump t =
   let n = Array.length t.nodes in

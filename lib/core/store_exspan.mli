@@ -20,6 +20,12 @@ val nodes : t -> Dpc_engine.Node.t array
 (** The cluster owning all per-node state; pass to
     [Runtime.create ~nodes] so the runtime shares it. *)
 
+val set_query_cache : t -> Query_cache.t option -> unit
+(** Attach (or detach, with [None]) the shared memoization cache — same
+    contract as {!Store_basic.set_query_cache}. *)
+
+val query_cache : t -> Query_cache.t option
+
 val hook : t -> Dpc_engine.Prov_hook.t
 
 val node_storage : t -> int -> Rows.storage

@@ -261,6 +261,8 @@ type acct = {
   mutable latency : float;
   mutable entries : int;
   mutable bytes : int;
+  mutable rederives : int;
+  mutable hop_s : float;
 }
 
 let charge_entries acct n =
@@ -272,10 +274,13 @@ let charge_bytes acct n =
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_byte)
 
 let charge_rederive acct n =
+  acct.rederives <- acct.rederives + n;
   acct.latency <- acct.latency +. (float_of_int n *. acct.cost.Query_cost.per_rederive)
 
 let charge_hop acct ~src ~dst =
-  acct.latency <- acct.latency +. Query_cost.hop acct.cost acct.routing ~src ~dst
+  let h = Query_cost.hop acct.cost acct.routing ~src ~dst in
+  acct.hop_s <- acct.hop_s +. h;
+  acct.latency <- acct.latency +. h
 
 let find_rule h sig_id =
   match Hashtbl.find_opt h.store.sig_of_id sig_id with
@@ -364,7 +369,7 @@ let rederive h acct ~evid chain =
 
 let query h ~cost ~routing ?evid output =
   let querier = Tuple.loc output in
-  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0 } in
+  let acct = { cost; routing; latency = 0.0; entries = 0; bytes = 0; rederives = 0; hop_s = 0.0 } in
   let htp = Rows.vid_of output in
   let rows = Rows.Table.find (priv h querier).prov (Rows.key htp) in
   let rows =
@@ -405,4 +410,5 @@ let query h ~cost ~routing ?evid output =
   (* Multi-program queries have no liveness predicate yet: the store is a
      storage-sharing experiment, not wired into the crash-fault runtime. *)
   { Query_result.trees = Query_result.dedup_trees trees; latency = acct.latency;
-    entries = acct.entries; bytes = acct.bytes; complete = true }
+    entries = acct.entries; bytes = acct.bytes; rederives = acct.rederives;
+    hop_s = acct.hop_s; downs = 0; complete = true }

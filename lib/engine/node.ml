@@ -28,11 +28,18 @@ type t = {
   db : Db.t;
   metrics : Dpc_util.Metrics.t;
   props : (int, binding) Hashtbl.t;
+  mutable reset_hooks : (unit -> unit) list;
 }
 
 let create ~id =
   if id < 0 then invalid_arg "Node.create: negative id";
-  { id; db = Db.create (); metrics = Dpc_util.Metrics.create (); props = Hashtbl.create 8 }
+  {
+    id;
+    db = Db.create ();
+    metrics = Dpc_util.Metrics.create ();
+    props = Hashtbl.create 8;
+    reset_hooks = [];
+  }
 
 let cluster n =
   if n <= 0 then invalid_arg "Node.cluster: size must be positive";
@@ -43,10 +50,17 @@ let db t = t.db
 let metrics t = t.metrics
 let tick t ?by name = Dpc_util.Metrics.incr t.metrics ?by name
 
+let on_reset t hook = t.reset_hooks <- hook :: t.reset_hooks
+
 let reset t =
   Db.clear t.db;
   Dpc_util.Metrics.clear t.metrics;
-  Hashtbl.reset t.props
+  Hashtbl.reset t.props;
+  (* Hooks outlive the wipe on purpose: a crash must notify the layers
+     that index this node's state (e.g. the query cache) even though the
+     per-node property records themselves are gone. Registration order is
+     irrelevant, so the reversed list is fine. *)
+  List.iter (fun hook -> hook ()) t.reset_hooks
 
 let find t k =
   match Hashtbl.find_opt t.props k.uid with

@@ -29,7 +29,15 @@ val tick : t -> ?by:int -> string -> unit
 val reset : t -> unit
 (** Wipe everything volatile — database, metrics, properties — as a crash
     does. The node keeps its id; the stores re-initialize their property
-    records lazily on the next touch. *)
+    records lazily on the next touch. Hooks registered with {!on_reset}
+    run after the wipe. *)
+
+val on_reset : t -> (unit -> unit) -> unit
+(** Register a hook that fires after every {!reset} of this node. Hooks
+    survive the reset itself (they live outside the property map) — this
+    is the engine-level invalidation point for layers that cache derived
+    views of a node's state, e.g. the query serving tier dropping memo
+    entries when a crash rematerializes the node. *)
 
 (** {2 Typed properties}
 

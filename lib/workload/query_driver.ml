@@ -1,0 +1,93 @@
+open Dpc_core
+
+type t = {
+  backend : Backend.t;
+  routing : Dpc_net.Routing.t;
+  targets : Dpc_ndlog.Tuple.t array;
+  zipf : Dpc_util.Zipf.t;
+  rng : Dpc_util.Rng.t;
+  cost : Query_cost.t;
+}
+
+let create ~backend ~routing ~targets ?(exponent = 1.0) ?(seed = 0) ?(cost = Query_cost.emulation)
+    () =
+  if Array.length targets = 0 then invalid_arg "Query_driver.create: no targets";
+  {
+    backend;
+    routing;
+    targets;
+    zipf = Dpc_util.Zipf.create ~exponent (Array.length targets);
+    rng = Dpc_util.Rng.create ~seed;
+    cost;
+  }
+
+type outcome = {
+  issued : int;
+  complete : int;
+  partial : int;
+  empty : int;
+  latencies : float list;
+}
+
+let fire t ?up () =
+  let rank = Dpc_util.Zipf.sample t.zipf t.rng in
+  Backend.query t.backend ~cost:t.cost ~routing:t.routing ?up t.targets.(rank)
+
+(* Shared accumulator: storms record results in issue order. *)
+type tally = {
+  mutable n : int;
+  mutable ok : int;
+  mutable degraded : int;
+  mutable none : int;
+  mutable lat_rev : float list;
+}
+
+let fresh_tally () = { n = 0; ok = 0; degraded = 0; none = 0; lat_rev = [] }
+
+let record tally (r : Query_result.t) =
+  tally.n <- tally.n + 1;
+  if r.complete then tally.ok <- tally.ok + 1 else tally.degraded <- tally.degraded + 1;
+  if r.trees = [] then tally.none <- tally.none + 1;
+  tally.lat_rev <- r.latency :: tally.lat_rev
+
+let outcome_of tally =
+  {
+    issued = tally.n;
+    complete = tally.ok;
+    partial = tally.degraded;
+    empty = tally.none;
+    latencies = List.rev tally.lat_rev;
+  }
+
+let storm t ?up ~count () =
+  let tally = fresh_tally () in
+  for _ = 1 to count do
+    record tally (fire t ?up ())
+  done;
+  outcome_of tally
+
+let schedule_storm t ~transport ?up ~start ~rate ~count () =
+  if rate <= 0.0 then invalid_arg "Query_driver.schedule_storm: rate must be positive";
+  if count < 0 then invalid_arg "Query_driver.schedule_storm: negative count";
+  let tally = fresh_tally () in
+  (* Fixed arrival times relative to now: open-loop, the schedule never
+     waits for completions. Ranks are drawn at fire time from the
+     driver's RNG; the transport fires equal-delay events in a
+     deterministic order, so the sequence is still seed-reproducible. *)
+  for i = 0 to count - 1 do
+    let delay = start +. (float_of_int i /. rate) in
+    Dpc_net.Transport.schedule transport ~delay (fun () -> record tally (fire t ?up ()))
+  done;
+  fun () -> outcome_of tally
+
+type percentiles = { p50 : float; p90 : float; p99 : float; mean : float }
+
+let percentiles_ms outcome =
+  if outcome.latencies = [] then invalid_arg "Query_driver.percentiles_ms: no latencies";
+  let ms = List.map (fun s -> s *. 1000.0) outcome.latencies in
+  {
+    p50 = Dpc_util.Stats.percentile ms 50.0;
+    p90 = Dpc_util.Stats.percentile ms 90.0;
+    p99 = Dpc_util.Stats.percentile ms 99.0;
+    mean = Dpc_util.Stats.mean ms;
+  }

@@ -1,11 +1,17 @@
 #!/bin/sh
 # Bench regression gate: run the fig8/fig9 forwarding benchmarks at the
-# same scale and seed as the checked-in baseline (BENCH_PR7.json) and fail
+# same scale and seed as the checked-in baseline (BENCH_PR8.json) and fail
 # if events/s regressed by more than the tolerance on either figure.
 #
 # Wall-clock throughput is noisy, so the tolerance is deliberately wide
 # (15%); the gate catches algorithmic regressions (an accidental O(n^2),
 # a lost index), not scheduler jitter. Improvements never fail the gate.
+#
+# When the baseline carries a "queries" figure, the gate additionally
+# runs the query-storm figure and compares each scheme's warm-cache p99
+# series. Those latencies are modeled (deterministic), so a regression
+# there means the cache or the re-execution walk got algorithmically
+# worse, not that the builder was busy.
 #
 #   scripts/bench_gate.sh [baseline.json]
 #
@@ -16,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-baseline=${1:-BENCH_PR7.json}
+baseline=${1:-BENCH_PR8.json}
 tol=${DPC_BENCH_GATE_TOL:-0.15}
 
 if [ "${DPC_BENCH_GATE_SKIP:-0}" = "1" ]; then
@@ -38,12 +44,16 @@ if [ ! -f "$baseline" ]; then
 fi
 
 seed=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['seed'])" "$baseline")
+figs="--fig 8 --fig 9"
+if python3 -c "import json,sys; sys.exit(0 if 'queries' in json.load(open(sys.argv[1]))['figures'] else 1)" "$baseline"; then
+    figs="$figs --fig queries"
+fi
 
 current=$(mktemp /tmp/dpc-bench-gate.XXXXXX.json)
 trap 'rm -f "$current"' EXIT
 
-echo "== bench gate: fig8+fig9, seed $seed, vs $baseline (tolerance ${tol}) =="
-dune exec bench/main.exe -- --fig 8 --fig 9 --seed "$seed" --json "$current" >/dev/null
+echo "== bench gate: $figs, seed $seed, vs $baseline (tolerance ${tol}) =="
+dune exec bench/main.exe -- $figs --seed "$seed" --json "$current" >/dev/null
 
 python3 - "$baseline" "$current" "$tol" <<'PY'
 import json, sys
@@ -65,6 +75,29 @@ for fig in ("fig8", "fig9"):
     print("%s: %.1f events/s vs baseline %.1f (%.2fx) %s" % (fig, cur, base, ratio, verdict))
     if verdict != "ok":
         failed = True
+
+# Query-storm p99 gate: modeled latency, lower is better, so the check
+# is inverted — the current warm-cache p99 may not exceed the baseline
+# by more than the tolerance.
+base_queries = baseline["figures"].get("queries")
+if base_queries is not None:
+    cur_queries = current["figures"]["queries"]
+    for label, points in sorted(base_queries["series"].items()):
+        if not label.endswith("p99 us (warm cache)"):
+            continue
+        base_p99 = points[-1][1]
+        cur_points = cur_queries["series"].get(label)
+        if not cur_points:
+            print("queries %s: series missing from current run REGRESSED" % label)
+            failed = True
+            continue
+        cur_p99 = cur_points[-1][1]
+        ratio = cur_p99 / base_p99
+        verdict = "ok" if ratio <= 1.0 + tol else "REGRESSED"
+        print("queries %s: %d us vs baseline %d (%.2fx) %s" % (
+            label, cur_p99, base_p99, ratio, verdict))
+        if verdict != "ok":
+            failed = True
 
 if failed:
     sys.exit("bench gate FAILED: events/s regressed more than %.0f%%" % (tol * 100))

@@ -45,9 +45,17 @@ echo "== domain-scaling determinism sweep (1/2/4 domains) =="
 make scaling >/dev/null
 echo "scaling sweep ok"
 
+# Query serving tier: full-width cache/pagination/storm suites plus the
+# queries bench figure, which carries its own shape checks (>= 50% hit
+# rate, warm p99 faster than cache-off, degraded crash-window storm).
+echo "== query serving tier sweep (full, pinned seeds) =="
+make queries >/dev/null
+echo "queries sweep ok"
+
 # Throughput regression gate: fig8/fig9 events/s vs the checked-in
-# baseline (BENCH_PR5.json), >15% regression fails. Wall-clock based, so
-# it can be skipped on noisy builders with DPC_BENCH_GATE_SKIP=1.
+# baseline (BENCH_PR8.json), >15% regression fails — plus the queries
+# figure's modeled warm-cache p99. Wall-clock based, so it can be
+# skipped on noisy builders with DPC_BENCH_GATE_SKIP=1.
 sh scripts/bench_gate.sh
 
 # Bench smoke: the tiny fig9 run must finish quickly and produce a valid
@@ -78,17 +86,19 @@ else
     echo "bench json ok (python3 unavailable; key check only)"
 fi
 
-# Determinism: two same-seed runs of the fig9/fig11/crash scenarios
-# (storage snapshots, bandwidth totals, fault injection + reliable
-# delivery, seeded crash schedules with durable recovery) must agree
-# byte-for-byte once the wall-clock-derived fields are stripped
-# ("recovery ms" is measured wall clock, like wall_clock_s).
-echo "== bench determinism (tiny fig9+fig11+crash, seed 7, two runs) =="
+# Determinism: two same-seed runs of the fig9/fig11/crash/queries
+# scenarios (storage snapshots, bandwidth totals, fault injection +
+# reliable delivery, seeded crash schedules with durable recovery,
+# Zipfian query storms with modeled latencies) must agree byte-for-byte
+# once the wall-clock-derived fields are stripped ("recovery ms" is
+# measured wall clock, like wall_clock_s; query percentiles are modeled
+# time and therefore NOT stripped).
+echo "== bench determinism (tiny fig9+fig11+crash+queries, seed 7, two runs) =="
 det_a=$(mktemp /tmp/dpc-bench-det-a.XXXXXX.json)
 det_b=$(mktemp /tmp/dpc-bench-det-b.XXXXXX.json)
 trap 'rm -f "$bench_json" "$det_a" "$det_b"' EXIT
-dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --tiny --seed 7 --json "$det_a" >/dev/null
-dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --tiny --seed 7 --json "$det_b" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig queries --tiny --seed 7 --json "$det_a" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig queries --tiny --seed 7 --json "$det_b" >/dev/null
 grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_a" > "$det_a.stripped"
 grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_b" > "$det_b.stripped"
 trap 'rm -f "$bench_json" "$det_a" "$det_b" "$det_a.stripped" "$det_b.stripped"' EXIT

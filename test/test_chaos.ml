@@ -58,9 +58,26 @@ type totals = {
   mutable duplicated : int;
   mutable retransmits : int;
   mutable dup_dropped : int;
+  mutable cache_hits : int;
 }
 
-let sweep_totals = { dropped = 0; duplicated = 0; retransmits = 0; dup_dropped = 0 }
+let sweep_totals =
+  { dropped = 0; duplicated = 0; retransmits = 0; dup_dropped = 0; cache_hits = 0 }
+
+(* Cache-correctness satellite: attach a memoization cache to a finished
+   world and read its full observable state twice — once populating, once
+   served from the cache. Both passes must reproduce [reference] byte for
+   byte; the hit count is returned so the sweep can prove the second pass
+   actually served from memory. *)
+let check_cached_digests ~(fail : string -> unit) w reference =
+  let cache = Backend.attach_query_cache w.Delp_gen.backend in
+  if world_digests w <> reference then
+    fail "cache-on digests diverged from cache-off (populating pass)";
+  if world_digests w <> reference then
+    fail "cache-on digests diverged from cache-off (hit pass)";
+  let stats = Query_cache.stats cache in
+  Backend.detach_query_cache w.Delp_gen.backend;
+  stats.Query_cache.hits
 
 let chaos_instance seed =
   let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed) in
@@ -110,6 +127,9 @@ let chaos_instance seed =
         fail "provenance diverged under faults\nclean:\n%s\nchaos:\n%s" (render clean_digests)
           (render chaos_digests)
       end;
+      sweep_totals.cache_hits <-
+        sweep_totals.cache_hits
+        + check_cached_digests ~fail:(fun msg -> fail "%s" msg) chaos clean_digests;
       sweep_totals.dropped <- sweep_totals.dropped + Atomic.get fstats.dropped;
       sweep_totals.duplicated <- sweep_totals.duplicated + Atomic.get fstats.duplicated;
       sweep_totals.retransmits <- sweep_totals.retransmits + rstats.retransmits;
@@ -122,7 +142,8 @@ let run_sweep ~instances =
   check Alcotest.bool "messages were dropped" true (sweep_totals.dropped > 0);
   check Alcotest.bool "messages were duplicated" true (sweep_totals.duplicated > 0);
   check Alcotest.bool "retransmits happened" true (sweep_totals.retransmits > 0);
-  check Alcotest.bool "dedup suppressed duplicates" true (sweep_totals.dup_dropped > 0)
+  check Alcotest.bool "dedup suppressed duplicates" true (sweep_totals.dup_dropped > 0);
+  check Alcotest.bool "query cache served hits" true (sweep_totals.cache_hits > 0)
 
 let test_sweep_quick () = run_sweep ~instances:10
 
@@ -151,9 +172,11 @@ type crash_totals = {
   mutable crashes : int;
   mutable suppressed : int;
   mutable recovered_entries : int;  (* journal entries replayed across all restarts *)
+  mutable crash_cache_hits : int;
 }
 
-let crash_sweep_totals = { crashes = 0; suppressed = 0; recovered_entries = 0 }
+let crash_sweep_totals =
+  { crashes = 0; suppressed = 0; recovered_entries = 0; crash_cache_hits = 0 }
 
 (* Event spacing and outage windows sized together: downtimes stay far
    below the reliable layer's ~16 s retry budget, and the crash horizon
@@ -199,6 +222,9 @@ let crash_instance seed =
           ~config:{ Durable.checkpoint_every = 8; rebase_every = 4 } ()
       in
       Durable.schedule durable schedule;
+      (* A cache lives through the crashes too, so every Node.reset runs
+         the registered invalidation hook on a real recovery path. *)
+      ignore (Backend.attach_query_cache world.Delp_gen.backend);
       Delp_gen.run_events ~spacing:crash_spacing world instance.events;
       (* Every scheduled outage ended inside the run. *)
       Array.iteri
@@ -221,6 +247,9 @@ let crash_instance seed =
         fail "provenance diverged across crashes\nclean:\n%s\ncrashed:\n%s" (render clean_digests)
           (render crash_digests)
       end;
+      crash_sweep_totals.crash_cache_hits <-
+        crash_sweep_totals.crash_cache_hits
+        + check_cached_digests ~fail:(fun msg -> fail "%s" msg) world clean_digests;
       let stats = control.Dpc_net.Transport.crash_stats in
       crash_sweep_totals.crashes <- crash_sweep_totals.crashes + Atomic.get stats.crashes;
       crash_sweep_totals.suppressed <- crash_sweep_totals.suppressed + Atomic.get stats.suppressed;
@@ -238,7 +267,9 @@ let run_crash_sweep ~instances =
   check Alcotest.bool "nodes crashed" true (crash_sweep_totals.crashes > 0);
   check Alcotest.bool "deliveries were suppressed at down nodes" true
     (crash_sweep_totals.suppressed > 0);
-  check Alcotest.bool "journals were non-trivial" true (crash_sweep_totals.recovered_entries > 0)
+  check Alcotest.bool "journals were non-trivial" true (crash_sweep_totals.recovered_entries > 0);
+  check Alcotest.bool "query cache served hits after recovery" true
+    (crash_sweep_totals.crash_cache_hits > 0)
 
 let test_crash_quick () = run_crash_sweep ~instances:6
 

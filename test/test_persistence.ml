@@ -165,6 +165,7 @@ let world_digests (w : Dpc_testkit.Delp_gen.world) =
   |> List.sort compare
 
 let test_midrun_checkpoint name scheme =
+  let cache_hits = ref 0 in
   List.iter
     (fun seed ->
       let open Dpc_testkit in
@@ -202,10 +203,25 @@ let test_midrun_checkpoint name scheme =
       check Alcotest.bool
         (Printf.sprintf "%s seed %d: mid-run checkpoint happened" name seed)
         true (stats.checkpoints >= 2);
-      if world_digests clean <> world_digests world then
+      let reference = world_digests clean in
+      if reference <> world_digests world then
         Alcotest.failf "%s seed %d: queries diverged after mid-run checkpoint + replay\n%s" name
-          seed instance.description)
-    [ 1; 2; 3; 4; 5 ]
+          seed instance.description;
+      (* Cache-correctness satellite: a memoization cache attached to the
+         recovered world must be invisible — a populating pass and an
+         all-hit pass both reproduce the clean run's digests. *)
+      let cache = Backend.attach_query_cache world.Delp_gen.backend in
+      if reference <> world_digests world then
+        Alcotest.failf "%s seed %d: cache-on digests diverged (populating pass)\n%s" name seed
+          instance.description;
+      if reference <> world_digests world then
+        Alcotest.failf "%s seed %d: cache-on digests diverged (hit pass)\n%s" name seed
+          instance.description;
+      cache_hits := !cache_hits + (Query_cache.stats cache).hits)
+    [ 1; 2; 3; 4; 5 ];
+  (* Some seeds derive nothing cacheable; across the five the hit pass
+     must have served from memory at least once. *)
+  check Alcotest.bool (name ^ ": cache served hits") true (!cache_hits > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Delta-checkpoint drift suite: a base cut plus a chain of deltas,

@@ -210,6 +210,42 @@ let test_crash_digests () =
   check Alcotest.bool "crashes actually fired" true (!crashes > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Query-cache transparency across domain counts: for every schedule
+   kind (clean, chaos, crash), every scheme, and every shard count, a
+   memoization cache attached after the run must not change one digest —
+   the populating pass and the all-hit pass both reproduce the cache-off
+   reading of the same world. *)
+
+let test_cache_digests () =
+  let hits = ref 0 in
+  let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed:4) in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun (kind, w) ->
+              let off = world_digests w in
+              let cache = Backend.attach_query_cache w.Delp_gen.backend in
+              List.iter
+                (fun pass ->
+                  let on = world_digests w in
+                  if off <> on then
+                    Alcotest.failf
+                      "%s, %s, ~domains:%d: cache-on digests diverged (%s pass)\noff:\n%s\non:\n%s"
+                      kind (Backend.scheme_name scheme) domains pass (render off) (render on))
+                [ "populating"; "hit" ];
+              hits := !hits + (Query_cache.stats cache).hits)
+            [
+              ("clean", clean_world instance scheme domains);
+              ("chaos", fst (chaos_world instance scheme domains));
+              ("crash", (let w, _, _ = crash_world instance scheme domains in w));
+            ])
+        domain_counts)
+    all_schemes;
+  check Alcotest.bool "cache served hits" true (!hits > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Shard partition: total, disjoint, stable. *)
 
 let test_partition () =
@@ -314,6 +350,7 @@ let () =
           Alcotest.test_case "run-to-run at 4 domains" `Quick test_run_to_run;
           Alcotest.test_case "chaos digests across domains" `Quick test_chaos_digests;
           Alcotest.test_case "crash digests across domains" `Slow test_crash_digests;
+          Alcotest.test_case "cache transparency across domains" `Quick test_cache_digests;
         ] );
       ( "partition",
         [

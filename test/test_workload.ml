@@ -167,6 +167,94 @@ let test_dns_zipf_concentrates_requests () =
   | [] -> Alcotest.fail "no replies"
 
 (* ------------------------------------------------------------------ *)
+(* Query driver (seeded Zipfian storms) *)
+
+let storm_world () =
+  let ts, routing, rng = transit_stub_world () in
+  let pairs = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:5 in
+  let d =
+    Forwarding_driver.setup ~scheme:Dpc_core.Backend.S_advanced ~topology:ts.topology
+      ~routing ~pairs ()
+  in
+  ignore (Forwarding_driver.inject_stream d ~rate_per_pair:4.0 ~duration:2.0 ~payload_size:100);
+  Forwarding_driver.run d;
+  (d, Array.of_list (Forwarding_driver.received d))
+
+let test_query_driver_deterministic () =
+  let d, targets = storm_world () in
+  let storm seed =
+    Query_driver.storm
+      (Query_driver.create ~backend:d.Forwarding_driver.backend
+         ~routing:d.Forwarding_driver.routing ~targets ~seed ())
+      ~count:50 ()
+  in
+  let a = storm 11 and b = storm 11 in
+  check Alcotest.int "issued" 50 a.Query_driver.issued;
+  check Alcotest.int "all complete" 50 a.Query_driver.complete;
+  check Alcotest.int "no partials" 0 a.Query_driver.partial;
+  check Alcotest.int "no empties" 0 a.Query_driver.empty;
+  check
+    (Alcotest.list (Alcotest.float 1e-12))
+    "same seed, same storm" a.Query_driver.latencies b.Query_driver.latencies;
+  let c = storm 12 in
+  if a.Query_driver.latencies = c.Query_driver.latencies then
+    Alcotest.fail "different seeds issued identical 50-query storms";
+  let p = Query_driver.percentiles_ms a in
+  check Alcotest.bool "percentiles ordered" true (p.p50 <= p.p90 && p.p90 <= p.p99);
+  check Alcotest.bool "positive latencies" true (p.p50 > 0.0)
+
+let test_query_driver_open_loop () =
+  let ts, routing, rng = transit_stub_world () in
+  let pairs = Pairs.select ~rng ~eligible:ts.stub_nodes ~count:5 in
+  (* Targets come from a completed twin world; the storm then rides the
+     live transport of a second, still-running one. *)
+  let _, targets = storm_world () in
+  let d =
+    Forwarding_driver.setup ~scheme:Dpc_core.Backend.S_advanced ~topology:ts.topology
+      ~routing ~pairs ()
+  in
+  ignore (Forwarding_driver.inject_stream d ~rate_per_pair:4.0 ~duration:2.0 ~payload_size:100);
+  let driver =
+    Query_driver.create ~backend:d.Forwarding_driver.backend
+      ~routing:d.Forwarding_driver.routing ~targets ~seed:11 ()
+  in
+  let collect =
+    Query_driver.schedule_storm driver ~transport:d.Forwarding_driver.transport ~start:0.5
+      ~rate:100.0 ~count:30 ()
+  in
+  (* Nothing fires until the transport runs. *)
+  check Alcotest.int "armed, not fired" 0 (collect ()).Query_driver.issued;
+  Forwarding_driver.run d;
+  let o = collect () in
+  check Alcotest.int "all fired during the run" 30 o.Query_driver.issued;
+  check Alcotest.int "all complete" 30 o.Query_driver.complete
+
+let test_query_driver_errors () =
+  let d, targets = storm_world () in
+  let backend = d.Forwarding_driver.backend and routing = d.Forwarding_driver.routing in
+  Alcotest.check_raises "empty targets"
+    (Invalid_argument "Query_driver.create: no targets") (fun () ->
+      ignore (Query_driver.create ~backend ~routing ~targets:[||] ()));
+  let driver = Query_driver.create ~backend ~routing ~targets ~seed:1 () in
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Query_driver.schedule_storm: rate must be positive") (fun () ->
+      ignore
+        (Query_driver.schedule_storm driver ~transport:d.Forwarding_driver.transport
+           ~start:0.0 ~rate:0.0 ~count:1 ()
+          : unit -> Query_driver.outcome));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Query_driver.schedule_storm: negative count") (fun () ->
+      ignore
+        (Query_driver.schedule_storm driver ~transport:d.Forwarding_driver.transport
+           ~start:0.0 ~rate:1.0 ~count:(-1) ()
+          : unit -> Query_driver.outcome));
+  Alcotest.check_raises "percentiles of nothing"
+    (Invalid_argument "Query_driver.percentiles_ms: no latencies") (fun () ->
+      ignore
+        (Query_driver.percentiles_ms
+           { Query_driver.issued = 0; complete = 0; partial = 0; empty = 0; latencies = [] }))
+
+(* ------------------------------------------------------------------ *)
 (* Measure *)
 
 let test_measure_snapshots () =
@@ -237,6 +325,13 @@ let () =
           Alcotest.test_case "resolves everything" `Quick test_dns_driver_resolves_everything;
           Alcotest.test_case "storage ordering" `Quick test_dns_driver_storage_ordering;
           Alcotest.test_case "zipf concentration" `Quick test_dns_zipf_concentrates_requests;
+        ] );
+      ( "query driver",
+        [
+          Alcotest.test_case "seeded storms are deterministic" `Quick
+            test_query_driver_deterministic;
+          Alcotest.test_case "open-loop scheduling" `Quick test_query_driver_open_loop;
+          Alcotest.test_case "errors" `Quick test_query_driver_errors;
         ] );
       ( "measure",
         [

@@ -1,4 +1,4 @@
-.PHONY: all build test bench chaos crash scaling queries bench-gate ci clean
+.PHONY: all build test bench chaos crash scaling queries procs doc bench-gate ci clean
 
 all: build
 
@@ -42,6 +42,17 @@ scaling:
 queries:
 	DPC_QUERIES_FULL=1 dune exec test/test_query.exe
 	dune exec bench/main.exe -- --fig queries --tiny
+
+# Real processes: one dpcd daemon per node, Unix-socket transport, WAL +
+# checkpoints + durable outbox on disk. The launcher kill -9s node 1
+# mid-run, recovers it from its data directory, and requires every
+# node's digests to equal the in-process simulator's — all four schemes.
+procs:
+	dune exec bin/dpcd.exe -- cluster
+
+# API docs (requires odoc; `make ci` skips this step where it is absent).
+doc:
+	dune build @doc
 
 # Throughput regression gate against the checked-in baseline
 # (BENCH_PR8.json): fig8/fig9 events/s may not drop more than 15%, and

@@ -1,0 +1,95 @@
+(* dpcd: the real-process node daemon and its cluster launcher.
+
+   `dpcd serve` hosts ONE scenario node in this process — socket
+   transport, WAL + checkpoints + outbox on disk under --dir — and pumps
+   its event loop until a Shutdown control frame.
+
+   `dpcd cluster` is the transparency oracle: it spawns three `dpcd
+   serve` children per scheme, drives the Scenario phases over the
+   control plane (including a mid-run `kill -9` of node 1 and a recovery
+   from its data directory), and checks every node's digests against the
+   in-process simulator. Exit status 0 iff every scheme matched. *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    match Dpc_proc.Cluster.scheme_of_arg s with
+    | Some scheme -> Ok scheme
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Dpc_proc.Cluster.scheme_arg s) in
+  Arg.conv (parse, print)
+
+let scheme_doc = "Maintenance scheme: exspan, basic, advanced, or advanced-interclass."
+
+(* ---- serve ----------------------------------------------------------- *)
+
+let serve scheme nodes local dir =
+  if local < 0 || local >= nodes then
+    `Error (false, Printf.sprintf "--local %d out of range for %d nodes" local nodes)
+  else begin
+    let daemon =
+      Dpc_proc.Daemon.create ~scheme ~nodes ~local
+        ~addr_of:(Dpc_proc.Cluster.addr_of ~dir)
+        ~dir ()
+    in
+    Dpc_proc.Daemon.serve daemon;
+    `Ok ()
+  end
+
+let serve_cmd =
+  let scheme =
+    Arg.(required & opt (some scheme_conv) None & info [ "scheme" ] ~docv:"SCHEME" ~doc:scheme_doc)
+  in
+  let nodes =
+    Arg.(value & opt int Dpc_proc.Scenario.nodes & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let local =
+    Arg.(required & opt (some int) None & info [ "local" ] ~docv:"I" ~doc:"The node this process hosts.")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Data directory: listen sockets, and this node's WAL/checkpoints/outbox under \
+                $(i,DIR)/node-$(i,I)/.")
+  in
+  let doc = "host one cluster node in this process" in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(ret (const serve $ scheme $ nodes $ local $ dir))
+
+(* ---- cluster --------------------------------------------------------- *)
+
+let cluster schemes dir =
+  let schemes =
+    match schemes with [] -> Dpc_core.Backend.all_schemes | chosen -> chosen
+  in
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> Filename.temp_dir "dpc-procs-" ""
+  in
+  Printf.printf "dpcd cluster: %d node(s) per scheme, state under %s\n%!" Dpc_proc.Scenario.nodes dir;
+  if Dpc_proc.Cluster.run_all ~exe:Sys.executable_name ~dir schemes then `Ok ()
+  else `Error (false, "real-process digests diverged from the simulator")
+
+let cluster_cmd =
+  let schemes =
+    Arg.(value & opt_all scheme_conv [] & info [ "scheme" ] ~docv:"SCHEME" ~doc:(scheme_doc ^ " Repeatable; default all four."))
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Working directory (default: a fresh temp dir). Keep short: Unix socket paths live \
+                inside it.")
+  in
+  let doc = "spawn a daemon per node and run the crash/transparency oracle" in
+  Cmd.v (Cmd.info "cluster" ~doc) Term.(ret (const cluster $ schemes $ dir))
+
+let () =
+  let doc = "distributed provenance compression, as real processes" in
+  let info = Cmd.info "dpcd" ~doc in
+  exit (Cmd.eval (Cmd.group info [ serve_cmd; cluster_cmd ]))

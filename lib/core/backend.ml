@@ -107,6 +107,12 @@ let checkpoint_node t node =
   | Basic s -> Store_basic.checkpoint_node s node
   | Advanced s -> Store_advanced.checkpoint_node s node
 
+let digest_node t node =
+  match t with
+  | Exspan s -> Store_exspan.digest_node s node
+  | Basic s -> Store_basic.digest_node s node
+  | Advanced s -> Store_advanced.digest_node s node
+
 let restore_node t node blob =
   match t with
   | Exspan s -> Store_exspan.restore_node s node blob

@@ -99,6 +99,13 @@ val checkpoint_node : t -> int -> string
 (** Serialize one node's tables for its durable checkpoint (used by
     {!Durable} between WAL compactions). *)
 
+val digest_node : t -> int -> string
+(** SHA-1 (hex) of the node's canonical checkpoint blob WITHOUT sealing
+    dirty tracking — a pure observation, safe to take between delta
+    cuts. Equal digests mean byte-identical node tables; this is what
+    the real-process transparency oracle compares against the
+    simulator. *)
+
 val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}, from
     {!checkpoint_node} output taken on the same scheme.

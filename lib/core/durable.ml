@@ -13,12 +13,223 @@ type config = { checkpoint_every : int; rebase_every : int }
 
 let default_config = { checkpoint_every = 64; rebase_every = 8 }
 
+(* Real-disk plumbing. The durability target is crash-stop of the
+   PROCESS (kill -9), not power loss: a completed [write] survives the
+   process because the page cache belongs to the kernel, so "durable"
+   here means written, not fsynced. Upgrading to power-failure
+   durability is one fsync per flush point, in exactly these spots. *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Atomic file replacement: full content to a temp name, then rename.
+   Readers see the old version or the new one, never a torn middle. *)
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () -> write_all fd contents);
+  Sys.rename tmp path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+module Outbox = struct
+  (* The persist-before-send ledger: a [Send] record reaches this file
+     before the frame's first transmission, so an outgoing message can
+     never be lost to a sender crash — on restart the unacked tail is
+     re-offered and the receiver's dedup window absorbs any overlap.
+     [Ack] records let compaction drop delivered payloads; [Mark]
+     records survive compaction as the per-channel sequence summary
+     (without them a compacted ledger would forget how many sends ever
+     existed, and recovery could re-issue a used sequence number). *)
+
+  type chan = {
+    mutable recorded : int;  (* highest sequence ever written for this dst *)
+    mutable acked : int;  (* highest cumulatively acknowledged sequence *)
+    pending : (int, string) Hashtbl.t;  (* recorded, not yet acked *)
+  }
+
+  type t = {
+    path : string;
+    mutable fd : Unix.file_descr;
+    chans : (int, chan) Hashtbl.t;
+    mutable bytes : int;
+  }
+
+  let magic = "dpc-outbox-v1"
+
+  let chan_of t dst =
+    match Hashtbl.find_opt t.chans dst with
+    | Some c -> c
+    | None ->
+        let c = { recorded = 0; acked = 0; pending = Hashtbl.create 8 } in
+        Hashtbl.replace t.chans dst c;
+        c
+
+  let drop_acked c upto =
+    Hashtbl.iter
+      (fun seq _ -> if seq <= upto then Hashtbl.remove c.pending seq)
+      (Hashtbl.copy c.pending)
+
+  let apply_send t dst seq payload =
+    let c = chan_of t dst in
+    if seq > c.recorded then c.recorded <- seq;
+    if seq > c.acked then Hashtbl.replace c.pending seq payload
+
+  let apply_ack t dst seq =
+    let c = chan_of t dst in
+    if seq > c.acked then begin
+      c.acked <- seq;
+      drop_acked c seq
+    end
+
+  let apply_mark t dst recorded acked =
+    let c = chan_of t dst in
+    if recorded > c.recorded then c.recorded <- recorded;
+    if acked > c.acked then begin
+      c.acked <- acked;
+      drop_acked c acked
+    end
+
+  let read_record t r =
+    match S.read_varint r with
+    | 0 ->
+        let dst = S.read_varint r in
+        let seq = S.read_varint r in
+        let payload = S.read_string r in
+        apply_send t dst seq payload
+    | 1 ->
+        let dst = S.read_varint r in
+        let seq = S.read_varint r in
+        apply_ack t dst seq
+    | 2 ->
+        let dst = S.read_varint r in
+        let recorded = S.read_varint r in
+        let acked = S.read_varint r in
+        apply_mark t dst recorded acked
+    | tag -> raise (S.Corrupt (Printf.sprintf "outbox: unknown record tag %d" tag))
+
+  let open_ ~dir =
+    let path = Filename.concat dir "outbox.log" in
+    let t = { path; fd = Unix.stdin; chans = Hashtbl.create 8; bytes = 0 } in
+    let existing = Sys.file_exists path in
+    if existing then begin
+      let contents = read_file path in
+      if contents <> "" then begin
+        let r = S.reader contents in
+        (match S.read_string r with
+        | m when m = magic -> ()
+        | m -> raise (S.Corrupt (Printf.sprintf "outbox: bad magic %S in %s" m path))
+        | exception S.Corrupt _ ->
+            raise (S.Corrupt (Printf.sprintf "outbox: unreadable header in %s" path)));
+        (* A kill can tear the last record mid-write; everything after the
+           first undecodable byte was never acknowledged to anyone (the
+           record had not finished persisting, so the frame never went
+           out) and is safely dropped. *)
+        (try
+           while not (S.at_end r) do
+             read_record t r
+           done
+         with S.Corrupt _ -> ());
+        t.bytes <- String.length contents
+      end
+    end;
+    t.fd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+    if (not existing) || t.bytes = 0 then begin
+      let header = S.with_scratch (fun w -> S.write_string w magic) in
+      write_all t.fd header;
+      t.bytes <- String.length header
+    end;
+    t
+
+  let append t blob =
+    write_all t.fd blob;
+    t.bytes <- t.bytes + String.length blob
+
+  let record_send t ~dst ~seq payload =
+    apply_send t dst seq payload;
+    append t
+      (S.with_scratch (fun w ->
+           S.write_varint w 0;
+           S.write_varint w dst;
+           S.write_varint w seq;
+           S.write_string w payload))
+
+  let record_ack t ~dst ~seq =
+    if seq > (chan_of t dst).acked then begin
+      apply_ack t dst seq;
+      append t
+        (S.with_scratch (fun w ->
+             S.write_varint w 1;
+             S.write_varint w dst;
+             S.write_varint w seq))
+    end
+
+  let pending t =
+    Hashtbl.fold
+      (fun dst c acc ->
+        Hashtbl.fold (fun seq payload acc -> (dst, seq, payload) :: acc) c.pending acc)
+      t.chans []
+    |> List.sort compare
+
+  let next_seq t ~dst = (chan_of t dst).recorded + 1
+  let recorded t ~dst = (chan_of t dst).recorded
+  let acked t ~dst = (chan_of t dst).acked
+  let size_bytes t = t.bytes
+
+  let compact t =
+    let blob =
+      S.with_scratch (fun w ->
+          S.write_string w magic;
+          let dsts = Hashtbl.fold (fun dst _ acc -> dst :: acc) t.chans [] |> List.sort compare in
+          List.iter
+            (fun dst ->
+              let c = chan_of t dst in
+              S.write_varint w 2;
+              S.write_varint w dst;
+              S.write_varint w c.recorded;
+              S.write_varint w c.acked;
+              Hashtbl.fold (fun seq payload acc -> (seq, payload) :: acc) c.pending []
+              |> List.sort compare
+              |> List.iter (fun (seq, payload) ->
+                     S.write_varint w 0;
+                     S.write_varint w dst;
+                     S.write_varint w seq;
+                     S.write_string w payload))
+            dsts)
+    in
+    Unix.close t.fd;
+    write_file_atomic t.path blob;
+    t.fd <- Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+    t.bytes <- String.length blob
+
+  let close t = try Unix.close t.fd with _ -> ()
+end
+
 (* What a node needs to come back: the store tables, the slow-table
    database, and its reliable-channel sequence state, all as of the same
    boundary. A delta cut carries the store and db CHANGES since the
    previous cut; only the channel snapshot (O(channels) sequence
    numbers, not O(state)) is always full. *)
 type checkpoint = { store : string; db : string; channels : string option }
+
+(* One node's on-disk mirror: cut files + a write-ahead log named by
+   epoch, tied together by an atomically-replaced manifest. The manifest
+   rename is the commit point of a compaction; every other file write
+   happens strictly before it, so a crash at any instant leaves either
+   the old (cuts, wal) generation or the new one fully intact. *)
+type disk = {
+  dir : string;
+  mutable wal_fd : Unix.file_descr;
+  mutable epoch : int;  (* names the live wal file, wal-<epoch>.log *)
+  mutable base_id : int;  (* cut id of the full checkpoint; -1 before the first *)
+  mutable delta_ids : int list;  (* oldest first *)
+  mutable next_cut : int;
+  outbox : Outbox.t;
+}
 
 type node_log = {
   mutable checkpoint : checkpoint option;  (* last full (base) cut *)
@@ -50,6 +261,7 @@ type node_log = {
   mutable recovery_s : float;
   mutable recovery_ms_ticked : int;
   mutable queries_degraded : int;
+  mutable disk : disk option;
 }
 
 type node_stats = {
@@ -70,6 +282,12 @@ type t = {
   control : Transport.crash_control;
   config : config;
   logs : node_log array;
+  from_disk : bool array;
+      (* Nodes whose log was loaded from an existing on-disk state at
+         attach; their volatile state is rebuilt by {!recover}, not
+         sealed into a fresh checkpoint 0. *)
+  mutable chan_snapshot : (int -> string option) option;
+  mutable chan_restore : (int -> string -> unit) option;
   recovering : bool array;
       (* Recovery replays the journal through the same code paths that
          produced it; this per-node flag keeps those paths from appending
@@ -97,7 +315,76 @@ let fresh_log () =
     recovery_s = 0.0;
     recovery_ms_ticked = 0;
     queries_degraded = 0;
+    disk = None;
   }
+
+(* ---- the on-disk format (dpc-manifest-v1 / dpc-cut-v1) --------------- *)
+
+let manifest_magic = "dpc-manifest-v1"
+let cut_magic = "dpc-cut-v1"
+let wal_path dir epoch = Filename.concat dir (Printf.sprintf "wal-%d.log" epoch)
+let cut_path dir id = Filename.concat dir (Printf.sprintf "cut-%d.bin" id)
+let manifest_path dir = Filename.concat dir "manifest"
+
+let write_manifest d =
+  write_file_atomic (manifest_path d.dir)
+    (S.with_scratch (fun w ->
+         S.write_string w manifest_magic;
+         S.write_varint w d.epoch;
+         S.write_varint w d.base_id;
+         S.write_list w (S.write_varint w) d.delta_ids))
+
+let read_manifest dir =
+  let r = S.reader (read_file (manifest_path dir)) in
+  let m = S.read_string r in
+  if m <> manifest_magic then raise (S.Corrupt (Printf.sprintf "manifest: bad magic %S" m));
+  let epoch = S.read_varint r in
+  let base_id = S.read_varint r in
+  let delta_ids = S.read_list r (fun () -> S.read_varint r) in
+  (epoch, base_id, delta_ids)
+
+let write_cut dir id ~is_delta (c : checkpoint) =
+  write_file_atomic (cut_path dir id)
+    (S.with_scratch (fun w ->
+         S.write_string w cut_magic;
+         S.write_bool w is_delta;
+         S.write_string w c.store;
+         S.write_string w c.db;
+         match c.channels with
+         | None -> S.write_bool w false
+         | Some s ->
+             S.write_bool w true;
+             S.write_string w s))
+
+let read_cut dir id =
+  let r = S.reader (read_file (cut_path dir id)) in
+  let m = S.read_string r in
+  if m <> cut_magic then raise (S.Corrupt (Printf.sprintf "cut %d: bad magic %S" id m));
+  let is_delta = S.read_bool r in
+  let store = S.read_string r in
+  let db = S.read_string r in
+  let channels = if S.read_bool r then Some (S.read_string r) else None in
+  (is_delta, { store; db; channels })
+
+(* Drop files a crash between manifest commit and cleanup left behind. *)
+let sweep_unreferenced d =
+  let referenced name =
+    name = "manifest" || name = "outbox.log"
+    || name = Filename.basename (wal_path d.dir d.epoch)
+    || List.exists
+         (fun id -> name = Filename.basename (cut_path d.dir id))
+         (d.base_id :: d.delta_ids)
+  in
+  Array.iter
+    (fun name ->
+      let is_ours =
+        String.length name >= 4
+        && (String.sub name 0 4 = "cut-" || String.sub name 0 4 = "wal-"
+           || Filename.check_suffix name ".tmp")
+      in
+      if is_ours && not (referenced name) then
+        try Unix.unlink (Filename.concat d.dir name) with _ -> ())
+    (Sys.readdir d.dir)
 
 let metrics t node = Node.metrics (Runtime.node t.runtime node)
 
@@ -107,7 +394,9 @@ let recovery_ms_of log = int_of_float (ceil (log.recovery_s *. 1000.))
 let flush_group t node =
   let log = t.logs.(node) in
   if log.pending_entries > 0 then begin
-    log.wal <- S.contents log.pending :: log.wal;
+    let blob = S.contents log.pending in
+    log.wal <- blob :: log.wal;
+    (match log.disk with None -> () | Some d -> write_all d.wal_fd blob);
     S.reset log.pending;
     log.pending_entries <- 0;
     Metrics.incr (metrics t node) ~by:log.pending_bytes "crash.wal_bytes";
@@ -127,8 +416,8 @@ let take_checkpoint t node =
   let log = t.logs.(node) in
   let channels =
     match Runtime.reliability t.runtime with
-    | None -> None
     | Some r -> Some (Reliable.snapshot r ~node)
+    | None -> ( match t.chan_snapshot with Some f -> f node | None -> None)
   in
   let as_delta =
     log.checkpoint <> None
@@ -152,6 +441,37 @@ let take_checkpoint t node =
       c
     end
   in
+  (match log.disk with
+  | None -> ()
+  | Some d ->
+      (* Commit protocol: cut file and fresh wal first, manifest rename
+         second (the commit point), fd switch and cleanup last. A crash
+         before the rename leaves the previous generation complete — the
+         old wal file was never touched; one after it leaves stray files
+         that [sweep_unreferenced] collects on the next load. *)
+      let id = d.next_cut in
+      d.next_cut <- id + 1;
+      write_cut d.dir id ~is_delta:as_delta cut;
+      let old_epoch = d.epoch in
+      let old_base = d.base_id in
+      let old_deltas = d.delta_ids in
+      let epoch = d.epoch + 1 in
+      let fd =
+        Unix.openfile (wal_path d.dir epoch) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      if as_delta then d.delta_ids <- d.delta_ids @ [ id ] else begin
+        d.base_id <- id;
+        d.delta_ids <- []
+      end;
+      d.epoch <- epoch;
+      write_manifest d;
+      (try Unix.close d.wal_fd with _ -> ());
+      d.wal_fd <- fd;
+      (try Unix.unlink (wal_path d.dir old_epoch) with _ -> ());
+      if not as_delta then
+        List.iter
+          (fun old -> if old >= 0 then try Unix.unlink (cut_path d.dir old) with _ -> ())
+          (old_base :: old_deltas));
   log.wal <- [];
   log.wal_entries <- 0;
   log.boundaries <- 0;
@@ -194,7 +514,87 @@ let on_channel_event t (ev : Reliable.channel_event) =
   | Reliable.Next_seq { src; dst; seq } -> append t src (Journal.Next_seq { peer = dst; seq })
   | Reliable.Expected { src; dst; seq } -> append t dst (Journal.Expected { peer = src; seq })
 
-let attach ~backend ~runtime ~control ?(config = default_config) () =
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Rebuild a node's in-memory log from its directory. The wal's valid
+   prefix is kept and the file is rewritten clean before reopening for
+   append — a torn tail (the kill landed mid-write) was never covered by
+   an outgoing ack, so dropping it loses nothing anyone was promised. *)
+let load_disk_state t node dir =
+  let log = t.logs.(node) in
+  let epoch, base_id, delta_ids = read_manifest dir in
+  let base =
+    let is_delta, c = read_cut dir base_id in
+    if is_delta then raise (S.Corrupt (Printf.sprintf "manifest base cut %d is a delta" base_id));
+    c
+  in
+  let deltas =
+    List.map
+      (fun id ->
+        let is_delta, c = read_cut dir id in
+        if not is_delta then
+          raise (S.Corrupt (Printf.sprintf "manifest delta cut %d is a full checkpoint" id));
+        c)
+      delta_ids
+  in
+  log.checkpoint <- Some base;
+  log.deltas <- List.rev deltas;
+  let wpath = wal_path dir epoch in
+  let entries =
+    if Sys.file_exists wpath then begin
+      let r = S.reader (read_file wpath) in
+      let acc = ref [] in
+      (try
+         while not (S.at_end r) do
+           acc := Journal.read r :: !acc
+         done
+       with S.Corrupt _ -> ());
+      List.rev !acc
+    end
+    else []
+  in
+  let blob = S.with_scratch (fun w -> List.iter (Journal.write w) entries) in
+  write_file_atomic wpath blob;
+  if entries <> [] then log.wal <- [ blob ];
+  log.wal_entries <- List.length entries;
+  log.boundaries <- List.length (List.filter Journal.is_boundary entries);
+  log.wal_bytes <- String.length blob;
+  log.checkpoints <- 1 + List.length delta_ids;
+  let d =
+    {
+      dir;
+      wal_fd = Unix.openfile wpath [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+      epoch;
+      base_id;
+      delta_ids;
+      next_cut = 1 + List.fold_left max base_id delta_ids;
+      outbox = Outbox.open_ ~dir;
+    }
+  in
+  log.disk <- Some d;
+  sweep_unreferenced d
+
+let init_disk_state t node dir =
+  mkdir_p dir;
+  let d =
+    {
+      dir;
+      wal_fd = Unix.openfile (wal_path dir 0) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644;
+      epoch = 0;
+      base_id = -1;
+      delta_ids = [];
+      next_cut = 0;
+      outbox = Outbox.open_ ~dir;
+    }
+  in
+  t.logs.(node).disk <- Some d
+
+let attach ~backend ~runtime ~control ?(config = default_config) ?disk
+    ?(disk_nodes = fun _ -> true) () =
   if config.checkpoint_every < 0 then
     invalid_arg "Durable.attach: checkpoint_every must be non-negative";
   if config.rebase_every < 0 then
@@ -207,9 +607,27 @@ let attach ~backend ~runtime ~control ?(config = default_config) () =
       control;
       config;
       logs = Array.init n (fun _ -> fresh_log ());
+      from_disk = Array.make n false;
+      chan_snapshot = None;
+      chan_restore = None;
       recovering = Array.make n false;
     }
   in
+  (match disk with
+  | None -> ()
+  | Some root ->
+      mkdir_p root;
+      Array.iteri
+        (fun node _ ->
+          if disk_nodes node then begin
+            let dir = Filename.concat root (Printf.sprintf "node-%d" node) in
+            if Sys.file_exists (manifest_path dir) then begin
+              load_disk_state t node dir;
+              t.from_disk.(node) <- true
+            end
+            else init_disk_state t node dir
+          end)
+        (Runtime.nodes runtime));
   Runtime.set_journal runtime (fun ~node entry -> append t node entry);
   (* Degraded queries count into the durable log like every other
      [crash.*] statistic: the registry tick alone would vanish if the
@@ -233,8 +651,13 @@ let attach ~backend ~runtime ~control ?(config = default_config) () =
   end;
   (* Seal the pre-attach state (slow tables loaded at build time, empty
      stores) into checkpoint 0, so recovery never depends on journal
-     entries from before the journal existed. *)
-  Array.iteri (fun node _ -> take_checkpoint t node) (Runtime.nodes runtime);
+     entries from before the journal existed. Nodes loaded from disk
+     keep their existing generation — their volatile state is rebuilt by
+     {!recover}, and cutting a fresh checkpoint of the still-empty world
+     here would overwrite it. *)
+  Array.iteri
+    (fun node _ -> if not t.from_disk.(node) then take_checkpoint t node)
+    (Runtime.nodes runtime);
   t
 
 let is_up t node = t.control.Transport.is_up node
@@ -268,60 +691,88 @@ let crash t node =
     rematerialize t node
   end
 
+(* The recovery core shared by in-process [restart] and real-process
+   [recover]: restore the newest cut chain, then replay the wal tail. *)
+let rebuild t node =
+  let log = t.logs.(node) in
+  t.recovering.(node) <- true;
+  Fun.protect
+    ~finally:(fun () -> t.recovering.(node) <- false)
+    (fun () ->
+      (match log.checkpoint with
+      | None -> ()
+      | Some base ->
+          Backend.restore_node t.backend node base.store;
+          (* Store and db: base plus deltas, oldest first. Channels:
+             every cut carries a full snapshot, so only the newest
+             matters. *)
+          let db = Runtime.db t.runtime node in
+          Db.load db base.db;
+          List.iter
+            (fun (d : checkpoint) ->
+              Backend.apply_delta t.backend node d.store;
+              Db.apply_delta db d.db)
+            (List.rev log.deltas);
+          let newest = match log.deltas with d :: _ -> d | [] -> base in
+          (match (newest.channels, Runtime.reliability t.runtime) with
+          | Some blob, Some r -> Reliable.restore r ~node blob
+          | Some blob, None -> (
+              match t.chan_restore with Some f -> f node blob | None -> ())
+          | None, _ -> ()));
+      (* The wal is NOT truncated: a second crash before the next
+         compaction replays the same checkpoint plus the same entries
+         (and whatever lands after this recovery). Each wal blob is one
+         flushed group; decode entries until the group is exhausted. *)
+      let entries =
+        List.concat_map
+          (fun blob ->
+            let r = S.reader blob in
+            let acc = ref [] in
+            while not (S.at_end r) do
+              acc := Journal.read r :: !acc
+            done;
+            List.rev !acc)
+          (List.rev log.wal)
+      in
+      Runtime.replay t.runtime ~node entries)
+
+let tick_recovery t node t0 =
+  let log = t.logs.(node) in
+  log.recovery_s <- log.recovery_s +. (Clock.now () -. t0);
+  let total = recovery_ms_of log in
+  if total > log.recovery_ms_ticked then begin
+    Metrics.incr (metrics t node) ~by:(total - log.recovery_ms_ticked) "crash.recovery_ms";
+    log.recovery_ms_ticked <- total
+  end
+
 let restart t node =
   if not (is_up t node) then begin
     (* Wall clock, NOT [Sys.time]: recovery replays on whatever domain
        runs the shard, and CPU time summed across domains both inflates
        multi-domain recoveries and misses time spent blocked. *)
     let t0 = Clock.now () in
-    let log = t.logs.(node) in
-    t.recovering.(node) <- true;
-    Fun.protect
-      ~finally:(fun () -> t.recovering.(node) <- false)
-      (fun () ->
-        (match log.checkpoint with
-        | None -> ()
-        | Some base ->
-            Backend.restore_node t.backend node base.store;
-            (* Store and db: base plus deltas, oldest first. Channels:
-               every cut carries a full snapshot, so only the newest
-               matters. *)
-            let db = Runtime.db t.runtime node in
-            Db.load db base.db;
-            List.iter
-              (fun (d : checkpoint) ->
-                Backend.apply_delta t.backend node d.store;
-                Db.apply_delta db d.db)
-              (List.rev log.deltas);
-            let newest = match log.deltas with d :: _ -> d | [] -> base in
-            (match (newest.channels, Runtime.reliability t.runtime) with
-            | Some blob, Some r -> Reliable.restore r ~node blob
-            | _ -> ()));
-        (* The wal is NOT truncated: a second crash before the next
-           compaction replays the same checkpoint plus the same entries
-           (and whatever lands after this recovery). Each wal blob is one
-           flushed group; decode entries until the group is exhausted. *)
-        let entries =
-          List.concat_map
-            (fun blob ->
-              let r = S.reader blob in
-              let acc = ref [] in
-              while not (S.at_end r) do
-                acc := Journal.read r :: !acc
-              done;
-              List.rev !acc)
-            (List.rev log.wal)
-        in
-        Runtime.replay t.runtime ~node entries);
-    log.recovery_s <- log.recovery_s +. (Clock.now () -. t0);
-    let total = recovery_ms_of log in
-    if total > log.recovery_ms_ticked then begin
-      Metrics.incr (metrics t node) ~by:(total - log.recovery_ms_ticked) "crash.recovery_ms";
-      log.recovery_ms_ticked <- total
-    end;
+    rebuild t node;
+    tick_recovery t node t0;
     (* Reconnect the wire last: no delivery can race the rebuild. *)
     t.control.Transport.restart node
   end
+
+let recovered t node = t.from_disk.(node)
+
+let recover t node =
+  let t0 = Clock.now () in
+  rebuild t node;
+  tick_recovery t node t0
+
+let set_channel_state t ~snapshot ~restore =
+  t.chan_snapshot <- Some snapshot;
+  t.chan_restore <- Some restore
+
+let journal t node entry = append t node entry
+let flush_wal t node = flush_group t node
+
+let outbox t node =
+  match t.logs.(node).disk with Some d -> Some d.outbox | None -> None
 
 let checkpoint_now t node =
   if not (is_up t node) then invalid_arg "Durable.checkpoint_now: node is down";

@@ -786,25 +786,31 @@ let read_hmap_assocs r (st : node_state) =
        st.hmap_refs <- st.hmap_refs + List.length refs;
        Hashtbl.replace st.hmap k (ref refs)))
 
-let checkpoint_node t node =
+(* The canonical node blob: byte-stable for a given table state however
+   it was reached. [checkpoint_node] seals dirty tracking around it;
+   [digest_node] deliberately does not. *)
+let node_blob t node =
   let open Dpc_util.Serialize in
   let st = state t node in
-  let blob =
-    with_scratch (fun w ->
-        write_string w node_magic;
-        write_bool w t.interclass;
-        write_list w (Rows.write_prov_row w) (table_rows st.prov);
-        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-        write_list w (Rows.write_rule_exec_row w) (table_rows st.exec_nodes);
-        write_list w (Rows.write_link_row w) (table_rows st.exec_links);
-        write_list w (write_string w)
-          (Hashtbl.fold (fun k () acc -> k :: acc) st.htequi [] |> List.sort compare);
-        write_hmap_assocs w (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) st.hmap []);
-        write_node_side w st.slow_tuples;
-        write_node_side w st.events)
-  in
-  clear_dirty st;
+  with_scratch (fun w ->
+      write_string w node_magic;
+      write_bool w t.interclass;
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.exec_nodes);
+      write_list w (Rows.write_link_row w) (table_rows st.exec_links);
+      write_list w (write_string w)
+        (Hashtbl.fold (fun k () acc -> k :: acc) st.htequi [] |> List.sort compare);
+      write_hmap_assocs w (Hashtbl.fold (fun k refs acc -> (k, !refs) :: acc) st.hmap []);
+      write_node_side w st.slow_tuples;
+      write_node_side w st.events)
+
+let checkpoint_node t node =
+  let blob = node_blob t node in
+  clear_dirty (state t node);
   blob
+
+let digest_node t node = Sha1.to_hex (Sha1.digest_string (node_blob t node))
 
 (* O(changes) delta: dirty rows and side entries plus the equivalence-
    state change record — whether htequi was wiped, the keys added since

@@ -102,6 +102,10 @@ val checkpoint_node : t -> int -> string
     ([htequi]/[hmap], both ingress-local), and side stores — for its
     durable checkpoint. The store-global orphan counter is excluded. *)
 
+val digest_node : t -> int -> string
+(** SHA-1 (hex) of the node's canonical blob without sealing dirty
+    tracking — same contract as {!Store_exspan.digest_node}. *)
+
 val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}.
     @raise Dpc_util.Serialize.Corrupt on malformed input or a layout

@@ -519,19 +519,25 @@ let read_node_side r store =
        let key = Sha1.of_raw (read_string r) in
        Side_store.put store ~key (Tuple.deserialize r)))
 
-let checkpoint_node t node =
+(* The canonical node blob: byte-stable for a given table state however
+   it was reached. [checkpoint_node] seals dirty tracking around it;
+   [digest_node] deliberately does not. *)
+let node_blob t node =
   let open Dpc_util.Serialize in
   let st = state t node in
-  let blob =
-    with_scratch (fun w ->
-        write_string w node_magic;
-        write_list w (Rows.write_prov_row w) (table_rows st.prov);
-        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-        write_node_side w st.slow_tuples;
-        write_node_side w st.events)
-  in
-  clear_dirty st;
+  with_scratch (fun w ->
+      write_string w node_magic;
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+      write_node_side w st.slow_tuples;
+      write_node_side w st.events)
+
+let checkpoint_node t node =
+  let blob = node_blob t node in
+  clear_dirty (state t node);
   blob
+
+let digest_node t node = Sha1.to_hex (Sha1.digest_string (node_blob t node))
 
 (* O(changes) delta: the dirty rows/side entries only, same encodings as
    [checkpoint_node], canonically sorted. *)

@@ -62,6 +62,10 @@ val restore : delp:Dpc_ndlog.Delp.t -> env:Dpc_engine.Env.t -> string -> t
 val checkpoint_node : t -> int -> string
 (** Serialize one node's tables for its durable checkpoint. *)
 
+val digest_node : t -> int -> string
+(** SHA-1 (hex) of the node's canonical blob without sealing dirty
+    tracking — same contract as {!Store_exspan.digest_node}. *)
+
 val restore_node : t -> int -> string -> unit
 (** Reload one node's tables after a {!Dpc_engine.Node.reset}.
     @raise Dpc_util.Serialize.Corrupt on malformed input. *)

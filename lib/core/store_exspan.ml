@@ -476,20 +476,26 @@ let read_node_side r put =
        let tuple = Tuple.deserialize r in
        put ~key tuple))
 
-let checkpoint_node t node =
+(* The canonical node blob: byte-stable for a given table state however
+   it was reached. [checkpoint_node] seals dirty tracking around it;
+   [digest_node] deliberately does not. *)
+let node_blob t node =
   let open Dpc_util.Serialize in
   let st = state t node in
-  let blob =
-    with_scratch (fun w ->
-        write_string w node_magic;
-        write_list w (Rows.write_prov_row w) (table_rows st.prov);
-        write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
-        let side = ref [] in
-        Side_store.iter st.tuples (fun ~key tuple -> side := (key, tuple) :: !side);
-        write_node_side w !side)
-  in
-  clear_dirty st;
+  with_scratch (fun w ->
+      write_string w node_magic;
+      write_list w (Rows.write_prov_row w) (table_rows st.prov);
+      write_list w (Rows.write_rule_exec_row w) (table_rows st.rule_exec);
+      let side = ref [] in
+      Side_store.iter st.tuples (fun ~key tuple -> side := (key, tuple) :: !side);
+      write_node_side w !side)
+
+let checkpoint_node t node =
+  let blob = node_blob t node in
+  clear_dirty (state t node);
   blob
+
+let digest_node t node = Sha1.to_hex (Sha1.digest_string (node_blob t node))
 
 (* A delta covers exactly the rows/side entries first inserted since the
    last cut (tables never delete, so that is the whole state change).

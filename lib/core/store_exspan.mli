@@ -62,6 +62,13 @@ val checkpoint_node : t -> int -> string
 (** Serialize ONE node's tables (receiver-side writes make them fully
     node-owned) for inclusion in that node's durable checkpoint. *)
 
+val digest_node : t -> int -> string
+(** SHA-1 (hex) of the node's canonical {!checkpoint_node} blob WITHOUT
+    sealing dirty tracking — a pure observation, safe between delta
+    cuts. Equal digests mean byte-identical tables; the cross-process
+    transparency oracle compares these between a daemon cluster and the
+    simulator. *)
+
 val restore_node : t -> int -> string -> unit
 (** Reload one node's tables from {!checkpoint_node} output, after a
     {!Dpc_engine.Node.reset} — row writes re-tick the node's [store.*]

@@ -143,17 +143,24 @@ let clear t =
   Hashtbl.reset t.tables;
   t.dirty <- []
 
-(* Full and delta snapshots both SEAL a cut: the dirty log restarts, so
-   the next [snapshot_delta] carries exactly the changes since here. *)
-let snapshot t =
+(* The canonical serialization: relations sorted by name, tuples in scan
+   order — byte-stable for a given store state. [snapshot] SEALS a cut
+   around it (the dirty log restarts, so the next [snapshot_delta]
+   carries exactly the changes since here); [canonical] is the pure
+   observation the digest oracles take between cuts. *)
+let canonical t =
   let w = Dpc_util.Serialize.writer () in
   Dpc_util.Serialize.write_list w
     (fun rel ->
       Dpc_util.Serialize.write_string w rel;
       Dpc_util.Serialize.write_list w (Tuple.serialize w) (scan t rel))
     (relations t);
-  t.dirty <- [];
   Dpc_util.Serialize.contents w
+
+let snapshot t =
+  let blob = canonical t in
+  t.dirty <- [];
+  blob
 
 let snapshot_delta t =
   let w = Dpc_util.Serialize.writer () in

@@ -46,6 +46,10 @@ val snapshot : t -> string
     name, tuples in {!scan} order. Seals a cut: the dirty log behind
     {!snapshot_delta} restarts here. *)
 
+val canonical : t -> string
+(** The same bytes as {!snapshot} WITHOUT sealing a cut — a pure
+    observation for digest comparison, safe between delta cuts. *)
+
 val load : t -> string -> unit
 (** Insert every tuple of a {!snapshot} (set semantics: tuples already
     present are kept once). Does not clear first; clears the dirty log

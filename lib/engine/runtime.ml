@@ -37,6 +37,25 @@ type t = {
   mutable journal : (node:int -> Journal.entry -> unit) option;
   mutable available : int -> bool;
   replaying : bool array;
+  (* Real-process support: closures cannot cross a process boundary, so a
+     transport that hosts only part of the cluster installs [remote] and
+     gets every cross-process message as a serialized journal entry.
+     [channel_restore] is where replayed channel advances go when the
+     sequence state lives below the transport (a socket backend) instead
+     of in an in-process [Reliable]. *)
+  mutable remote : remote option;
+  mutable channel_restore : channel_restore option;
+}
+
+and remote = {
+  is_local : int -> bool;
+  remote_ship : dst:int -> bytes:int -> payload:string -> unit;
+  replayed_ship : dst:int -> payload:string -> unit;
+}
+
+and channel_restore = {
+  restore_next_seq : peer:int -> seq:int -> unit;
+  restore_expected : peer:int -> seq:int -> unit;
 }
 
 let create ~transport ?reliable ?domains ~delp ~env ~hook ?(msg_overhead = 28) ?(interest = [])
@@ -109,6 +128,8 @@ let create ~transport ?reliable ?domains ~delp ~env ~hook ?(msg_overhead = 28) ?
     journal = None;
     available = (fun _ -> true);
     replaying = Array.make n false;
+    remote = None;
+    channel_restore = None;
   }
 
 let transport t = t.transport
@@ -122,6 +143,14 @@ let tick t node name = Node.tick t.nodes.(node) name
 
 let set_journal t f = t.journal <- Some f
 let set_availability t f = t.available <- f
+
+let set_remote t ~is_local ~ship ~replayed =
+  t.remote <- Some { is_local; remote_ship = ship; replayed_ship = replayed }
+
+let set_channel_restore t ~next_seq ~expected =
+  t.channel_restore <- Some { restore_next_seq = next_seq; restore_expected = expected }
+
+let encode_entry entry = Dpc_util.Serialize.with_scratch (fun w -> Journal.write w entry)
 
 let journal t node entry =
   if not t.replaying.(node) then
@@ -187,14 +216,37 @@ and ship t src head meta =
   let bytes = Tuple.wire_size head + t.hook.meta_bytes meta + t.msg_overhead in
   tick t src "runtime.shipped_msgs";
   Node.tick t.nodes.(src) ~by:bytes "runtime.shipped_bytes";
-  (* During replay the ship already happened in the pre-crash run: the
-     metric ticks above rebuild the node's wiped counters, but nothing
-     goes back on the wire — the recovering node's downstream effects are
-     someone else's (delivered) history, not new sends. *)
-  if not t.replaying.(src) then
-    Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
-      journal t dst (Journal.Arrival { event = head; meta });
-      process t ~input:false dst head meta)
+  if not t.replaying.(src) then begin
+    match t.remote with
+    | Some r when not (r.is_local dst) ->
+        (* Cross-process: the closure below cannot travel, so the arrival
+           goes over as its serialized journal entry and the receiving
+           process re-materializes it in [deliver_remote]. *)
+        r.remote_ship ~dst ~bytes
+          ~payload:(encode_entry (Journal.Arrival { event = head; meta }))
+    | _ ->
+        Dpc_net.Transport.send t.transport ~src ~dst ~bytes (fun () ->
+          journal t dst (Journal.Arrival { event = head; meta });
+          process t ~input:false dst head meta)
+  end
+  else begin
+    (* During replay the ship already happened in the pre-crash run: the
+       metric ticks above rebuild the node's wiped counters, but nothing
+       goes back on the wire — the recovering node's downstream effects
+       are someone else's (delivered) history, not new sends. The one
+       exception is a REMOTE send in a real-process host: a crash can land
+       between the arrival reaching the write-ahead log and the resulting
+       sends reaching the durable outbox, so replay re-offers every
+       regenerated remote payload and the host reconciles it against the
+       outbox ledger (already-recorded sends are recognized by their
+       per-channel position and skipped; the missing tail gets recorded
+       and transmitted at last). *)
+    match t.remote with
+    | Some r when not (r.is_local dst) ->
+        r.replayed_ship ~dst
+          ~payload:(encode_entry (Journal.Arrival { event = head; meta }))
+    | _ -> ()
+  end
 
 (* Broadcast the sig control message to every node, including the origin
    (delivered locally through the queue to preserve event ordering). *)
@@ -202,9 +254,37 @@ let broadcast_sig t node op tuple =
   let bytes = t.msg_overhead + 4 in
   Node.tick t.nodes.(node) ~by:(Array.length t.nodes) "runtime.shipped_msgs";
   Node.tick t.nodes.(node) ~by:(bytes * Array.length t.nodes) "runtime.shipped_bytes";
-  Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
-    journal t target (Journal.Sig { op; tuple });
-    t.hook.on_slow_update ~node:target ~op tuple)
+  match t.remote with
+  | None ->
+      Dpc_net.Transport.broadcast t.transport ~src:node ~bytes (fun target ->
+        journal t target (Journal.Sig { op; tuple });
+        t.hook.on_slow_update ~node:target ~op tuple)
+  | Some r ->
+      (* A partial-cluster host fans the broadcast out by hand: local
+         targets through the event queue as usual, remote ones as
+         serialized [Sig] entries. *)
+      for target = 0 to Array.length t.nodes - 1 do
+        if r.is_local target then
+          Dpc_net.Transport.send t.transport ~src:node ~dst:target ~bytes (fun () ->
+            journal t target (Journal.Sig { op; tuple });
+            t.hook.on_slow_update ~node:target ~op tuple)
+        else r.remote_ship ~dst:target ~bytes ~payload:(encode_entry (Journal.Sig { op; tuple }))
+      done
+
+let deliver_remote t ~node payload =
+  let entry = Journal.read (Dpc_util.Serialize.reader payload) in
+  match entry with
+  | Journal.Arrival { event; meta } ->
+      if Tuple.loc event <> node then
+        invalid_arg
+          (Printf.sprintf "Runtime.deliver_remote: arrival for n%d delivered at n%d"
+             (Tuple.loc event) node);
+      journal t node entry;
+      process t ~input:false node event meta
+  | Journal.Sig { op; tuple } ->
+      journal t node entry;
+      t.hook.on_slow_update ~node ~op tuple
+  | _ -> invalid_arg "Runtime.deliver_remote: only arrivals and sig messages cross the wire"
 
 let insert_slow_runtime t tuple =
   let node = Tuple.loc tuple in
@@ -281,13 +361,15 @@ let replay t ~node entries =
           | Slow_delete tuple -> ignore (Db.remove (db t node) tuple)
           | Load tuple -> ignore (Db.insert (db t node) tuple)
           | Next_seq { peer; seq } -> (
-              match t.reliability with
-              | Some r -> Dpc_net.Reliable.set_next_seq r ~src:node ~dst:peer seq
-              | None -> ())
+              match (t.reliability, t.channel_restore) with
+              | Some r, _ -> Dpc_net.Reliable.set_next_seq r ~src:node ~dst:peer seq
+              | None, Some c -> c.restore_next_seq ~peer ~seq
+              | None, None -> ())
           | Expected { peer; seq } -> (
-              match t.reliability with
-              | Some r -> Dpc_net.Reliable.set_expected r ~src:peer ~dst:node seq
-              | None -> ()))
+              match (t.reliability, t.channel_restore) with
+              | Some r, _ -> Dpc_net.Reliable.set_expected r ~src:peer ~dst:node seq
+              | None, Some c -> c.restore_expected ~peer ~seq
+              | None, None -> ()))
         entries)
 
 let outputs t = Mutex.protect t.outputs_lock (fun () -> List.rev t.outputs_rev)

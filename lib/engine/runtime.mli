@@ -157,4 +157,51 @@ val replay : t -> node:int -> Journal.entry list -> unit
     cluster-global {!stats} counters suppressed (per-node metric ticks
     are kept — the node's registry was wiped with it). Channel entries
     restore the reliable layer's sequence state monotonically, in
-    place. *)
+    place — or go through {!set_channel_restore} when the sequence state
+    lives below the transport. Remote-destined sends regenerated during
+    replay are re-offered through the [replayed] hook of {!set_remote}
+    (see there) instead of being dropped. *)
+
+(** {2 Real-process support}
+
+    A transport that hosts only part of the cluster in this OS process
+    (a [Dpc_net.Socket] backend) cannot carry delivery closures to the
+    other part. These hooks let the runtime hand every cross-process
+    message over as a serialized {!Journal.entry} payload instead; none
+    of them is needed on an in-process backend. *)
+
+val set_remote :
+  t ->
+  is_local:(int -> bool) ->
+  ship:(dst:int -> bytes:int -> payload:string -> unit) ->
+  replayed:(dst:int -> payload:string -> unit) ->
+  unit
+(** Split the cluster: [is_local] says which nodes this process hosts.
+    Sends and [sig] broadcasts to local nodes keep going through the
+    transport's event queue; every other destination gets [ship] with the
+    serialized entry (and the modeled [bytes] for accounting) — the host
+    forwards the payload to the peer process, which applies it with
+    {!deliver_remote}. [replayed] receives the remote sends regenerated
+    while {!replay} rebuilds a node: a crash can separate an arrival's
+    write-ahead record from the durable-outbox records of the sends it
+    caused, so the host must reconcile each re-offered payload against
+    its outbox ledger by per-channel position — skip the prefix the
+    ledger already has, record-and-transmit the missing tail. *)
+
+val deliver_remote : t -> node:int -> string -> unit
+(** Apply one payload shipped by a peer process's [ship] hook to the
+    local [node]: journals the entry, then runs it through the normal
+    processing pipeline (an [Arrival] fires rules and ships onward, a
+    [Sig] invokes the slow-update hook). The caller provides the
+    exactly-once, in-order discipline ({!Dpc_net.Socket} does).
+    @raise Invalid_argument if the entry is not an arrival or sig, or is
+    addressed to a different node.
+    @raise Dpc_util.Serialize.Corrupt on an undecodable payload. *)
+
+val set_channel_restore :
+  t -> next_seq:(peer:int -> seq:int -> unit) -> expected:(peer:int -> seq:int -> unit) -> unit
+(** Where {!replay} routes [Next_seq]/[Expected] journal entries when
+    there is no in-process reliable layer: a socket host points these at
+    its transport's sequence state ([Dpc_net.Socket.set_next_seq] /
+    [set_expected]). Ignored while [?reliable] is in use — the reliable
+    layer wins. *)

@@ -1,0 +1,707 @@
+module Clock = Dpc_util.Clock
+module Heap = Dpc_util.Heap
+module Serialize = Dpc_util.Serialize
+
+type config = { retransmit_every : float; dial_retry : float; hold_cap : int }
+
+let default_config = { retransmit_every = 0.25; dial_retry = 0.2; hold_cap = 1024 }
+
+type persist_event =
+  | Sent of { dst : int; seq : int; payload : string }
+  | Acked of { dst : int; seq : int }
+  | Expected of { src : int; seq : int }
+
+type stats = {
+  data_sent : int;
+  data_received : int;
+  retransmits : int;
+  dup_dropped : int;
+  held : int;
+  acks_sent : int;
+  reconnects : int;
+}
+
+type addr = A_unix of string | A_tcp of string * int
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then invalid_arg "Socket: empty unix path";
+      A_unix path
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j ->
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          (match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 -> A_tcp (host, p)
+          | _ -> invalid_arg (Printf.sprintf "Socket: bad port in %S" s))
+      | None -> invalid_arg (Printf.sprintf "Socket: tcp address %S needs host:port" s))
+  | _ -> invalid_arg (Printf.sprintf "Socket: address %S is not unix:<path> or tcp:<host>:<port>" s)
+
+let sockaddr_of = function
+  | A_unix path -> Unix.ADDR_UNIX path
+  | A_tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with _ -> invalid_arg (Printf.sprintf "Socket: cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (ip, port)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Wire.Decoder.t;
+  outq : string Queue.t;  (* encoded frames awaiting the wire *)
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable peer : int;  (* -1 until the hello arrives *)
+  mutable connecting : bool;  (* outgoing dial, connect not yet resolved *)
+  mutable closed : bool;
+  outbound_to : int option;  (* [Some dst] on our dial to a peer *)
+}
+
+type out_chan = {
+  mutable next_seq : int;  (* next sequence to assign; 1-based *)
+  mutable o_acked : int;  (* highest cumulatively acked sequence *)
+  unacked : (int, string) Hashtbl.t;
+}
+
+type in_chan = {
+  mutable expected : int;  (* next sequence we will deliver *)
+  held_frames : (int, string) Hashtbl.t;  (* arrived early, waiting for the gap *)
+  mutable ack_due : bool;
+}
+
+type timer = { at : float; tie : int; fn : unit -> unit }
+
+type t = {
+  nodes : int;
+  local : int;
+  addrs : addr array;
+  config : config;
+  epoch : float;
+  listen_fd : Unix.file_descr;
+  listen_path : string option;
+  scratch : Bytes.t;
+  mutable conns : conn list;
+  out_conns : (int, conn) Hashtbl.t;
+  redial_armed : (int, unit) Hashtbl.t;
+  out_chans : (int, out_chan) Hashtbl.t;
+  in_chans : (int, in_chan) Hashtbl.t;
+  timers : timer Heap.t;
+  mutable timer_tie : int;
+  mutable deliver : (src:int -> payload:string -> unit) option;
+  mutable control : (payload:string -> reply:(string -> unit) -> unit) option;
+  mutable persist : (persist_event -> unit) option;
+  mutable sync : (unit -> unit) option;
+  mutable delivered_any : bool;
+  mutable stopped : bool;
+  mutable bytes_total : int;
+  mutable msgs_total : int;
+  mutable m_data_sent : int;
+  mutable m_data_received : int;
+  mutable m_retransmits : int;
+  mutable m_dup_dropped : int;
+  mutable m_held : int;
+  mutable m_acks_sent : int;
+  mutable m_reconnects : int;
+}
+
+let now t = Clock.now () -. t.epoch
+
+let persist t ev = match t.persist with Some f -> f ev | None -> ()
+
+let schedule_at t at fn =
+  t.timer_tie <- t.timer_tie + 1;
+  Heap.push t.timers { at; tie = t.timer_tie; fn }
+
+let out_chan_of t dst =
+  match Hashtbl.find_opt t.out_chans dst with
+  | Some ch -> ch
+  | None ->
+      let ch = { next_seq = 1; o_acked = 0; unacked = Hashtbl.create 16 } in
+      Hashtbl.replace t.out_chans dst ch;
+      ch
+
+let in_chan_of t src =
+  match Hashtbl.find_opt t.in_chans src with
+  | Some ch -> ch
+  | None ->
+      let ch = { expected = 1; held_frames = Hashtbl.create 16; ack_due = false } in
+      Hashtbl.replace t.in_chans src ch;
+      ch
+
+let conn_alive c = not (c.closed || c.connecting)
+
+let outq_bytes c = Queue.fold (fun acc s -> acc + String.length s) (-c.out_off) c.outq
+
+(* ---- wire I/O ------------------------------------------------------- *)
+
+let rec flush_conn t c =
+  if (not c.closed) && not (Queue.is_empty c.outq) then begin
+    let head = Queue.peek c.outq in
+    let len = String.length head - c.out_off in
+    match Unix.write_substring c.fd head c.out_off len with
+    | n ->
+        if n = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0;
+          flush_conn t c
+        end
+        else c.out_off <- c.out_off + n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  end
+
+and close_conn t c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try Unix.close c.fd with _ -> ());
+    t.conns <- List.filter (fun c' -> c' != c) t.conns;
+    match c.outbound_to with
+    | Some dst ->
+        (match Hashtbl.find_opt t.out_conns dst with
+        | Some c' when c' == c -> Hashtbl.remove t.out_conns dst
+        | _ -> ());
+        arm_redial t dst
+    | None -> ()
+  end
+
+and arm_redial t dst =
+  if not (Hashtbl.mem t.redial_armed dst) then begin
+    Hashtbl.replace t.redial_armed dst ();
+    schedule_at t
+      (now t +. t.config.dial_retry)
+      (fun () ->
+        Hashtbl.remove t.redial_armed dst;
+        if want_peer t dst then ensure_dial t dst)
+  end
+
+(* A peer is worth (re)dialing while we owe it data or acks. *)
+and want_peer t dst =
+  (match Hashtbl.find_opt t.out_chans dst with
+  | Some ch -> Hashtbl.length ch.unacked > 0
+  | None -> false)
+  || Hashtbl.mem t.in_chans dst
+
+and ensure_dial t dst =
+  if dst <> t.local && dst >= 0 && dst < t.nodes && not (Hashtbl.mem t.out_conns dst) then begin
+    let sa = sockaddr_of t.addrs.(dst) in
+    let domain = Unix.domain_of_sockaddr sa in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    let mk connecting =
+      {
+        fd;
+        decoder = Wire.Decoder.create ();
+        outq = Queue.create ();
+        out_off = 0;
+        peer = dst;
+        connecting;
+        closed = false;
+        outbound_to = Some dst;
+      }
+    in
+    match Unix.connect fd sa with
+    | () ->
+        let c = mk false in
+        t.conns <- c :: t.conns;
+        Hashtbl.replace t.out_conns dst c;
+        dial_connected t dst c
+    | exception Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
+        let c = mk true in
+        t.conns <- c :: t.conns;
+        Hashtbl.replace t.out_conns dst c
+    | exception Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with _ -> ());
+        arm_redial t dst
+  end
+
+and enqueue_frame t c frame_bytes =
+  if not c.closed then begin
+    Queue.push frame_bytes c.outq;
+    flush_conn t c
+  end
+
+and dial_connected t dst c =
+  t.m_reconnects <- t.m_reconnects + 1;
+  enqueue_frame t c (Wire.encode { kind = Hello; src = t.local; dst; seq = 0; payload = "" });
+  resend_unacked t dst c ~count_retransmits:false;
+  match Hashtbl.find_opt t.in_chans dst with
+  | Some ch ->
+      ch.ack_due <- false;
+      send_ack_frame t dst c ch
+  | None -> ()
+
+and resend_unacked t dst c ~count_retransmits =
+  match Hashtbl.find_opt t.out_chans dst with
+  | None -> ()
+  | Some ch ->
+      for seq = ch.o_acked + 1 to ch.next_seq - 1 do
+        match Hashtbl.find_opt ch.unacked seq with
+        | Some payload ->
+            if count_retransmits then t.m_retransmits <- t.m_retransmits + 1;
+            enqueue_frame t c (Wire.encode { kind = Data; src = t.local; dst; seq; payload })
+        | None -> ()
+      done
+
+and send_ack_frame t peer c ch =
+  t.m_acks_sent <- t.m_acks_sent + 1;
+  enqueue_frame t c
+    (Wire.encode { kind = Ack; src = t.local; dst = peer; seq = ch.expected - 1; payload = "" })
+
+let send_ack t peer =
+  let ch = in_chan_of t peer in
+  match Hashtbl.find_opt t.out_conns peer with
+  | Some c when conn_alive c ->
+      ch.ack_due <- false;
+      send_ack_frame t peer c ch
+  | _ ->
+      ch.ack_due <- true;
+      ensure_dial t peer
+
+(* ---- the data plane -------------------------------------------------- *)
+
+let send_payload t ~dst payload =
+  if dst < 0 || dst >= t.nodes then invalid_arg "Socket.send_payload: destination out of range";
+  if dst = t.local then
+    invalid_arg "Socket.send_payload: local destination goes through Transport.send";
+  let ch = out_chan_of t dst in
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  persist t (Sent { dst; seq; payload });
+  Hashtbl.replace ch.unacked seq payload;
+  t.m_data_sent <- t.m_data_sent + 1;
+  t.msgs_total <- t.msgs_total + 1;
+  let wire = Wire.encode { kind = Data; src = t.local; dst; seq; payload } in
+  t.bytes_total <- t.bytes_total + String.length wire;
+  match Hashtbl.find_opt t.out_conns dst with
+  | Some c when conn_alive c -> enqueue_frame t c wire
+  | Some _ -> ()
+  | None -> ensure_dial t dst
+
+let deliver_in_order t src ch first_payload =
+  let deliver_one payload =
+    let seq = ch.expected in
+    persist t (Expected { src; seq = seq + 1 });
+    ch.expected <- seq + 1;
+    t.m_data_received <- t.m_data_received + 1;
+    t.delivered_any <- true;
+    match t.deliver with Some f -> f ~src ~payload | None -> ()
+  in
+  deliver_one first_payload;
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt ch.held_frames ch.expected with
+    | Some payload ->
+        Hashtbl.remove ch.held_frames ch.expected;
+        deliver_one payload
+    | None -> continue := false
+  done;
+  ch.ack_due <- true
+
+let handle_frame t c (f : Wire.frame) =
+  match f.kind with
+  | Hello -> c.peer <- f.src
+  | Data ->
+      if f.dst = t.local then begin
+        let ch = in_chan_of t f.src in
+        if f.seq < ch.expected then begin
+          t.m_dup_dropped <- t.m_dup_dropped + 1;
+          ch.ack_due <- true
+        end
+        else if f.seq = ch.expected then deliver_in_order t f.src ch f.payload
+        else if
+          Hashtbl.length ch.held_frames < t.config.hold_cap
+          && not (Hashtbl.mem ch.held_frames f.seq)
+        then begin
+          Hashtbl.replace ch.held_frames f.seq f.payload;
+          t.m_held <- t.m_held + 1
+        end
+      end
+  | Ack ->
+      let ch = out_chan_of t f.src in
+      if f.seq > ch.o_acked then begin
+        for s = ch.o_acked + 1 to f.seq do
+          Hashtbl.remove ch.unacked s
+        done;
+        ch.o_acked <- f.seq;
+        persist t (Acked { dst = f.src; seq = f.seq })
+      end
+  | Ctrl -> (
+      match t.control with
+      | Some h ->
+          let reply s =
+            enqueue_frame t c
+              (Wire.encode { kind = Ctrl; src = t.local; dst = Wire.control_id; seq = f.seq; payload = s })
+          in
+          h ~payload:f.payload ~reply
+      | None -> ())
+
+let read_conn t c =
+  let continue = ref true in
+  while !continue && not c.closed do
+    match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 ->
+        close_conn t c;
+        continue := false
+    | n -> Wire.Decoder.feed c.decoder t.scratch 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> continue := false
+    | exception Unix.Unix_error (_, _, _) ->
+        close_conn t c;
+        continue := false
+  done;
+  (* Drain complete frames; a corrupt stream drops the connection (the
+     peer's retransmit discipline recovers anything undelivered). *)
+  try
+    let more = ref true in
+    while !more && not c.closed do
+      match Wire.Decoder.next c.decoder with
+      | Some f -> handle_frame t c f
+      | None -> more := false
+    done
+  with Wire.Corrupt _ -> close_conn t c
+
+let accept_pending t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        t.conns <-
+          {
+            fd;
+            decoder = Wire.Decoder.create ();
+            outq = Queue.create ();
+            out_off = 0;
+            peer = -1;
+            connecting = false;
+            closed = false;
+            outbound_to = None;
+          }
+          :: t.conns
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+let check_connect t c =
+  match Unix.getsockopt_error c.fd with
+  | None ->
+      c.connecting <- false;
+      (match c.outbound_to with Some dst -> dial_connected t dst c | None -> ())
+  | Some _ -> close_conn t c
+
+(* After every receive batch: flush effects to disk, then let the acks out.
+   The order is the whole point — an ack is a durable promise. *)
+let finish_batch t =
+  if t.delivered_any then begin
+    (match t.sync with Some f -> f () | None -> ());
+    t.delivered_any <- false
+  end;
+  Hashtbl.iter (fun src ch -> if ch.ack_due then send_ack t src) t.in_chans
+
+let fire_due_timers t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.timers with
+    | Some tm when tm.at <= now t ->
+        ignore (Heap.pop t.timers);
+        tm.fn ()
+    | _ -> continue := false
+  done
+
+let retransmit_scan t =
+  Hashtbl.iter
+    (fun dst ch ->
+      if Hashtbl.length ch.unacked > 0 then
+        match Hashtbl.find_opt t.out_conns dst with
+        | Some c when conn_alive c ->
+            (* Skip while a previous burst is still draining: re-queueing
+               on a congested connection only amplifies the backlog. *)
+            if outq_bytes c < 1 lsl 20 then resend_unacked t dst c ~count_retransmits:true
+        | Some _ -> ()
+        | None -> ensure_dial t dst)
+    t.out_chans;
+  Hashtbl.iter
+    (fun src ch ->
+      if ch.ack_due then
+        match Hashtbl.find_opt t.out_conns src with
+        | Some c when conn_alive c ->
+            ch.ack_due <- false;
+            send_ack_frame t src c ch
+        | _ -> ensure_dial t src)
+    t.in_chans
+
+let run_loop t ?until () =
+  let horizon_open () = match until with Some u -> now t < u | None -> true in
+  while (not t.stopped) && horizon_open () do
+    fire_due_timers t;
+    if (not t.stopped) && horizon_open () then begin
+      let conns = t.conns in
+      List.iter (fun c -> if (not c.closed) && not (Queue.is_empty c.outq) then flush_conn t c) conns;
+      let rd =
+        t.listen_fd
+        :: List.filter_map (fun c -> if conn_alive c then Some c.fd else None) t.conns
+      in
+      let wr =
+        List.filter_map
+          (fun c ->
+            if c.closed then None
+            else if c.connecting || not (Queue.is_empty c.outq) then Some c.fd
+            else None)
+          t.conns
+      in
+      let tnow = now t in
+      let timeout =
+        let cap acc = function Some x -> Float.min acc x | None -> acc in
+        let upper =
+          cap (cap 0.05 (Option.map (fun u -> u -. tnow) until))
+            (match Heap.peek t.timers with Some tm -> Some (tm.at -. tnow) | None -> None)
+        in
+        Float.max 0. upper
+      in
+      match Unix.select rd wr [] timeout with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          if List.memq t.listen_fd readable then accept_pending t;
+          let conn_of fd = List.find_opt (fun c -> c.fd == fd && not c.closed) t.conns in
+          List.iter
+            (fun fd ->
+              match conn_of fd with
+              | Some c when c.connecting -> check_connect t c
+              | Some c -> flush_conn t c
+              | None -> ())
+            writable;
+          List.iter
+            (fun fd ->
+              if fd != t.listen_fd then
+                match conn_of fd with Some c when not c.connecting -> read_conn t c | _ -> ())
+            readable;
+          finish_batch t
+    end
+  done
+
+(* ---- lifecycle ------------------------------------------------------- *)
+
+let create ~nodes ~local ~addr_of ?(config = default_config) () =
+  if nodes <= 0 then invalid_arg "Socket.create: nodes must be positive";
+  if local < 0 || local >= nodes then invalid_arg "Socket.create: local node out of range";
+  let addrs = Array.init nodes (fun i -> parse_addr (addr_of i)) in
+  let listen_path = match addrs.(local) with A_unix p -> Some p | A_tcp _ -> None in
+  (match listen_path with
+  | Some p when Sys.file_exists p -> ( try Unix.unlink p with _ -> ())
+  | _ -> ());
+  let sa = sockaddr_of addrs.(local) in
+  let listen_fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (match addrs.(local) with
+  | A_tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+  | A_unix _ -> ());
+  (try
+     Unix.bind listen_fd sa;
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let t =
+    {
+      nodes;
+      local;
+      addrs;
+      config;
+      epoch = Clock.now ();
+      listen_fd;
+      listen_path;
+      scratch = Bytes.create 65536;
+      conns = [];
+      out_conns = Hashtbl.create 8;
+      redial_armed = Hashtbl.create 8;
+      out_chans = Hashtbl.create 8;
+      in_chans = Hashtbl.create 8;
+      timers = Heap.create ~cmp:(fun a b -> compare (a.at, a.tie) (b.at, b.tie));
+      timer_tie = 0;
+      deliver = None;
+      control = None;
+      persist = None;
+      sync = None;
+      delivered_any = false;
+      stopped = false;
+      bytes_total = 0;
+      msgs_total = 0;
+      m_data_sent = 0;
+      m_data_received = 0;
+      m_retransmits = 0;
+      m_dup_dropped = 0;
+      m_held = 0;
+      m_acks_sent = 0;
+      m_reconnects = 0;
+    }
+  in
+  let rec scan () =
+    if not t.stopped then begin
+      retransmit_scan t;
+      schedule_at t (now t +. t.config.retransmit_every) scan
+    end
+  in
+  schedule_at t (now t +. t.config.retransmit_every) scan;
+  t
+
+let set_deliver t f = t.deliver <- Some f
+let set_control t f = t.control <- Some f
+let set_persist t f = t.persist <- Some f
+let set_sync t f = t.sync <- Some f
+
+let set_next_seq t ~dst v =
+  let ch = out_chan_of t dst in
+  if v > ch.next_seq then ch.next_seq <- v
+
+let set_expected t ~src v =
+  let ch = in_chan_of t src in
+  if v > ch.expected then begin
+    ch.expected <- v;
+    Hashtbl.iter (fun s _ -> if s < v then Hashtbl.remove ch.held_frames s) (Hashtbl.copy ch.held_frames)
+  end
+
+let set_acked t ~dst v =
+  let ch = out_chan_of t dst in
+  if v > ch.o_acked then begin
+    for s = ch.o_acked + 1 to v do
+      Hashtbl.remove ch.unacked s
+    done;
+    ch.o_acked <- v
+  end
+
+let sender_next_seq t ~dst = (out_chan_of t dst).next_seq
+
+let requeue t ~dst ~seq payload =
+  let ch = out_chan_of t dst in
+  if seq > ch.o_acked then begin
+    Hashtbl.replace ch.unacked seq payload;
+    if seq >= ch.next_seq then ch.next_seq <- seq + 1;
+    ensure_dial t dst
+  end
+
+let chan_magic = "dpc-chan-v1"
+
+let snapshot_channels t =
+  let outs =
+    Hashtbl.fold
+      (fun dst ch acc -> if ch.next_seq > 1 || ch.o_acked > 0 then (dst, ch) :: acc else acc)
+      t.out_chans []
+    |> List.sort compare
+  in
+  let ins =
+    Hashtbl.fold (fun src ch acc -> if ch.expected > 1 then (src, ch.expected) :: acc else acc)
+      t.in_chans []
+    |> List.sort compare
+  in
+  Serialize.with_scratch (fun w ->
+      Serialize.write_string w chan_magic;
+      Serialize.write_list w
+        (fun (dst, ch) ->
+          Serialize.write_varint w dst;
+          Serialize.write_varint w ch.next_seq;
+          Serialize.write_varint w ch.o_acked)
+        outs;
+      Serialize.write_list w
+        (fun (src, expected) ->
+          Serialize.write_varint w src;
+          Serialize.write_varint w expected)
+        ins)
+
+let restore_channels t blob =
+  let r = Serialize.reader blob in
+  let magic = Serialize.read_string r in
+  if magic <> chan_magic then
+    raise (Serialize.Corrupt (Printf.sprintf "channel snapshot: bad magic %S" magic));
+  let outs =
+    Serialize.read_list r (fun () ->
+        let dst = Serialize.read_varint r in
+        let next_seq = Serialize.read_varint r in
+        let acked = Serialize.read_varint r in
+        (dst, next_seq, acked))
+  in
+  let ins =
+    Serialize.read_list r (fun () ->
+        let src = Serialize.read_varint r in
+        let expected = Serialize.read_varint r in
+        (src, expected))
+  in
+  List.iter
+    (fun (dst, next_seq, acked) ->
+      set_next_seq t ~dst next_seq;
+      set_acked t ~dst acked)
+    outs;
+  List.iter (fun (src, expected) -> set_expected t ~src expected) ins
+
+let unacked t = Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.unacked) t.out_chans 0
+
+let stop t = t.stopped <- true
+
+let close t =
+  stop t;
+  List.iter (fun c -> if not c.closed then (c.closed <- true; try Unix.close c.fd with _ -> ())) t.conns;
+  t.conns <- [];
+  Hashtbl.reset t.out_conns;
+  (try Unix.close t.listen_fd with _ -> ());
+  match t.listen_path with
+  | Some p -> ( try Unix.unlink p with _ -> ())
+  | None -> ()
+
+let stats t =
+  {
+    data_sent = t.m_data_sent;
+    data_received = t.m_data_received;
+    retransmits = t.m_retransmits;
+    dup_dropped = t.m_dup_dropped;
+    held = t.m_held;
+    acks_sent = t.m_acks_sent;
+    reconnects = t.m_reconnects;
+  }
+
+let transport t : Transport.t =
+  (module struct
+    let name = "socket"
+    let nodes = t.nodes
+    let shards = 1
+    let shard_of _ = 0
+    let now () = now t
+
+    let schedule ~delay fn =
+      if delay < 0. then invalid_arg "Socket.schedule: negative delay";
+      schedule_at t (now () +. delay) fn
+
+    let schedule_on ~node:_ ~delay fn = schedule ~delay fn
+
+    let send ~src:_ ~dst ~bytes fn =
+      if dst <> t.local then
+        failwith
+          (Printf.sprintf
+             "Socket transport hosts node %d only: dst %d needs the runtime remote hook \
+              (closures cannot cross a process boundary)"
+             t.local dst);
+      t.msgs_total <- t.msgs_total + 1;
+      t.bytes_total <- t.bytes_total + bytes;
+      schedule_at t (now ()) fn
+
+    let broadcast ~src:_ ~bytes fn =
+      for dst = 0 to t.nodes - 1 do
+        if dst = t.local then begin
+          t.msgs_total <- t.msgs_total + 1;
+          t.bytes_total <- t.bytes_total + bytes;
+          schedule_at t (now ()) (fun () -> fn dst)
+        end
+        else
+          failwith
+            (Printf.sprintf
+               "Socket transport hosts node %d only: broadcast to %d needs the runtime remote hook"
+               t.local dst)
+      done
+
+    let run ?until () = run_loop t ?until ()
+    let total_bytes () = t.bytes_total
+    let messages () = t.msgs_total
+  end : Transport.S)

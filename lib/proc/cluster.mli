@@ -1,0 +1,39 @@
+(** The [dpcd] launcher and real-process transparency oracle.
+
+    {!run_scheme} spawns one daemon process per scenario node (each a
+    fresh [dpcd serve] of the given executable), drives the {!Scenario}
+    phases over the control plane, [kill -9]s node 1's process mid-run
+    and respawns it against the same data directory, and finally
+    compares every daemon's store and database digests against the
+    in-process simulator reference ({!Scenario.simulate}) — byte
+    equality or an error naming the diverging node.
+
+    Phase separation uses a status barrier: all daemons report zero
+    unacked frames and unchanged send/receive counters across two
+    consecutive polls. Counters are monotonic and every delivery
+    enqueues its causal sends before the ack leaves, so the double poll
+    cannot observe a quiet instant of an active cluster. *)
+
+val addr_of : dir:string -> int -> string
+(** The address convention both sides derive from the data directory:
+    ["unix:<dir>/node-<i>.sock"]. *)
+
+val scheme_arg : Dpc_core.Backend.scheme -> string
+(** The [--scheme] spelling: [exspan], [basic], [advanced],
+    [advanced-interclass]. *)
+
+val scheme_of_arg : string -> Dpc_core.Backend.scheme option
+
+val run_scheme :
+  exe:string -> dir:string -> Dpc_core.Backend.scheme -> (string, string) result
+(** Run the oracle for one scheme. [exe] is the [dpcd] binary (the
+    launcher respawns it as [<exe> serve ...]); [dir] is a fresh
+    directory for sockets, daemon logs ([node-<i>.log]), and the
+    daemons' durable state. [Ok summary] on digest equality; [Error]
+    describes the first failure. Spawned processes are always reaped,
+    whatever the outcome. *)
+
+val run_all :
+  exe:string -> dir:string -> Dpc_core.Backend.scheme list -> bool
+(** {!run_scheme} for each scheme in its own subdirectory, printing one
+    PASS/FAIL line per scheme to stdout; [true] iff all passed. *)

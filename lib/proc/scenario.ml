@@ -1,0 +1,46 @@
+module Forwarding = Dpc_apps.Forwarding
+module Backend = Dpc_core.Backend
+module Runtime = Dpc_engine.Runtime
+
+let nodes = 3
+
+let routes () =
+  [ Forwarding.route ~at:0 ~dst:2 ~next:1; Forwarding.route ~at:1 ~dst:2 ~next:2 ]
+
+let refreshed_route () = Forwarding.route ~at:1 ~dst:2 ~next:2
+
+let packets prefix count =
+  List.init count (fun i ->
+      Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "%s%d" prefix (i + 1)))
+
+let pre_packets () = packets "pre" 5
+let mid_packets () = packets "mid" 3
+let post_packets () = packets "post" 5
+let total_outputs = 13
+
+type digests = { store : string; db : string }
+
+let db_digest db =
+  Dpc_util.Sha1.to_hex (Dpc_util.Sha1.digest_string (Dpc_engine.Db.canonical db))
+
+let simulate scheme =
+  let delp = Forwarding.delp () in
+  let backend = Backend.make scheme ~delp ~env:Forwarding.env ~nodes in
+  let transport = Dpc_net.Transport.direct ~nodes () in
+  let runtime =
+    Runtime.create ~transport ~delp ~env:Forwarding.env ~hook:(Backend.hook backend)
+      ~nodes:(Backend.nodes backend) ()
+  in
+  Runtime.load_slow runtime (routes ());
+  let phase injects =
+    List.iter (fun event -> Runtime.inject runtime event) injects;
+    Runtime.run runtime
+  in
+  phase (pre_packets ());
+  phase (mid_packets ());
+  ignore (Runtime.delete_slow_runtime runtime (refreshed_route ()));
+  Runtime.insert_slow_runtime runtime (refreshed_route ());
+  Runtime.run runtime;
+  phase (post_packets ());
+  Array.init nodes (fun node ->
+      { store = Backend.digest_node backend node; db = db_digest (Runtime.db runtime node) })

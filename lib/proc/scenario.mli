@@ -1,0 +1,50 @@
+(** The fixed transparency-oracle scenario both worlds run: a 3-node
+    packet-forwarding chain, in four phases.
+
+    {ol
+    {- [pre]: five packets from node 0 toward node 2 along the loaded
+       routes (0 -> 1 -> 2).}
+    {- [mid]: three more packets — the real cluster injects these while
+       node 1's daemon is [kill -9]ed, so they sit in node 0's durable
+       outbox until the restarted daemon recovers and the retransmits
+       land.}
+    {- [refresh]: the §5.5 route update at node 1 (delete + reinsert of
+       the same entry — two [sig] broadcasts wiping every [htequi]).}
+    {- [post]: five packets that must see re-materialized chains.}}
+
+    The simulator reference ({!simulate}) runs the same phases over
+    {!Dpc_net.Transport.direct} with a quiescence run between each; the
+    real cluster separates phases with the launcher's status barrier.
+    Because every store serializes deterministically (sorted relations,
+    canonical tuple order) and both worlds apply the same per-node
+    operation sequences, the per-node digests must match byte for byte
+    — crashes, retransmission, and recovery included. *)
+
+val nodes : int
+(** 3. *)
+
+val routes : unit -> Dpc_ndlog.Tuple.t list
+(** The forwarding entries: node 0 -> 1, node 1 -> 2 for destination 2. *)
+
+val refreshed_route : unit -> Dpc_ndlog.Tuple.t
+(** The entry the refresh phase deletes and reinserts (homed at node 1). *)
+
+val pre_packets : unit -> Dpc_ndlog.Tuple.t list
+val mid_packets : unit -> Dpc_ndlog.Tuple.t list
+val post_packets : unit -> Dpc_ndlog.Tuple.t list
+
+val total_outputs : int
+(** Packets across all phases (13) — every one must surface as a [recv]
+    output at node 2. *)
+
+type digests = { store : string; db : string }
+(** Hex SHA-1 of one node's provenance tables
+    ({!Dpc_core.Backend.digest_node}) and relational database
+    ({!db_digest}). *)
+
+val db_digest : Dpc_engine.Db.t -> string
+(** SHA-1 (hex) of {!Dpc_engine.Db.canonical} — non-sealing. *)
+
+val simulate : Dpc_core.Backend.scheme -> digests array
+(** Run the whole scenario in-process on a direct transport and return
+    the per-node reference digests the real cluster must reproduce. *)

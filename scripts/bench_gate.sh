@@ -32,8 +32,13 @@ fi
 
 if ! command -v python3 >/dev/null 2>&1; then
     # Loud, not silent: a builder without python3 runs NO throughput gate
-    # at all, and that should be visible in the log, not discovered after
-    # a regression ships.
+    # at all. Interactive use degrades to a warning, but CI builders are
+    # expected to carry python3 — there the gate silently not running is a
+    # misconfiguration, so fail instead of letting a regression ship.
+    if [ "${CI:-0}" = "1" ]; then
+        echo "bench gate FAILED: python3 unavailable on a CI builder (set DPC_BENCH_GATE_SKIP=1 to waive)" >&2
+        exit 1
+    fi
     echo "::warning::bench gate SKIPPED: python3 unavailable, fig8/fig9 throughput unchecked" >&2
     exit 0
 fi

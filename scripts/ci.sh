@@ -52,6 +52,30 @@ echo "== query serving tier sweep (full, pinned seeds) =="
 make queries >/dev/null
 echo "queries sweep ok"
 
+# Real processes: the dpcd cluster oracle — three daemons over Unix
+# sockets, a mid-run kill -9 of node 1 with recovery from disk, digests
+# byte-identical to the simulator for all four schemes. Unix-domain
+# sockets are a hard dependency; skippable only where they are absent
+# (or explicitly with DPC_SKIP_PROCS=1 on restricted builders).
+if [ "${DPC_SKIP_PROCS:-0}" = "1" ]; then
+    echo "== dpcd cluster oracle skipped (DPC_SKIP_PROCS=1) =="
+else
+    echo "== dpcd cluster oracle (3 real processes, kill -9 + recovery) =="
+    procs_dir=$(mktemp -d /tmp/dpc-procs.XXXXXX)
+    trap 'rm -rf "$procs_dir"' EXIT
+    dune exec bin/dpcd.exe -- cluster --dir "$procs_dir"
+    rm -rf "$procs_dir"
+fi
+
+# API documentation must build warning-free — advisory-gated like
+# ocamlformat: odoc is not part of the minimal toolchain.
+if command -v odoc >/dev/null 2>&1; then
+    echo "== odoc (dune build @doc) =="
+    dune build @doc
+else
+    echo "== odoc not installed; skipping doc build =="
+fi
+
 # Throughput regression gate: fig8/fig9 events/s vs the checked-in
 # baseline (BENCH_PR8.json), >15% regression fails — plus the queries
 # figure's modeled warm-cache p99. Wall-clock based, so it can be

@@ -1,4 +1,4 @@
-.PHONY: all build test bench chaos crash scaling queries procs doc bench-gate ci clean
+.PHONY: all build test bench chaos crash partitions scaling queries procs soak doc bench-gate ci clean
 
 all: build
 
@@ -25,6 +25,17 @@ crash:
 	dune exec test/test_persistence.exe -- test 'crash schedule'
 	dune exec test/test_robustness.exe -- test 'degraded queries'
 
+# Partition-fault suites: the partition oracle at full width (15 seeded
+# instances x 4 schemes x 4 plan families, digest-checked against a
+# perfect network), the partitionable/backoff/suspension unit group, the
+# degraded-query partition test, and the partitions bench figure (heal
+# latency + retransmit storm, jitter on/off).
+partitions:
+	DPC_CHAOS_FULL=1 dune exec test/test_chaos.exe -- test 'partition oracle'
+	dune exec test/test_net.exe -- test 'partition faults'
+	dune exec test/test_robustness.exe -- test 'degraded queries'
+	dune exec bench/main.exe -- --fig partitions --tiny
+
 # Multicore determinism sweep: parallel-vs-sequential digest equality at
 # 1/2/4 domains (clean, hashed-fault, and crash schedules, all four
 # schemes), the shard-partition and concurrent-metrics suites, and the
@@ -47,8 +58,17 @@ queries:
 # checkpoints + durable outbox on disk. The launcher kill -9s node 1
 # mid-run, recovers it from its data directory, and requires every
 # node's digests to equal the in-process simulator's — all four schemes.
+# mid-partition crash of node 1 (Block/Unblock over the control plane).
+# `make procs` also reruns the sweep with wire chaos on.
 procs:
 	dune exec bin/dpcd.exe -- cluster
+	dune exec bin/dpcd.exe -- cluster --chaos
+
+# Long-running cluster soak: sustained rounds of traffic through the
+# three daemons with a periodic durable-outbox compaction; fails if any
+# ledger outgrows its round-independent ceiling or digests diverge.
+soak:
+	dune exec bin/dpcd.exe -- cluster --soak
 
 # API docs (requires odoc; `make ci` skips this step where it is absent).
 doc:

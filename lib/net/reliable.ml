@@ -3,14 +3,34 @@ type config = {
   backoff : float;
   max_timeout : float;
   max_retries : int;
+  jitter : float;
 }
 
-let default_config = { timeout = 0.05; backoff = 2.0; max_timeout = 1.0; max_retries = 20 }
+let default_config =
+  { timeout = 0.05; backoff = 2.0; max_timeout = 1.0; max_retries = 20; jitter = 0.0 }
 
 (* Sequence number (and a little framing) on every data message; an ack
-   carries the channel id and the sequence it confirms. *)
+   carries the channel id and the sequence it confirms. A heal probe is a
+   bare channel id + nonce, answered by an equally small pong. *)
 let data_header_bytes = 8
 let ack_bytes = 12
+let probe_bytes = 10
+
+(* The retransmit (and probe) delay for the [attempt]th try: capped
+   exponential backoff, optionally pulled earlier by a deterministic
+   per-channel hash — no shared random stream, so sharded runs and
+   re-runs see the identical schedule. The jittered delay lives in
+   [(1 - jitter) * capped, capped]: different channels de-synchronize,
+   which is what stops a healing partition from turning every suspended
+   sender's timer into one synchronized retransmit storm. *)
+let backoff_delay config ~src ~dst ~attempt =
+  let capped =
+    Float.min (config.timeout *. (config.backoff ** float_of_int (attempt - 1))) config.max_timeout
+  in
+  if config.jitter <= 0.0 then capped
+  else
+    let u = Transport.channel_unit_hash ~seed:0x7ea1 ~src ~dst ~n:attempt in
+    capped *. (1.0 -. (config.jitter *. u))
 
 (* One directed (src, dst) channel. The sender's half is [next_seq]; the
    receiver's half is the dedup/reorder window: everything below
@@ -24,6 +44,15 @@ type channel = {
   mutable next_seq : int;
   mutable expected : int;
   pending : (int, unit -> unit) Hashtbl.t;
+  (* Suspension state, owned by the sender's shard. A suspended channel
+     has burned its retry budget: instead of dropping the unacked tail it
+     parks each message's re-offer thunk here (keyed by seq, re-run in
+     seq order on resurrection) and keeps exactly one heal-probe loop
+     alive until the link answers. [probe_gen] invalidates stale probe
+     timers across resurrect/forget boundaries. *)
+  mutable suspended : bool;
+  mutable parked : (int * (unit -> unit)) list;
+  mutable probe_gen : int;
 }
 
 type stats = {
@@ -36,6 +65,10 @@ type stats = {
   dup_dropped : int;
   held : int;
   abandoned : int;
+  suspensions : int;
+  resurrections : int;
+  parked : int;
+  probes : int;
 }
 
 type channel_event =
@@ -61,12 +94,18 @@ type t = {
   dup_dropped : int Atomic.t;
   held : int Atomic.t;
   abandoned : int Atomic.t;
+  suspensions : int Atomic.t;
+  resurrections : int Atomic.t;
+  parked_total : int Atomic.t;
+  probes : int Atomic.t;
 }
 
 let wrap ?(config = default_config) ?metrics inner =
   if config.timeout <= 0.0 then invalid_arg "Reliable.wrap: timeout must be positive";
   if config.backoff < 1.0 then invalid_arg "Reliable.wrap: backoff must be >= 1";
   if config.max_retries < 0 then invalid_arg "Reliable.wrap: negative max_retries";
+  if config.jitter < 0.0 || config.jitter >= 1.0 then
+    invalid_arg "Reliable.wrap: jitter must be in [0, 1)";
   let n = Transport.nodes inner in
   {
     inner;
@@ -74,7 +113,9 @@ let wrap ?(config = default_config) ?metrics inner =
     metrics;
     channels =
       Array.init n (fun _ ->
-        Array.init n (fun _ -> { next_seq = 0; expected = 0; pending = Hashtbl.create 8 }));
+        Array.init n (fun _ ->
+          { next_seq = 0; expected = 0; pending = Hashtbl.create 8; suspended = false;
+            parked = []; probe_gen = 0 }));
     persist = None;
     data_msgs = Atomic.make 0;
     data_bytes = Atomic.make 0;
@@ -85,6 +126,10 @@ let wrap ?(config = default_config) ?metrics inner =
     dup_dropped = Atomic.make 0;
     held = Atomic.make 0;
     abandoned = Atomic.make 0;
+    suspensions = Atomic.make 0;
+    resurrections = Atomic.make 0;
+    parked_total = Atomic.make 0;
+    probes = Atomic.make 0;
   }
 
 let tick t node ?by name =
@@ -126,6 +171,53 @@ let accept ~notify ch seq k =
     `Delivered
   end
 
+(* ---- suspension + resurrection ----------------------------------- *)
+
+(* The heal-probe loop: one per suspended channel, started on the
+   suspension transition. A probe is a tiny Hello-style ping through the
+   inner transport, answered by an equally tiny pong; no pong by the next
+   capped-backoff deadline means probe again. Both legs cross the real
+   (possibly partitioned) wire, so a one-way outage that lets data
+   through but eats the reverse path keeps the channel suspended — which
+   is right, because acks would be eaten too. The loop dies via
+   [probe_gen] when the channel is resurrected or wiped by a crash. *)
+let rec probe t ~src ~dst ch ~gen n =
+  Atomic.incr t.probes;
+  tick t src "net.probes";
+  let pong = ref false in
+  Transport.send t.inner ~src ~dst ~bytes:probe_bytes (fun () ->
+    Transport.send t.inner ~src:dst ~dst:src ~bytes:probe_bytes (fun () -> pong := true));
+  let delay = backoff_delay t.config ~src ~dst ~attempt:n in
+  Transport.schedule_on t.inner ~node:src ~delay (fun () ->
+    if ch.suspended && ch.probe_gen = gen then
+      if !pong then resurrect t ~src ~dst ch else probe t ~src ~dst ch ~gen (n + 1))
+
+(* Resurrection: the probe got its pong, so the link is back. Re-offer
+   the parked tail in sequence order — the receiver's dedup/reorder
+   window makes the re-offers land with exactly-once FIFO effects even
+   if an old in-flight copy races them. *)
+and resurrect t ~src ~dst:_ ch =
+  ch.suspended <- false;
+  ch.probe_gen <- ch.probe_gen + 1;
+  Atomic.incr t.resurrections;
+  tick t src "net.resurrections";
+  let backlog = List.sort (fun (a, _) (b, _) -> compare a b) ch.parked in
+  ch.parked <- [];
+  List.iter
+    (fun (_, resume) ->
+      Atomic.decr t.abandoned;
+      resume ())
+    backlog
+
+let suspend t ~src ~dst ch =
+  if not ch.suspended then begin
+    ch.suspended <- true;
+    ch.probe_gen <- ch.probe_gen + 1;
+    Atomic.incr t.suspensions;
+    tick t src "net.suspensions";
+    probe t ~src ~dst ch ~gen:ch.probe_gen 1
+  end
+
 let send t ~src ~dst ~bytes k =
   let ch = channel t ~src ~dst in
   let seq = ch.next_seq in
@@ -134,6 +226,7 @@ let send t ~src ~dst ~bytes k =
   let wire = bytes + data_header_bytes in
   let acked = ref false in
   let attempts = ref 0 in
+  let first = ref true in
   (* Receiver side: dedup and reorder through the window, then ack the
      cumulative watermark — but only when it covers this arrival. A
      delivered or below-watermark duplicate arrival is acked (the sender
@@ -163,7 +256,8 @@ let send t ~src ~dst ~bytes k =
   in
   let rec transmit () =
     incr attempts;
-    if !attempts = 1 then begin
+    if !first then begin
+      first := false;
       Atomic.incr t.data_msgs;
       ignore (Atomic.fetch_and_add t.data_bytes wire);
       tick t src "net.data_msgs"
@@ -179,19 +273,24 @@ let send t ~src ~dst ~bytes k =
        the timer closure reads [acked]/[attempts], which the sender owns.
        There is no cancellation: an acked timer just fires and finds
        nothing to do. *)
-    let backoff =
-      t.config.timeout *. (t.config.backoff ** float_of_int (!attempts - 1))
-    in
-    let delay = Float.min backoff t.config.max_timeout in
+    let delay = backoff_delay t.config ~src ~dst ~attempt:!attempts in
     Transport.schedule_on t.inner ~node:src ~delay (fun () ->
       if not !acked then
-        if !attempts > t.config.max_retries then begin
-          Atomic.incr t.abandoned;
-          tick t src "net.abandoned"
-        end
+        if ch.suspended || !attempts > t.config.max_retries then park ()
         else transmit ())
+  (* Out of retry budget (or the channel already gave up): park the
+     re-offer instead of dropping the message, and make sure the heal
+     probe is running. [abandoned] counts the currently-parked backlog —
+     it drains back to zero when the channel resurrects, so a healthy
+     (eventually-healed) run still ends with [abandoned = 0]. *)
+  and park () =
+    ch.parked <- (seq, fun () -> attempts := 0; transmit ()) :: ch.parked;
+    Atomic.incr t.abandoned;
+    Atomic.incr t.parked_total;
+    tick t src "net.parked";
+    suspend t ~src ~dst ch
   in
-  transmit ()
+  if ch.suspended then park () else transmit ()
 
 (* ------------------------------------------------------------------ *)
 (* Crash support: channel sequence state as data.
@@ -225,7 +324,15 @@ let forget t ~node =
      and delivery closures captured them, and must observe the wipe. *)
   let n = Array.length t.channels in
   for peer = 0 to n - 1 do
-    t.channels.(node).(peer).next_seq <- 0;
+    let out = t.channels.(node).(peer) in
+    out.next_seq <- 0;
+    (* A crash loses the parked tail with the rest of the volatile send
+       state (the durable outbox re-offers it); kill the probe loop and
+       drain the parked backlog out of [abandoned]. *)
+    out.suspended <- false;
+    out.probe_gen <- out.probe_gen + 1;
+    List.iter (fun _ -> Atomic.decr t.abandoned) out.parked;
+    out.parked <- [];
     let ch = t.channels.(peer).(node) in
     ch.expected <- 0;
     Hashtbl.reset ch.pending
@@ -297,4 +404,18 @@ let stats t : stats =
     dup_dropped = Atomic.get t.dup_dropped;
     held = Atomic.get t.held;
     abandoned = Atomic.get t.abandoned;
+    suspensions = Atomic.get t.suspensions;
+    resurrections = Atomic.get t.resurrections;
+    parked = Atomic.get t.parked_total;
+    probes = Atomic.get t.probes;
   }
+
+let suspended_channels t =
+  let n = Array.length t.channels in
+  let count = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if t.channels.(src).(dst).suspended then incr count
+    done
+  done;
+  !count

@@ -19,6 +19,10 @@ type stats = {
   held : int;
   acks_sent : int;
   reconnects : int;
+  chaos_dropped : int;
+  chaos_duplicated : int;
+  chaos_delayed : int;
+  blocked_drops : int;
 }
 
 type addr = A_unix of string | A_tcp of string * int
@@ -108,6 +112,16 @@ type t = {
   mutable m_held : int;
   mutable m_acks_sent : int;
   mutable m_reconnects : int;
+  (* Injectable link faults: [blocked] peers are a process-level partition
+     (dials refused, established connections dropped, inbound frames
+     eaten); [chaos] corrupts outgoing data frames the way
+     [Transport.faulty] corrupts simulated sends. *)
+  blocked : (int, unit) Hashtbl.t;
+  mutable chaos : (src:int -> dst:int -> bytes:int -> Transport.fault) option;
+  mutable m_chaos_dropped : int;
+  mutable m_chaos_duplicated : int;
+  mutable m_chaos_delayed : int;
+  mutable m_blocked_drops : int;
 }
 
 let now t = Clock.now () -. t.epoch
@@ -188,7 +202,11 @@ and want_peer t dst =
   || Hashtbl.mem t.in_chans dst
 
 and ensure_dial t dst =
-  if dst <> t.local && dst >= 0 && dst < t.nodes && not (Hashtbl.mem t.out_conns dst) then begin
+  if
+    dst <> t.local && dst >= 0 && dst < t.nodes
+    && (not (Hashtbl.mem t.out_conns dst))
+    && not (Hashtbl.mem t.blocked dst)
+  then begin
     let sa = sockaddr_of t.addrs.(dst) in
     let domain = Unix.domain_of_sockaddr sa in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
@@ -236,7 +254,7 @@ and dial_connected t dst c =
       send_ack_frame t dst c ch
   | None -> ()
 
-and resend_unacked t dst c ~count_retransmits =
+and resend_unacked t dst _c ~count_retransmits =
   match Hashtbl.find_opt t.out_chans dst with
   | None -> ()
   | Some ch ->
@@ -244,9 +262,35 @@ and resend_unacked t dst c ~count_retransmits =
         match Hashtbl.find_opt ch.unacked seq with
         | Some payload ->
             if count_retransmits then t.m_retransmits <- t.m_retransmits + 1;
-            enqueue_frame t c (Wire.encode { kind = Data; src = t.local; dst; seq; payload })
+            transmit_data t dst (Wire.encode { kind = Data; src = t.local; dst; seq; payload })
         | None -> ()
       done
+
+(* Every outgoing data frame funnels through here so link chaos has one
+   injection point. A dropped frame never reaches the wire — it stays in
+   the unacked set and the retransmit scan re-offers it; a duplicate is
+   enqueued twice (the peer's dedup window eats the copy); a delayed
+   frame is re-offered by a timer, re-checking the connection then. *)
+and transmit_data t dst wire =
+  let enqueue () =
+    match Hashtbl.find_opt t.out_conns dst with
+    | Some c when conn_alive c -> enqueue_frame t c wire
+    | Some _ -> ()
+    | None -> ensure_dial t dst
+  in
+  match t.chaos with
+  | None -> enqueue ()
+  | Some decide -> (
+      match decide ~src:t.local ~dst ~bytes:(String.length wire) with
+      | Transport.F_deliver -> enqueue ()
+      | Transport.F_drop -> t.m_chaos_dropped <- t.m_chaos_dropped + 1
+      | Transport.F_duplicate ->
+          t.m_chaos_duplicated <- t.m_chaos_duplicated + 1;
+          enqueue ();
+          enqueue ()
+      | Transport.F_delay extra ->
+          t.m_chaos_delayed <- t.m_chaos_delayed + 1;
+          schedule_at t (now t +. extra) enqueue)
 
 and send_ack_frame t peer c ch =
   t.m_acks_sent <- t.m_acks_sent + 1;
@@ -278,10 +322,7 @@ let send_payload t ~dst payload =
   t.msgs_total <- t.msgs_total + 1;
   let wire = Wire.encode { kind = Data; src = t.local; dst; seq; payload } in
   t.bytes_total <- t.bytes_total + String.length wire;
-  match Hashtbl.find_opt t.out_conns dst with
-  | Some c when conn_alive c -> enqueue_frame t c wire
-  | Some _ -> ()
-  | None -> ensure_dial t dst
+  transmit_data t dst wire
 
 let deliver_in_order t src ch first_payload =
   let deliver_one payload =
@@ -305,7 +346,13 @@ let deliver_in_order t src ch first_payload =
 
 let handle_frame t c (f : Wire.frame) =
   match f.kind with
-  | Hello -> c.peer <- f.src
+  | Hello ->
+      c.peer <- f.src;
+      (* A blocked peer's dial is refused at the handshake: the partition
+         is symmetric from this endpoint's point of view. *)
+      if Hashtbl.mem t.blocked f.src then close_conn t c
+  | Data when Hashtbl.mem t.blocked f.src ->
+      t.m_blocked_drops <- t.m_blocked_drops + 1
   | Data ->
       if f.dst = t.local then begin
         let ch = in_chan_of t f.src in
@@ -322,6 +369,8 @@ let handle_frame t c (f : Wire.frame) =
           t.m_held <- t.m_held + 1
         end
       end
+  | Ack when Hashtbl.mem t.blocked f.src ->
+      t.m_blocked_drops <- t.m_blocked_drops + 1
   | Ack ->
       let ch = out_chan_of t f.src in
       if f.seq > ch.o_acked then begin
@@ -538,6 +587,12 @@ let create ~nodes ~local ~addr_of ?(config = default_config) () =
       m_held = 0;
       m_acks_sent = 0;
       m_reconnects = 0;
+      blocked = Hashtbl.create 4;
+      chaos = None;
+      m_chaos_dropped = 0;
+      m_chaos_duplicated = 0;
+      m_chaos_delayed = 0;
+      m_blocked_drops = 0;
     }
   in
   let rec scan () =
@@ -553,6 +608,34 @@ let set_deliver t f = t.deliver <- Some f
 let set_control t f = t.control <- Some f
 let set_persist t f = t.persist <- Some f
 let set_sync t f = t.sync <- Some f
+
+let set_chaos t ~config ~seed =
+  t.chaos <- Some (Transport.hashed_decide ~config ~seed ~nodes:t.nodes)
+
+let clear_chaos t = t.chaos <- None
+
+let set_peer_blocked t ~peer blocked =
+  if peer < 0 || peer >= t.nodes || peer = t.local then
+    invalid_arg "Socket.set_peer_blocked: peer out of range";
+  if blocked && not (Hashtbl.mem t.blocked peer) then begin
+    Hashtbl.replace t.blocked peer ();
+    (* Cut the established paths both ways: our dial to the peer and any
+       inbound connection it holds to us. Frames already buffered die
+       with the connection; the peer's (and our) retransmit discipline
+       recovers them after the heal. *)
+    (match Hashtbl.find_opt t.out_conns peer with
+    | Some c -> close_conn t c
+    | None -> ());
+    List.iter (fun c -> if c.peer = peer then close_conn t c) t.conns
+  end
+  else if (not blocked) && Hashtbl.mem t.blocked peer then begin
+    Hashtbl.remove t.blocked peer;
+    (* Heal: redial eagerly if we owe the peer anything; the reconnect
+       handshake re-offers the whole unacked tail. *)
+    if want_peer t peer then ensure_dial t peer
+  end
+
+let peer_blocked t ~peer = Hashtbl.mem t.blocked peer
 
 let set_next_seq t ~dst v =
   let ch = out_chan_of t dst in
@@ -660,6 +743,10 @@ let stats t =
     held = t.m_held;
     acks_sent = t.m_acks_sent;
     reconnects = t.m_reconnects;
+    chaos_dropped = t.m_chaos_dropped;
+    chaos_duplicated = t.m_chaos_duplicated;
+    chaos_delayed = t.m_chaos_delayed;
+    blocked_drops = t.m_blocked_drops;
   }
 
 let transport t : Transport.t =

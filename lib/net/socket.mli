@@ -60,6 +60,10 @@ type stats = {
   held : int;
   acks_sent : int;
   reconnects : int;
+  chaos_dropped : int;  (** data frames eaten by injected chaos before the wire *)
+  chaos_duplicated : int;  (** data frames enqueued twice by injected chaos *)
+  chaos_delayed : int;  (** data frames held back by injected chaos *)
+  blocked_drops : int;  (** inbound frames eaten because their peer is blocked *)
 }
 
 type t
@@ -103,6 +107,36 @@ val set_sync : t -> (unit -> unit) -> unit
 (** Called once per delivery batch, after the delivery callbacks and
     before their acks are transmitted — the host flushes its write-ahead
     log here so no ack ever outruns the durability of its effects. *)
+
+(** {2 Injectable link faults}
+
+    The process-level analogue of {!Transport.partitionable} and
+    {!Transport.faulty}: partitions are injected by blocking a peer
+    (dials refused, established connections dropped, inbound frames
+    eaten — a full blackhole of that peer at this endpoint), chaos by a
+    hashed per-channel fault schedule over outgoing data frames. Neither
+    touches the channel state, so the retransmit/dedup discipline must
+    deliver exactly-once effects through both — which is what the
+    process-level chaos and partition oracles assert. *)
+
+val set_peer_blocked : t -> peer:int -> bool -> unit
+(** Block or unblock one peer (idempotent). Blocking closes the dialed
+    and inbound connections to the peer and refuses new ones; frames
+    buffered on them die with the connection. Unblocking redials eagerly
+    when data or acks are owed — the reconnect handshake re-offers the
+    unacked tail. @raise Invalid_argument if [peer] is the local node or
+    out of range. *)
+
+val peer_blocked : t -> peer:int -> bool
+
+val set_chaos : t -> config:Transport.fault_config -> seed:int -> unit
+(** Corrupt outgoing data frames with {!Transport.hashed_decide} at the
+    given rates: drops never reach the wire (the retransmit scan
+    re-offers), duplicates are enqueued twice, delays re-offer through a
+    timer. Hello, ack and control frames are exempt — the control plane
+    stays reliable so an oracle can still drive a chaotic cluster. *)
+
+val clear_chaos : t -> unit
 
 (** {2 Restart support} *)
 

@@ -229,6 +229,9 @@ let hashed_decide ~config ~seed ~nodes =
       F_delay (unit_float (mix64 h) *. config.delay_max)
     else F_deliver
 
+let channel_unit_hash ~seed ~src ~dst ~n =
+  unit_float (mix_absorb (mix_absorb (mix_absorb (Int64.of_int seed) src) dst) n)
+
 (* ------------------------------------------------------------------ *)
 (* Crash faults *)
 
@@ -301,3 +304,190 @@ let crashable (module T : S) : t * crash_control =
     end)
   in
   (transport, control)
+
+(* ------------------------------------------------------------------ *)
+(* Partition faults *)
+
+type partition_stats = {
+  cuts : int Atomic.t;
+  heals : int Atomic.t;
+  lost : int Atomic.t;
+}
+
+type partition_control = {
+  set_link : src:int -> dst:int -> up:bool -> unit;
+  link_up : src:int -> dst:int -> bool;
+  partition_stats : partition_stats;
+}
+
+let partitionable ?metrics (module T : S) : t * partition_control =
+  let n = T.nodes in
+  (* link.(src * n + dst): directed, so an asymmetric outage can pass
+     traffic one way while dropping the reverse path. *)
+  let link = Array.make (n * n) true in
+  let stats = { cuts = Atomic.make 0; heals = Atomic.make 0; lost = Atomic.make 0 } in
+  let check_range src dst =
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg (Printf.sprintf "Transport.partitionable: link %d->%d out of range" src dst)
+  in
+  let control =
+    {
+      set_link =
+        (fun ~src ~dst ~up ->
+          check_range src dst;
+          let idx = (src * n) + dst in
+          if link.(idx) <> up then begin
+            link.(idx) <- up;
+            Atomic.incr (if up then stats.heals else stats.cuts);
+            match metrics with
+            | None -> ()
+            | Some f ->
+                Dpc_util.Metrics.incr (f dst)
+                  (if up then "net.partition.heals" else "net.partition.cuts")
+          end);
+      link_up =
+        (fun ~src ~dst ->
+          check_range src dst;
+          link.((src * n) + dst));
+      partition_stats = stats;
+    }
+  in
+  let transport : t =
+    (module struct
+      let name = "partitionable+" ^ T.name
+      let nodes = T.nodes
+      let shards = T.shards
+      let shard_of = T.shard_of
+      let now = T.now
+      let schedule = T.schedule
+      let schedule_on = T.schedule_on
+
+      (* Like [crashable], the wire still carries the transmission — bytes
+         charged, clocks advanced — and the link check runs at ARRIVAL
+         time on the destination's shard. A message in flight when the
+         link is cut dies on the floor; one sent into a cut link that
+         heals before arrival survives. [set_link] flips must therefore be
+         scheduled on [shard_of dst] (see [schedule_plan]) so the check
+         stays single-owner under a sharded backend. *)
+      let send ~src ~dst ~bytes k =
+        T.send ~src ~dst ~bytes (fun () ->
+          if link.((src * nodes) + dst) then k ()
+          else begin
+            Atomic.incr stats.lost;
+            match metrics with
+            | None -> ()
+            | Some f -> Dpc_util.Metrics.incr (f dst) "net.partition.lost"
+          end)
+
+      let broadcast ~src ~bytes k =
+        for dst = 0 to nodes - 1 do
+          send ~src ~dst ~bytes (fun () -> k dst)
+        done
+
+      let run = T.run
+      let total_bytes = T.total_bytes
+      let messages = T.messages
+    end)
+  in
+  (transport, control)
+
+(* ---- partition plans ---- *)
+
+type outage = { link_src : int; link_dst : int; from : float; until : float }
+
+type partition_plan = outage list
+
+let outage ~src ~dst ~from ~until =
+  if from < 0.0 || until <= from then
+    invalid_arg (Printf.sprintf "Transport.outage: bad window [%g, %g)" from until);
+  { link_src = src; link_dst = dst; from; until }
+
+let oneway_plan ~src ~dst ~at ~duration = [ outage ~src ~dst ~from:at ~until:(at +. duration) ]
+
+let link_plan ~a ~b ~at ~duration =
+  [
+    outage ~src:a ~dst:b ~from:at ~until:(at +. duration);
+    outage ~src:b ~dst:a ~from:at ~until:(at +. duration);
+  ]
+
+(* Symmetric split: every directed link crossing the cut goes down, both
+   ways — the classic two-island partition. *)
+let split_plan ~nodes ~left ~at ~duration =
+  let in_left = Array.make nodes false in
+  List.iter
+    (fun node ->
+      if node < 0 || node >= nodes then invalid_arg "Transport.split_plan: node out of range";
+      in_left.(node) <- true)
+    left;
+  let plan = ref [] in
+  for a = 0 to nodes - 1 do
+    for b = 0 to nodes - 1 do
+      if a <> b && in_left.(a) && not in_left.(b) then
+        plan := outage ~src:a ~dst:b ~from:at ~until:(at +. duration)
+                :: outage ~src:b ~dst:a ~from:at ~until:(at +. duration)
+                :: !plan
+    done
+  done;
+  List.rev !plan
+
+(* A flapping link: [cycles] down windows of [down] seconds each, with at
+   least [dwell] seconds of healed link between them (the min-heal dwell
+   that keeps a resurrection from being cut mid-re-offer every time). *)
+let flap_plan ~a ~b ~at ~cycles ~down ~dwell =
+  if cycles <= 0 then invalid_arg "Transport.flap_plan: cycles must be positive";
+  if down <= 0.0 || dwell <= 0.0 then invalid_arg "Transport.flap_plan: down and dwell must be positive";
+  List.concat
+    (List.init cycles (fun i ->
+       let start = at +. (float_of_int i *. (down +. dwell)) in
+       link_plan ~a ~b ~at:start ~duration:down))
+
+(* Seeded-random plan: [count] directed outages hashed from the seed, with
+   per-link overlap pruning so the cut/heal schedule never double-heals a
+   link, and a [dwell] gap enforced between consecutive outages of the
+   same link. Deterministic in (seed, nodes, count, horizon ...). *)
+let random_plan ~seed ~nodes ~count ~horizon ~min_down ~max_down ?(dwell = 0.0) () =
+  if nodes < 2 then invalid_arg "Transport.random_plan: need at least 2 nodes";
+  if count < 0 then invalid_arg "Transport.random_plan: negative count";
+  if min_down <= 0.0 || max_down < min_down then
+    invalid_arg "Transport.random_plan: bad down-time range";
+  let draw i slot = channel_unit_hash ~seed ~src:slot ~dst:i ~n:i in
+  let raw =
+    List.init count (fun i ->
+      let src = int_of_float (draw i 1 *. float_of_int nodes) in
+      let dst0 = int_of_float (draw i 2 *. float_of_int (nodes - 1)) in
+      let dst = if dst0 >= src then dst0 + 1 else dst0 in
+      let from = draw i 3 *. horizon in
+      let down = min_down +. (draw i 4 *. (max_down -. min_down)) in
+      outage ~src ~dst ~from ~until:(from +. down))
+  in
+  (* Prune per-link overlaps (keep the earlier outage; a later one must
+     start at least [dwell] after the survivor heals). *)
+  let by_start a b = compare (a.from, a.link_src, a.link_dst) (b.from, b.link_src, b.link_dst) in
+  let sorted = List.sort by_start raw in
+  let last_heal = Hashtbl.create 16 in
+  List.filter
+    (fun o ->
+      let key = (o.link_src, o.link_dst) in
+      let ok =
+        match Hashtbl.find_opt last_heal key with
+        | Some h -> o.from >= h +. dwell
+        | None -> true
+      in
+      if ok then Hashtbl.replace last_heal key o.until;
+      ok)
+    sorted
+
+(* Schedule the plan's cut/heal flips. Each flip is a timer on the
+   destination node's shard — the shard that owns the arrival-time link
+   check — so sharded runs see no cross-domain writes to the link state.
+   Times are absolute; anything already in the past fires immediately. *)
+let schedule_plan transport control plan =
+  let now = now transport in
+  List.iter
+    (fun o ->
+      let at delay f = schedule_on transport ~node:o.link_dst ~delay:(Float.max 0.0 delay) f in
+      at (o.from -. now) (fun () -> control.set_link ~src:o.link_src ~dst:o.link_dst ~up:false);
+      at (o.until -. now) (fun () -> control.set_link ~src:o.link_src ~dst:o.link_dst ~up:true))
+    plan
+
+let plan_horizon plan = List.fold_left (fun acc o -> Float.max acc o.until) 0.0 plan

@@ -155,6 +155,13 @@ val hashed_decide :
     @raise Invalid_argument if [nodes] is not positive or a node id is
     out of range. *)
 
+val channel_unit_hash : seed:int -> src:int -> dst:int -> n:int -> float
+(** The SplitMix64 mix behind {!hashed_decide}, exposed raw: a pure hash
+    of [(seed, src, dst, n)] as a uniform float in [0, 1). Deterministic
+    building block for per-channel schedules — fault plans, backoff
+    jitter ({!Reliable}), partition plans — that must not share a random
+    stream across shards. *)
+
 (** {2 Crash faults}
 
     [crashable] models whole-node crashes at the transport layer: while a
@@ -184,3 +191,113 @@ val crashable : t -> t * crash_control
     [schedule_on ~node] so the switch flips on the owning shard.
     @raise Invalid_argument from the control functions if the node id is
     out of range. *)
+
+(** {2 Partition faults}
+
+    [partitionable] models link outages: both endpoints stay up, but a
+    directed link stops delivering. It is the third sibling of {!faulty}
+    (message-level loss) and {!crashable} (whole-node loss): while a link
+    is down, every delivery crossing it is suppressed at the receiver —
+    bytes still charged, like {!F_drop} — and acks crossing the reverse
+    link are subject to that link's own state, so asymmetric partitions
+    (data flows, acks do not) fall out for free. Unlike a crash, no state
+    is wiped: when the link heals, both ends still hold their channel
+    state, and it is {!Reliable}'s suspension/resurrection machinery that
+    gets the parked traffic across. *)
+
+type partition_stats = {
+  cuts : int Atomic.t;  (** transitions of a directed link from up to down *)
+  heals : int Atomic.t;  (** transitions from down to up *)
+  lost : int Atomic.t;  (** deliveries suppressed on a down link *)
+}
+
+type partition_control = {
+  set_link : src:int -> dst:int -> up:bool -> unit;
+      (** Flip one directed link (idempotent). On a sharded backend call
+          it from a timer placed with [schedule_on ~node:dst] — the
+          destination's shard owns the arrival-time check (use
+          {!schedule_plan}, which does exactly that). *)
+  link_up : src:int -> dst:int -> bool;
+  partition_stats : partition_stats;
+}
+
+val partitionable :
+  ?metrics:(int -> Dpc_util.Metrics.t) -> t -> t * partition_control
+(** Wrap a backend with directed per-link up/down state. All links start
+    up. The link check runs at ARRIVAL time: a message in flight when the
+    link is cut is lost, one sent into a cut link that heals before
+    arrival survives. When [metrics] maps a node id to its registry, the
+    wrapper ticks [net.partition.cuts] / [net.partition.heals] /
+    [net.partition.lost] on the destination node.
+    @raise Invalid_argument from the control functions on an
+    out-of-range node id. *)
+
+(** {3 Partition plans}
+
+    A plan is a list of absolute-time outage windows on directed links.
+    Generators cover the canonical shapes — a symmetric two-island split,
+    an asymmetric one-way outage, a flapping link with a min-heal dwell,
+    and a seeded-random schedule — and {!schedule_plan} turns a plan into
+    [set_link] timers on the owning shards. *)
+
+type outage = {
+  link_src : int;
+  link_dst : int;
+  from : float;  (** cut time (absolute) *)
+  until : float;  (** heal time (absolute, exclusive) *)
+}
+
+type partition_plan = outage list
+
+val outage : src:int -> dst:int -> from:float -> until:float -> outage
+(** @raise Invalid_argument if [from] is negative or [until <= from]. *)
+
+val oneway_plan : src:int -> dst:int -> at:float -> duration:float -> partition_plan
+(** One asymmetric outage: [src -> dst] goes dark, the reverse link keeps
+    delivering. *)
+
+val link_plan : a:int -> b:int -> at:float -> duration:float -> partition_plan
+(** Both directions of one link, cut and healed together. *)
+
+val split_plan :
+  nodes:int -> left:int list -> at:float -> duration:float -> partition_plan
+(** Symmetric two-island split: every directed link between [left] and
+    its complement goes down for the window.
+    @raise Invalid_argument on an out-of-range node. *)
+
+val flap_plan :
+  a:int -> b:int -> at:float -> cycles:int -> down:float -> dwell:float -> partition_plan
+(** A flapping link: [cycles] symmetric down-windows of [down] seconds,
+    separated by [dwell] seconds of healed link (the min-heal dwell).
+    @raise Invalid_argument if [cycles], [down] or [dwell] is not
+    positive. *)
+
+val random_plan :
+  seed:int ->
+  nodes:int ->
+  count:int ->
+  horizon:float ->
+  min_down:float ->
+  max_down:float ->
+  ?dwell:float ->
+  unit ->
+  partition_plan
+(** A seeded-random plan of up to [count] directed outages with down
+    times in [min_down, max_down), start times in [0, horizon). Pure in
+    its arguments ({!channel_unit_hash} underneath — no shared stream).
+    Overlapping outages of the same link are pruned, keeping the earlier
+    window and enforcing [dwell] seconds of heal between consecutive
+    outages of one link, so the schedule never double-cuts.
+    @raise Invalid_argument on fewer than 2 nodes, a negative count, or a
+    bad down-time range. *)
+
+val schedule_plan : t -> partition_control -> partition_plan -> unit
+(** Arm every cut and heal in the plan as transport timers. Each flip is
+    scheduled with [schedule_on ~node:dst], the shard that owns the link
+    check. Plan times are absolute; windows already in the past fire
+    immediately. Call on the [partitionable] wrapper (or anything above
+    it) before [run]. *)
+
+val plan_horizon : partition_plan -> float
+(** The last heal time in the plan: after this instant every link is up
+    again (0 for the empty plan). *)

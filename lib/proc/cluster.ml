@@ -122,21 +122,35 @@ let status client =
 
 type proc = { node : int; mutable pid : int }
 
-let spawn ~exe ~dir ~scheme node =
+let spawn ?chaos ~exe ~dir ~scheme node =
   let log =
     Unix.openfile
       (Filename.concat dir (Printf.sprintf "node-%d.log" node))
       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
       0o644
   in
+  let chaos_args =
+    match chaos with
+    | None -> []
+    | Some ((fc : Dpc_net.Transport.fault_config), seed) ->
+        [
+          "--drop"; string_of_float fc.drop;
+          "--dup"; string_of_float fc.duplicate;
+          "--delay"; string_of_float fc.delay;
+          "--delay-max"; string_of_float fc.delay_max;
+          "--chaos-seed"; string_of_int seed;
+        ]
+  in
   let args =
-    [|
-      exe; "serve";
-      "--scheme"; scheme_arg scheme;
-      "--nodes"; string_of_int Scenario.nodes;
-      "--local"; string_of_int node;
-      "--dir"; dir;
-    |]
+    Array.of_list
+      ([
+         exe; "serve";
+         "--scheme"; scheme_arg scheme;
+         "--nodes"; string_of_int Scenario.nodes;
+         "--local"; string_of_int node;
+         "--dir"; dir;
+       ]
+      @ chaos_args)
   in
   let pid = Unix.create_process exe args Unix.stdin log log in
   Unix.close log;
@@ -207,7 +221,7 @@ let digest client =
   | Ctrl.Error msg -> failf "daemon %d digest failed: %s" client.Client.node msg
   | _ -> failf "daemon %d: unexpected reply to digest" client.Client.node
 
-let run_scheme ~exe ~dir scheme =
+let run_scheme ?chaos ~exe ~dir scheme =
   mkdir_p dir;
   let reference = Scenario.simulate scheme in
   let procs = Array.init Scenario.nodes (fun node -> { node; pid = -1 }) in
@@ -223,7 +237,7 @@ let run_scheme ~exe ~dir scheme =
   in
   match
     Fun.protect ~finally:cleanup (fun () ->
-        Array.iteri (fun node p -> p.pid <- (spawn ~exe ~dir ~scheme node).pid) procs;
+        Array.iteri (fun node p -> p.pid <- (spawn ?chaos ~exe ~dir ~scheme node).pid) procs;
         Array.iteri (fun node _ -> connect node) procs;
         (* Routes everywhere: each daemon keeps only its own node's entries
            live, but loading the full table keeps the daemons agnostic of
@@ -252,7 +266,7 @@ let run_scheme ~exe ~dir scheme =
         Unix.sleepf 0.3;
         let stalled = (status (client 0)).Ctrl.unacked in
         if stalled = 0 then failf "node 0 reported nothing in flight while node 1 was dead";
-        procs.(1).pid <- (spawn ~exe ~dir ~scheme 1).pid;
+        procs.(1).pid <- (spawn ?chaos ~exe ~dir ~scheme 1).pid;
         connect 1;
         let s1 = status (client 1) in
         if not s1.Ctrl.recovered then failf "respawned node 1 did not recover from disk";
@@ -271,6 +285,31 @@ let run_scheme ~exe ~dir scheme =
           (fun packet -> expect_ok 0 "inject" (Client.request (client 0) (Ctrl.Inject packet)))
           (Scenario.post_packets ());
         quiesce (all_clients ());
+        (* Phase 5: partition 0 <-> 1 in both directions, inject into the
+           cut, kill node 1 mid-partition, restart it, then heal. The part
+           packets must ride node 0's durable outbox across the outage and
+           the crash, and arrive exactly once after the link comes back. *)
+        expect_ok 0 "block" (Client.request (client 0) (Ctrl.Block 1));
+        expect_ok 1 "block" (Client.request (client 1) (Ctrl.Block 0));
+        List.iter
+          (fun packet -> expect_ok 0 "inject" (Client.request (client 0) (Ctrl.Inject packet)))
+          (Scenario.part_packets ());
+        (* Give node 0's retransmit scan time to keep (not) delivering. *)
+        Unix.sleepf 0.3;
+        let parted = (status (client 0)).Ctrl.unacked in
+        if parted = 0 then failf "node 0 reported nothing in flight across the partition";
+        (* Crash the far side of the cut while it is unreachable. Its
+           volatile block dies with the process; node 0's survives, so the
+           partition stays up one-way until the explicit heal below. *)
+        Client.close (client 1);
+        clients.(1) <- None;
+        kill_hard procs.(1);
+        procs.(1).pid <- (spawn ?chaos ~exe ~dir ~scheme 1).pid;
+        connect 1;
+        if not (status (client 1)).Ctrl.recovered then
+          failf "node 1 did not recover from disk after the mid-partition crash";
+        expect_ok 0 "unblock" (Client.request (client 0) (Ctrl.Unblock 1));
+        quiesce (all_clients ());
         let sink = status (client 2) in
         if sink.Ctrl.outputs <> Scenario.total_outputs then
           failf "node 2 recorded %d outputs, expected %d" sink.Ctrl.outputs Scenario.total_outputs;
@@ -286,8 +325,10 @@ let run_scheme ~exe ~dir scheme =
                 got.Scenario.db expected.Scenario.db)
           reference;
         let summary =
-          Printf.sprintf "%d outputs, node-1 crash recovered, %d frames stalled while down"
-            Scenario.total_outputs stalled
+          Printf.sprintf
+            "%d outputs, node-1 crash recovered, %d frames stalled while down, %d across the partition%s"
+            Scenario.total_outputs stalled parted
+            (if Option.is_some chaos then ", chaos on" else "")
         in
         Array.iter
           (fun p -> if Option.is_some clients.(p.node) then Client.send (client p.node) Ctrl.Shutdown)
@@ -299,16 +340,106 @@ let run_scheme ~exe ~dir scheme =
   | exception Oracle_failure msg -> Error msg
   | exception exn -> Error (Printexc.to_string exn)
 
-let run_all ~exe ~dir schemes =
+(* ---- the soak oracle --------------------------------------------------- *)
+
+(* Ceiling for one daemon's compacted outbox ledger. After a quiesced
+   round everything is acked, so [Compact] rewrites the file down to the
+   per-channel cursor records — a few dozen bytes per peer, independent
+   of how many rounds have flowed through. *)
+let soak_outbox_cap = 1024
+
+let run_soak ?chaos ~exe ~dir ~rounds ~per_round scheme =
+  mkdir_p dir;
+  let reference = Scenario.simulate_soak scheme ~rounds ~per_round in
+  let procs = Array.init Scenario.nodes (fun node -> { node; pid = -1 }) in
+  let clients : Client.t option array = Array.make Scenario.nodes None in
+  let client node = Option.get clients.(node) in
+  let all_clients () = Array.to_list clients |> List.filter_map Fun.id in
+  let cleanup () =
+    Array.iter (fun c -> Option.iter Client.close c) clients;
+    Array.iter kill_hard procs
+  in
+  match
+    Fun.protect ~finally:cleanup (fun () ->
+        Array.iteri (fun node p -> p.pid <- (spawn ?chaos ~exe ~dir ~scheme node).pid) procs;
+        Array.iteri
+          (fun node _ ->
+            clients.(node) <- Some (Client.connect ~addr:(addr_of ~dir node) ~node ~timeout:10.0))
+          procs;
+        Array.iter
+          (fun p -> expect_ok p.node "load" (Client.request (client p.node) (Ctrl.Load (Scenario.routes ()))))
+          procs;
+        quiesce (all_clients ());
+        let ledger_peak = ref 0 in
+        for round = 1 to rounds do
+          List.iter
+            (fun packet -> expect_ok 0 "inject" (Client.request (client 0) (Ctrl.Inject packet)))
+            (Scenario.soak_packets ~round per_round);
+          quiesce (all_clients ());
+          (* A quiesced round means every frame is acked, so compaction must
+             shrink each ledger back under a round-independent ceiling. *)
+          List.iter
+            (fun c ->
+              expect_ok c.Client.node "compact" (Client.request c Ctrl.Compact);
+              let after = (status c).Ctrl.outbox_bytes in
+              ledger_peak := max !ledger_peak after;
+              if after > soak_outbox_cap then
+                failf "round %d: node %d outbox still %d bytes after compact (cap %d)" round
+                  c.Client.node after soak_outbox_cap)
+            (all_clients ())
+        done;
+        let sink = status (client 2) in
+        let expected_outputs = rounds * per_round in
+        if sink.Ctrl.outputs <> expected_outputs then
+          failf "node 2 recorded %d outputs, expected %d" sink.Ctrl.outputs expected_outputs;
+        Array.iteri
+          (fun node (expected : Scenario.digests) ->
+            let got = digest (client node) in
+            if got.Scenario.store <> expected.Scenario.store then
+              failf "node %d store digest diverged from the simulator (%s vs %s)" node
+                got.Scenario.store expected.Scenario.store;
+            if got.Scenario.db <> expected.Scenario.db then
+              failf "node %d db digest diverged from the simulator (%s vs %s)" node
+                got.Scenario.db expected.Scenario.db)
+          reference;
+        let summary =
+          Printf.sprintf "%d rounds x %d packets, ledger peak %d bytes (cap %d)" rounds per_round
+            !ledger_peak soak_outbox_cap
+        in
+        Array.iter
+          (fun p -> if Option.is_some clients.(p.node) then Client.send (client p.node) Ctrl.Shutdown)
+          procs;
+        Array.iter reap procs;
+        summary)
+  with
+  | summary -> Ok summary
+  | exception Oracle_failure msg -> Error msg
+  | exception exn -> Error (Printexc.to_string exn)
+
+let run_all ?chaos ~exe ~dir schemes =
   mkdir_p dir;
   List.fold_left
     (fun ok scheme ->
       let sub = Filename.concat dir (scheme_arg scheme) in
-      match run_scheme ~exe ~dir:sub scheme with
+      match run_scheme ?chaos ~exe ~dir:sub scheme with
       | Ok summary ->
           Printf.printf "PASS %-20s %s\n%!" (scheme_arg scheme) summary;
           ok
       | Error msg ->
           Printf.printf "FAIL %-20s %s (logs under %s)\n%!" (scheme_arg scheme) msg sub;
+          false)
+    true schemes
+
+let run_soak_all ?chaos ~exe ~dir ~rounds ~per_round schemes =
+  mkdir_p dir;
+  List.fold_left
+    (fun ok scheme ->
+      let sub = Filename.concat dir ("soak-" ^ scheme_arg scheme) in
+      match run_soak ?chaos ~exe ~dir:sub ~rounds ~per_round scheme with
+      | Ok summary ->
+          Printf.printf "PASS soak %-20s %s\n%!" (scheme_arg scheme) summary;
+          ok
+      | Error msg ->
+          Printf.printf "FAIL soak %-20s %s (logs under %s)\n%!" (scheme_arg scheme) msg sub;
           false)
     true schemes

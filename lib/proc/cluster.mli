@@ -12,7 +12,16 @@
     unacked frames and unchanged send/receive counters across two
     consecutive polls. Counters are monotonic and every delivery
     enqueues its causal sends before the ack leaves, so the double poll
-    cannot observe a quiet instant of an active cluster. *)
+    cannot observe a quiet instant of an active cluster.
+
+    The oracle's partition phase ({!Scenario} phase [part]) drives
+    {!Ctrl.request.Block}/[Unblock]: both sides of the 0-1 link refuse
+    each other, packets pile up in node 0's durable outbox, node 1 is
+    killed and restarted {e inside} the outage, and after the heal the
+    outbox re-offer must reconcile with the restarted daemon exactly
+    once. {!run_soak} is the long-running variant: sustained rounds of
+    traffic with a periodic {!Ctrl.request.Compact}, asserting the
+    ledger stays under a round-independent byte ceiling. *)
 
 val addr_of : dir:string -> int -> string
 (** The address convention both sides derive from the data directory:
@@ -25,15 +34,46 @@ val scheme_arg : Dpc_core.Backend.scheme -> string
 val scheme_of_arg : string -> Dpc_core.Backend.scheme option
 
 val run_scheme :
+  ?chaos:Dpc_net.Transport.fault_config * int ->
   exe:string -> dir:string -> Dpc_core.Backend.scheme -> (string, string) result
 (** Run the oracle for one scheme. [exe] is the [dpcd] binary (the
     launcher respawns it as [<exe> serve ...]); [dir] is a fresh
     directory for sockets, daemon logs ([node-<i>.log]), and the
-    daemons' durable state. [Ok summary] on digest equality; [Error]
-    describes the first failure. Spawned processes are always reaped,
-    whatever the outcome. *)
+    daemons' durable state. [chaos] is forwarded to every spawned
+    daemon as [--drop]/[--dup]/[--delay]/[--delay-max]/[--chaos-seed]
+    — hashed frame corruption on the real wire
+    ({!Dpc_net.Socket.set_chaos}). [Ok summary] on digest equality;
+    [Error] describes the first failure. Spawned processes are always
+    reaped, whatever the outcome. *)
 
 val run_all :
+  ?chaos:Dpc_net.Transport.fault_config * int ->
   exe:string -> dir:string -> Dpc_core.Backend.scheme list -> bool
 (** {!run_scheme} for each scheme in its own subdirectory, printing one
     PASS/FAIL line per scheme to stdout; [true] iff all passed. *)
+
+val run_soak :
+  ?chaos:Dpc_net.Transport.fault_config * int ->
+  exe:string ->
+  dir:string ->
+  rounds:int ->
+  per_round:int ->
+  Dpc_core.Backend.scheme ->
+  (string, string) result
+(** The sustained-traffic oracle: [rounds] rounds of [per_round]
+    packets, quiesced and {!Ctrl.request.Compact}ed between rounds.
+    Fails if any daemon's compacted outbox ledger exceeds the
+    round-independent byte ceiling, if the sink's output count is
+    wrong, or if the final digests diverge from
+    {!Scenario.simulate_soak}. *)
+
+val run_soak_all :
+  ?chaos:Dpc_net.Transport.fault_config * int ->
+  exe:string ->
+  dir:string ->
+  rounds:int ->
+  per_round:int ->
+  Dpc_core.Backend.scheme list ->
+  bool
+(** {!run_soak} per scheme in its own subdirectory with PASS/FAIL
+    lines; [true] iff all passed. *)

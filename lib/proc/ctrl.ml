@@ -10,6 +10,7 @@ type status = {
   fired : int;
   outputs : int;
   wal_entries : int;
+  outbox_bytes : int;
 }
 
 type request =
@@ -21,6 +22,9 @@ type request =
   | Status
   | Digest
   | Shutdown
+  | Compact
+  | Block of int
+  | Unblock of int
 
 type reply =
   | Ok
@@ -47,7 +51,14 @@ let encode_request req =
       | Checkpoint -> S.write_varint w 4
       | Status -> S.write_varint w 5
       | Digest -> S.write_varint w 6
-      | Shutdown -> S.write_varint w 7)
+      | Shutdown -> S.write_varint w 7
+      | Compact -> S.write_varint w 8
+      | Block peer ->
+          S.write_varint w 9;
+          S.write_varint w peer
+      | Unblock peer ->
+          S.write_varint w 10;
+          S.write_varint w peer)
 
 let decode_request payload =
   let r = S.reader payload in
@@ -60,6 +71,9 @@ let decode_request payload =
   | 5 -> Status
   | 6 -> Digest
   | 7 -> Shutdown
+  | 8 -> Compact
+  | 9 -> Block (S.read_varint r)
+  | 10 -> Unblock (S.read_varint r)
   | tag -> raise (S.Corrupt (Printf.sprintf "control request: unknown tag %d" tag))
 
 let encode_reply reply =
@@ -78,7 +92,8 @@ let encode_reply reply =
           S.write_varint w s.data_received;
           S.write_varint w s.fired;
           S.write_varint w s.outputs;
-          S.write_varint w s.wal_entries
+          S.write_varint w s.wal_entries;
+          S.write_varint w s.outbox_bytes
       | Digest_r { node; store; db } ->
           S.write_varint w 3;
           S.write_varint w node;
@@ -102,7 +117,10 @@ let decode_reply payload =
       let fired = S.read_varint r in
       let outputs = S.read_varint r in
       let wal_entries = S.read_varint r in
-      Status_r { node; recovered; unacked; data_sent; data_received; fired; outputs; wal_entries }
+      let outbox_bytes = S.read_varint r in
+      Status_r
+        { node; recovered; unacked; data_sent; data_received; fired; outputs; wal_entries;
+          outbox_bytes }
   | 3 ->
       let node = S.read_varint r in
       let store = S.read_string r in

@@ -22,6 +22,7 @@ type status = {
   fired : int;  (** runtime rule firings *)
   outputs : int;  (** output tuples recorded at this node *)
   wal_entries : int;  (** journal entries since the last compaction *)
+  outbox_bytes : int;  (** on-disk size of the durable send ledger *)
 }
 
 type request =
@@ -33,6 +34,9 @@ type request =
   | Status
   | Digest
   | Shutdown  (** stop the event loop; the process exits (no reply) *)
+  | Compact  (** rewrite the durable outbox ledger ([Durable.Outbox.compact]) *)
+  | Block of int  (** partition this daemon from one peer ([Socket.set_peer_blocked]) *)
+  | Unblock of int  (** heal the link to that peer *)
 
 type reply =
   | Ok

@@ -26,11 +26,14 @@ let real_process_control : Dpc_net.Transport.crash_control =
 
 let default_config = { Durable.checkpoint_every = 4; rebase_every = 2 }
 
-let rec create ~scheme ~nodes ~local ~addr_of ~dir ?(config = default_config) () =
+let rec create ~scheme ~nodes ~local ~addr_of ~dir ?(config = default_config) ?chaos () =
   let delp = Dpc_apps.Forwarding.delp () in
   let env = Dpc_apps.Forwarding.env in
   let backend = Backend.make scheme ~delp ~env ~nodes in
   let sock = Socket.create ~nodes ~local ~addr_of () in
+  (match chaos with
+  | Some (fault_config, seed) -> Socket.set_chaos sock ~config:fault_config ~seed
+  | None -> ());
   let runtime =
     Runtime.create ~transport:(Socket.transport sock) ~delp ~env ~hook:(Backend.hook backend)
       ~nodes:(Backend.nodes backend) ()
@@ -145,6 +148,10 @@ and handle_control t ~payload ~reply =
              fired = rs.fired;
              outputs = rs.outputs;
              wal_entries = (Durable.node_stats t.durable t.local).wal_entries;
+             outbox_bytes =
+               (match Durable.outbox t.durable t.local with
+               | Some ob -> Durable.Outbox.size_bytes ob
+               | None -> 0);
            })
   | Ctrl.Digest ->
       respond
@@ -155,6 +162,19 @@ and handle_control t ~payload ~reply =
              db = Scenario.db_digest (Runtime.db t.runtime t.local);
            })
   | Ctrl.Shutdown -> Socket.stop t.sock
+  | Ctrl.Compact ->
+      (match Durable.outbox t.durable t.local with
+      | Some ob -> Durable.Outbox.compact ob
+      | None -> ());
+      respond Ctrl.Ok
+  | Ctrl.Block peer -> (
+      match Socket.set_peer_blocked t.sock ~peer true with
+      | () -> respond Ctrl.Ok
+      | exception Invalid_argument msg -> respond (Ctrl.Error msg))
+  | Ctrl.Unblock peer -> (
+      match Socket.set_peer_blocked t.sock ~peer false with
+      | () -> respond Ctrl.Ok
+      | exception Invalid_argument msg -> respond (Ctrl.Error msg))
 
 let serve t =
   Runtime.run t.runtime;

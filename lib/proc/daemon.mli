@@ -31,6 +31,7 @@ val create :
   addr_of:(int -> string) ->
   dir:string ->
   ?config:Dpc_core.Durable.config ->
+  ?chaos:Dpc_net.Transport.fault_config * int ->
   unit ->
   t
 (** Build the node and bind its listen address. If [dir/node-<local>/]
@@ -38,7 +39,9 @@ val create :
     before the function returns — a caller never sees a half-recovered
     daemon. [config] defaults to [{checkpoint_every = 4; rebase_every =
     2}], small enough that the scenario exercises delta cuts and outbox
-    compaction. *)
+    compaction. [chaos] is a [(rates, seed)] pair passed to
+    {!Dpc_net.Socket.set_chaos} — hashed per-channel frame corruption,
+    the process-level chaos sweep. *)
 
 val serve : t -> unit
 (** Pump the socket loop until a [Shutdown] control request (or

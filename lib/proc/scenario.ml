@@ -16,14 +16,19 @@ let packets prefix count =
 let pre_packets () = packets "pre" 5
 let mid_packets () = packets "mid" 3
 let post_packets () = packets "post" 5
-let total_outputs = 13
+let part_packets () = packets "part" 3
+let total_outputs = 16
+
+let soak_packets ~round count =
+  List.init count (fun i ->
+      Forwarding.packet ~src:0 ~dst:2 ~payload:(Printf.sprintf "soak%d-%d" round (i + 1)))
 
 type digests = { store : string; db : string }
 
 let db_digest db =
   Dpc_util.Sha1.to_hex (Dpc_util.Sha1.digest_string (Dpc_engine.Db.canonical db))
 
-let simulate scheme =
+let reference_runtime scheme =
   let delp = Forwarding.delp () in
   let backend = Backend.make scheme ~delp ~env:Forwarding.env ~nodes in
   let transport = Dpc_net.Transport.direct ~nodes () in
@@ -32,6 +37,14 @@ let simulate scheme =
       ~nodes:(Backend.nodes backend) ()
   in
   Runtime.load_slow runtime (routes ());
+  (backend, runtime)
+
+let digests_of backend runtime =
+  Array.init nodes (fun node ->
+      { store = Backend.digest_node backend node; db = db_digest (Runtime.db runtime node) })
+
+let simulate scheme =
+  let backend, runtime = reference_runtime scheme in
   let phase injects =
     List.iter (fun event -> Runtime.inject runtime event) injects;
     Runtime.run runtime
@@ -42,5 +55,13 @@ let simulate scheme =
   Runtime.insert_slow_runtime runtime (refreshed_route ());
   Runtime.run runtime;
   phase (post_packets ());
-  Array.init nodes (fun node ->
-      { store = Backend.digest_node backend node; db = db_digest (Runtime.db runtime node) })
+  phase (part_packets ());
+  digests_of backend runtime
+
+let simulate_soak scheme ~rounds ~per_round =
+  let backend, runtime = reference_runtime scheme in
+  for round = 1 to rounds do
+    List.iter (fun event -> Runtime.inject runtime event) (soak_packets ~round per_round);
+    Runtime.run runtime
+  done;
+  digests_of backend runtime

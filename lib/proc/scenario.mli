@@ -1,5 +1,5 @@
 (** The fixed transparency-oracle scenario both worlds run: a 3-node
-    packet-forwarding chain, in four phases.
+    packet-forwarding chain, in five phases.
 
     {ol
     {- [pre]: five packets from node 0 toward node 2 along the loaded
@@ -10,7 +10,12 @@
        land.}
     {- [refresh]: the §5.5 route update at node 1 (delete + reinsert of
        the same entry — two [sig] broadcasts wiping every [htequi]).}
-    {- [post]: five packets that must see re-materialized chains.}}
+    {- [post]: five packets that must see re-materialized chains.}
+    {- [part]: three packets injected while the 0↔1 link is blocked in
+       both directions ({!Ctrl.request.Block}); the cluster then kills
+       node 1 mid-partition, restarts it, heals the link, and the
+       packets must still arrive exactly once — the durable outbox
+       re-offer and the socket redial reconcile on heal.}}
 
     The simulator reference ({!simulate}) runs the same phases over
     {!Dpc_net.Transport.direct} with a quiescence run between each; the
@@ -32,10 +37,15 @@ val refreshed_route : unit -> Dpc_ndlog.Tuple.t
 val pre_packets : unit -> Dpc_ndlog.Tuple.t list
 val mid_packets : unit -> Dpc_ndlog.Tuple.t list
 val post_packets : unit -> Dpc_ndlog.Tuple.t list
+val part_packets : unit -> Dpc_ndlog.Tuple.t list
 
 val total_outputs : int
-(** Packets across all phases (13) — every one must surface as a [recv]
+(** Packets across all phases (16) — every one must surface as a [recv]
     output at node 2. *)
+
+val soak_packets : round:int -> int -> Dpc_ndlog.Tuple.t list
+(** [count] packets with round-stamped payloads ([soak<round>-<i>]) —
+    the sustained traffic of [dpcd cluster --soak]. *)
 
 type digests = { store : string; db : string }
 (** Hex SHA-1 of one node's provenance tables
@@ -48,3 +58,7 @@ val db_digest : Dpc_engine.Db.t -> string
 val simulate : Dpc_core.Backend.scheme -> digests array
 (** Run the whole scenario in-process on a direct transport and return
     the per-node reference digests the real cluster must reproduce. *)
+
+val simulate_soak : Dpc_core.Backend.scheme -> rounds:int -> per_round:int -> digests array
+(** Reference digests for the soak workload: [rounds] rounds of
+    [per_round] packets each, quiesced between rounds. *)

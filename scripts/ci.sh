@@ -37,6 +37,15 @@ echo "== crash suites (quick) =="
 make crash >/dev/null
 echo "crash suites ok"
 
+# Partition faults: the partition oracle at full width (seeded link
+# outage plans — splits, one-way cuts, flapping links, random schedules,
+# all outlasting the retry budget), the partitionable/backoff/suspension
+# unit group, degraded queries, and the partitions bench figure (heal
+# latency + retransmit storm, jitter on/off). Pinned seeds throughout.
+echo "== partition-fault suites (full, pinned seeds) =="
+make partitions >/dev/null
+echo "partition suites ok"
+
 # Multicore determinism: the sharded runtime must reproduce the
 # sequential digests at 1/2/4 domains — clean, under hashed faults, and
 # under crash schedules — plus the partition and concurrent-metrics
@@ -60,11 +69,21 @@ echo "queries sweep ok"
 if [ "${DPC_SKIP_PROCS:-0}" = "1" ]; then
     echo "== dpcd cluster oracle skipped (DPC_SKIP_PROCS=1) =="
 else
-    echo "== dpcd cluster oracle (3 real processes, kill -9 + recovery) =="
+    echo "== dpcd cluster oracle (3 real processes, kill -9 + partition + recovery) =="
     procs_dir=$(mktemp -d /tmp/dpc-procs.XXXXXX)
     trap 'rm -rf "$procs_dir"' EXIT
     dune exec bin/dpcd.exe -- cluster --dir "$procs_dir"
     rm -rf "$procs_dir"
+    echo "== dpcd cluster oracle, wire chaos on =="
+    chaos_dir=$(mktemp -d /tmp/dpc-procs-chaos.XXXXXX)
+    trap 'rm -rf "$procs_dir" "$chaos_dir"' EXIT
+    dune exec bin/dpcd.exe -- cluster --chaos --dir "$chaos_dir"
+    rm -rf "$chaos_dir"
+    echo "== dpcd cluster soak (bounded outbox ledger under sustained traffic) =="
+    soak_dir=$(mktemp -d /tmp/dpc-procs-soak.XXXXXX)
+    trap 'rm -rf "$procs_dir" "$chaos_dir" "$soak_dir"' EXIT
+    dune exec bin/dpcd.exe -- cluster --soak --dir "$soak_dir"
+    rm -rf "$soak_dir"
 fi
 
 # API documentation must build warning-free — advisory-gated like
@@ -110,19 +129,20 @@ else
     echo "bench json ok (python3 unavailable; key check only)"
 fi
 
-# Determinism: two same-seed runs of the fig9/fig11/crash/queries
-# scenarios (storage snapshots, bandwidth totals, fault injection +
-# reliable delivery, seeded crash schedules with durable recovery,
-# Zipfian query storms with modeled latencies) must agree byte-for-byte
+# Determinism: two same-seed runs of the fig9/fig11/crash/partitions/
+# queries scenarios (storage snapshots, bandwidth totals, fault injection
+# + reliable delivery, seeded crash schedules with durable recovery,
+# partition heal latency with jittered backoff, Zipfian query storms
+# with modeled latencies) must agree byte-for-byte
 # once the wall-clock-derived fields are stripped ("recovery ms" is
 # measured wall clock, like wall_clock_s; query percentiles are modeled
 # time and therefore NOT stripped).
-echo "== bench determinism (tiny fig9+fig11+crash+queries, seed 7, two runs) =="
+echo "== bench determinism (tiny fig9+fig11+crash+partitions+queries, seed 7, two runs) =="
 det_a=$(mktemp /tmp/dpc-bench-det-a.XXXXXX.json)
 det_b=$(mktemp /tmp/dpc-bench-det-b.XXXXXX.json)
 trap 'rm -f "$bench_json" "$det_a" "$det_b"' EXIT
-dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig queries --tiny --seed 7 --json "$det_a" >/dev/null
-dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig queries --tiny --seed 7 --json "$det_b" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig partitions --fig queries --tiny --seed 7 --json "$det_a" >/dev/null
+dune exec bench/main.exe -- --fig 9 --fig 11 --fig crash --fig partitions --fig queries --tiny --seed 7 --json "$det_b" >/dev/null
 grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_a" > "$det_a.stripped"
 grep -v '"wall_clock_s"\|"events_per_s"\|"recovery ms"' "$det_b" > "$det_b.stripped"
 trap 'rm -f "$bench_json" "$det_a" "$det_b" "$det_a.stripped" "$det_b.stripped"' EXIT

@@ -285,6 +285,140 @@ let test_crash_full () =
       run_crash_sweep ~instances
 
 (* ------------------------------------------------------------------ *)
+(* Partition oracle: the same instance and event stream, run clean and
+   behind partitionable + Reliable under a link-outage plan. Every plan
+   cuts links for far longer than the retry budget below, so channels
+   must suspend, park their unacked tails, and resurrect on heal — and
+   after the heal the observable provenance must be byte-identical to
+   the perfect-network run, with nothing left parked. Four plan
+   families run per instance: a symmetric split, an asymmetric one-way
+   cut, a flapping link, and a seeded-random schedule. *)
+
+let partition_seed_base = 0x9A47
+
+(* Retry budget the outages outlast cheaply: attempts at 0.05 / 0.1 /
+   0.2 s (the cap), then the channel parks — ~0.35 s of in-flight
+   budget against cuts of 1.5 s and up. Jitter is on so the hardened
+   backoff path runs inside the oracle, not just in unit tests. *)
+let partition_reliable =
+  {
+    Dpc_net.Reliable.default_config with
+    timeout = 0.05;
+    max_timeout = 0.2;
+    max_retries = 3;
+    jitter = 0.3;
+  }
+
+let partition_spacing = 0.3
+
+let partition_plans ~nodes ~seed =
+  [
+    ("split", Dpc_net.Transport.split_plan ~nodes ~left:[ 0 ] ~at:0.5 ~duration:2.0);
+    ("asymmetric", Dpc_net.Transport.oneway_plan ~src:0 ~dst:1 ~at:0.4 ~duration:1.8);
+    ("flapping", Dpc_net.Transport.flap_plan ~a:0 ~b:1 ~at:0.3 ~cycles:3 ~down:0.5 ~dwell:0.25);
+    ( "random",
+      Dpc_net.Transport.random_plan ~seed ~nodes ~count:4 ~horizon:2.5 ~min_down:0.6
+        ~max_down:2.0 ~dwell:0.2 () );
+  ]
+
+type partition_totals = {
+  mutable cuts : int;
+  mutable lost : int;
+  mutable suspensions : int;
+  mutable resurrections : int;
+  mutable parked : int;
+}
+
+let partition_sweep_totals =
+  { cuts = 0; lost = 0; suspensions = 0; resurrections = 0; parked = 0 }
+
+let partition_instance seed =
+  let instance = Delp_gen.generate ~rng:(Dpc_util.Rng.create ~seed) in
+  List.iter
+    (fun scheme ->
+      let clean =
+        Delp_gen.build_world
+          ~transport:(Dpc_net.Transport.direct ~nodes:instance.nodes ())
+          instance scheme
+      in
+      Delp_gen.run_events ~spacing:partition_spacing clean instance.events;
+      let clean_digests = world_digests clean in
+      List.iter
+        (fun (plan_name, plan) ->
+          let fail fmt =
+            Printf.ksprintf
+              (fun msg ->
+                Alcotest.failf "seed %d, %s, %s plan: %s\nprogram:\n%s" seed
+                  (Backend.scheme_name scheme) plan_name msg instance.description)
+              fmt
+          in
+          let parted, control =
+            Dpc_net.Transport.partitionable
+              (Dpc_net.Transport.direct ~nodes:instance.nodes ())
+          in
+          let world =
+            Delp_gen.build_world ~transport:parted ~reliable:partition_reliable instance scheme
+          in
+          Dpc_net.Transport.schedule_plan parted control plan;
+          Delp_gen.run_events ~spacing:partition_spacing world instance.events;
+          let r =
+            match Dpc_engine.Runtime.reliability world.Delp_gen.runtime with
+            | Some r -> r
+            | None -> fail "runtime lost its reliability layer"
+          in
+          let rstats = Dpc_net.Reliable.stats r in
+          (* The health invariant: nothing parked, nothing suspended once
+             every outage has healed. *)
+          if rstats.abandoned > 0 then
+            fail "%d messages still parked after the heal" rstats.abandoned;
+          let stuck = Dpc_net.Reliable.suspended_channels r in
+          if stuck > 0 then fail "%d channels still suspended after the heal" stuck;
+          let part_digests = world_digests world in
+          if clean_digests <> part_digests then begin
+            let render ds =
+              String.concat "\n"
+                (List.map (fun ((out, evid), d) -> Printf.sprintf "  %s @%s -> %s" out evid d) ds)
+            in
+            fail "provenance diverged across the partition\nclean:\n%s\npartitioned:\n%s"
+              (render clean_digests) (render part_digests)
+          end;
+          let pstats = control.Dpc_net.Transport.partition_stats in
+          partition_sweep_totals.cuts <- partition_sweep_totals.cuts + Atomic.get pstats.cuts;
+          partition_sweep_totals.lost <- partition_sweep_totals.lost + Atomic.get pstats.lost;
+          partition_sweep_totals.suspensions <-
+            partition_sweep_totals.suspensions + rstats.suspensions;
+          partition_sweep_totals.resurrections <-
+            partition_sweep_totals.resurrections + rstats.resurrections;
+          partition_sweep_totals.parked <- partition_sweep_totals.parked + rstats.parked)
+        (partition_plans ~nodes:instance.nodes ~seed:(partition_seed_base + seed)))
+    all_schemes
+
+let run_partition_sweep ~instances =
+  List.iter partition_instance (List.init instances (fun i -> i + 1));
+  (* The oracle is vacuous unless links actually cut traffic and some
+     channel rode the full suspend/park/resurrect path. *)
+  check Alcotest.bool "links were cut" true (partition_sweep_totals.cuts > 0);
+  check Alcotest.bool "deliveries were lost on down links" true (partition_sweep_totals.lost > 0);
+  check Alcotest.bool "channels suspended" true (partition_sweep_totals.suspensions > 0);
+  check Alcotest.bool "channels resurrected" true (partition_sweep_totals.resurrections > 0);
+  check Alcotest.bool "messages were parked" true (partition_sweep_totals.parked > 0);
+  check Alcotest.int "every suspension was matched by a resurrection"
+    partition_sweep_totals.suspensions partition_sweep_totals.resurrections
+
+let test_partition_quick () = run_partition_sweep ~instances:3
+
+let test_partition_full () =
+  match Sys.getenv_opt "DPC_CHAOS_FULL" with
+  | None -> print_endline "skipped (set DPC_CHAOS_FULL=1; `make partitions` does)"
+  | Some _ ->
+      let instances =
+        match Sys.getenv_opt "DPC_CHAOS_INSTANCES" with
+        | Some s -> int_of_string s
+        | None -> 15
+      in
+      run_partition_sweep ~instances
+
+(* ------------------------------------------------------------------ *)
 (* §5.5 under loss: drop the first transmission of every sig broadcast and
    check the flush (and so re-materialization) still reaches every node
    once the retransmits land. Guards the fig11 delete/insert path. *)
@@ -422,6 +556,11 @@ let () =
         [
           Alcotest.test_case "crash sweep (quick, 6 instances)" `Quick test_crash_quick;
           Alcotest.test_case "crash sweep (full, 25 instances)" `Slow test_crash_full;
+        ] );
+      ( "partition oracle",
+        [
+          Alcotest.test_case "partition sweep (quick, 3 instances)" `Quick test_partition_quick;
+          Alcotest.test_case "partition sweep (full, 15 instances)" `Slow test_partition_full;
         ] );
       ( "sig under loss",
         [ Alcotest.test_case "first transmission dropped" `Quick test_sig_under_loss ] );

@@ -484,6 +484,195 @@ let test_reliable_restore_rejects_garbage () =
   | () -> Alcotest.fail "garbage accepted"
   | exception Dpc_util.Serialize.Corrupt _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Partition faults: the partitionable wrapper, outage plans, backoff
+   arithmetic, and the suspension/resurrection path. *)
+
+let test_partitionable_directed_links () =
+  let tr, control = Transport.partitionable (Transport.direct ~nodes:3 ()) in
+  check Alcotest.string "name" "partitionable+direct" (Transport.name tr);
+  let delivered = ref 0 in
+  control.Transport.set_link ~src:0 ~dst:1 ~up:false;
+  check Alcotest.bool "0->1 down" false (control.Transport.link_up ~src:0 ~dst:1);
+  check Alcotest.bool "1->0 still up (directed)" true (control.Transport.link_up ~src:1 ~dst:0);
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Transport.send tr ~src:1 ~dst:0 ~bytes:10 (fun () -> incr delivered);
+  Transport.send tr ~src:0 ~dst:2 ~bytes:10 (fun () -> incr delivered);
+  Transport.run tr;
+  check Alcotest.int "only the up links heard" 2 !delivered;
+  let pstats = control.Transport.partition_stats in
+  check Alcotest.int "loss counted" 1 (Atomic.get pstats.lost);
+  (* Bytes are charged either way: the cut is at the receiver's side of
+     the wire, not the sender's. *)
+  check Alcotest.int "bytes charged for all three" 30 (Transport.total_bytes tr);
+  (* Idempotence: re-cutting a down link is not a new cut. *)
+  control.Transport.set_link ~src:0 ~dst:1 ~up:false;
+  check Alcotest.int "double cut counts once" 1 (Atomic.get pstats.cuts);
+  control.Transport.set_link ~src:0 ~dst:1 ~up:true;
+  control.Transport.set_link ~src:0 ~dst:1 ~up:true;
+  check Alcotest.int "double heal counts once" 1 (Atomic.get pstats.heals);
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> incr delivered);
+  Transport.run tr;
+  check Alcotest.int "delivers again after heal" 3 !delivered;
+  (match control.Transport.set_link ~src:0 ~dst:7 ~up:false with
+  | () -> Alcotest.fail "out-of-range set_link accepted"
+  | exception Invalid_argument _ -> ());
+  match control.Transport.link_up ~src:(-1) ~dst:0 with
+  | _ -> Alcotest.fail "out-of-range link_up accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_partition_cut_at_arrival () =
+  (* A message in flight when its link goes down dies with it: the link
+     check runs at arrival time, like the crashable up-check. *)
+  let t = line_topology 2 in
+  let tr, control =
+    Transport.partitionable
+      (Transport.of_sim (Sim.create ~topology:t ~routing:(Routing.compute t) ()))
+  in
+  let delivered = ref false in
+  Transport.send tr ~src:0 ~dst:1 ~bytes:10 (fun () -> delivered := true);
+  Transport.schedule tr ~delay:0.001 (fun () -> control.Transport.set_link ~src:0 ~dst:1 ~up:false);
+  Transport.run tr;
+  check Alcotest.bool "in-flight message lost" false !delivered;
+  check Alcotest.int "counted" 1 (Atomic.get control.Transport.partition_stats.lost)
+
+let test_partition_plans () =
+  (* Constructor validation. *)
+  (match Transport.outage ~src:0 ~dst:1 ~from:2.0 ~until:1.0 with
+  | _ -> Alcotest.fail "inverted outage accepted"
+  | exception Invalid_argument _ -> ());
+  (match Transport.outage ~src:0 ~dst:1 ~from:(-1.0) ~until:1.0 with
+  | _ -> Alcotest.fail "negative outage accepted"
+  | exception Invalid_argument _ -> ());
+  (* A split cuts exactly the directed cross pairs, both ways. *)
+  let split = Transport.split_plan ~nodes:4 ~left:[ 0; 1 ] ~at:1.0 ~duration:2.0 in
+  check Alcotest.int "2x2 split cuts 8 directed links" 8 (List.length split);
+  List.iter
+    (fun (o : Transport.outage) ->
+      let side n = List.mem n [ 0; 1 ] in
+      check Alcotest.bool "cut crosses the split" true (side o.link_src <> side o.link_dst);
+      check (Alcotest.float 1e-9) "cut at" 1.0 o.from;
+      check (Alcotest.float 1e-9) "heal at" 3.0 o.until)
+    split;
+  check (Alcotest.float 1e-9) "split horizon" 3.0 (Transport.plan_horizon split);
+  (* A flap is [cycles] windows per direction, dwell apart. *)
+  let flap = Transport.flap_plan ~a:0 ~b:1 ~at:0.5 ~cycles:3 ~down:0.2 ~dwell:0.3 in
+  check Alcotest.int "3 cycles x 2 directions" 6 (List.length flap);
+  check (Alcotest.float 1e-9) "last flap heals at" (0.5 +. (2.0 *. 0.5) +. 0.2)
+    (Transport.plan_horizon flap);
+  (* Seeded-random plans are reproducible, in-horizon, and respect the
+     duration bounds. *)
+  let draw () =
+    Transport.random_plan ~seed:42 ~nodes:4 ~count:5 ~horizon:10.0 ~min_down:0.5 ~max_down:2.0
+      ~dwell:0.1 ()
+  in
+  let p1 = draw () and p2 = draw () in
+  check Alcotest.bool "same seed, same plan" true (p1 = p2);
+  check Alcotest.bool "a different seed diverges" true
+    (p1
+    <> Transport.random_plan ~seed:43 ~nodes:4 ~count:5 ~horizon:10.0 ~min_down:0.5
+         ~max_down:2.0 ~dwell:0.1 ());
+  check Alcotest.bool "plan non-empty" true (p1 <> []);
+  List.iter
+    (fun (o : Transport.outage) ->
+      check Alcotest.bool "window inside horizon" true (o.from >= 0.0 && o.from <= 10.0);
+      let d = o.until -. o.from in
+      check Alcotest.bool "duration within bounds" true (d >= 0.5 && d <= 2.0);
+      check Alcotest.bool "directed pair valid" true
+        (o.link_src <> o.link_dst && o.link_src >= 0 && o.link_src < 4 && o.link_dst >= 0
+       && o.link_dst < 4))
+    p1
+
+let test_schedule_plan_applies () =
+  let tr, control = Transport.partitionable (Transport.direct ~nodes:2 ()) in
+  Transport.schedule_plan tr control (Transport.link_plan ~a:0 ~b:1 ~at:1.0 ~duration:1.0);
+  let during = ref 0 and after = ref 0 in
+  Transport.schedule tr ~delay:1.5 (fun () ->
+      Transport.send tr ~src:0 ~dst:1 ~bytes:5 (fun () -> incr during));
+  Transport.schedule tr ~delay:2.5 (fun () ->
+      Transport.send tr ~src:1 ~dst:0 ~bytes:5 (fun () -> incr after));
+  Transport.run tr;
+  check Alcotest.int "send during the outage lost" 0 !during;
+  check Alcotest.int "send after the heal delivered" 1 !after;
+  check Alcotest.int "both directions cut" 2 (Atomic.get control.Transport.partition_stats.cuts);
+  check Alcotest.int "both directions healed" 2
+    (Atomic.get control.Transport.partition_stats.heals)
+
+let test_backoff_arithmetic () =
+  (* No jitter: pure capped exponential. timeout 0.125 doubles to exactly
+     the 1.0 cap on the 4th attempt; later attempts stay pinned there. *)
+  let config =
+    { Reliable.default_config with timeout = 0.125; backoff = 2.0; max_timeout = 1.0 }
+  in
+  let d attempt = Reliable.backoff_delay config ~src:0 ~dst:1 ~attempt in
+  check (Alcotest.float 0.0) "attempt 1" 0.125 (d 1);
+  check (Alcotest.float 0.0) "attempt 2" 0.25 (d 2);
+  check (Alcotest.float 0.0) "attempt 3" 0.5 (d 3);
+  check (Alcotest.float 0.0) "cap reached exactly" 1.0 (d 4);
+  check (Alcotest.float 0.0) "cap holds" 1.0 (d 7);
+  (* Jitter: deterministic per (src, dst, attempt), inside
+     ((1-jitter) * capped, capped]. *)
+  let jc = { config with jitter = 0.5 } in
+  let jd ~src ~dst attempt = Reliable.backoff_delay jc ~src ~dst ~attempt in
+  check (Alcotest.float 0.0) "jitter is deterministic" (jd ~src:0 ~dst:1 4) (jd ~src:0 ~dst:1 4);
+  check Alcotest.bool "channels draw different jitter" true
+    (jd ~src:0 ~dst:1 4 <> jd ~src:0 ~dst:2 4);
+  check Alcotest.bool "attempts draw different jitter" true
+    (jd ~src:0 ~dst:1 4 <> jd ~src:0 ~dst:1 5 || jd ~src:0 ~dst:1 5 = 1.0);
+  for attempt = 1 to 8 do
+    let v = jd ~src:0 ~dst:1 attempt in
+    let capped = d attempt in
+    check Alcotest.bool "jittered below the cap" true (v <= capped);
+    check Alcotest.bool "jittered above the floor" true (v > 0.5 *. capped)
+  done;
+  (* wrap rejects jitter outside [0, 1). *)
+  (match Reliable.wrap ~config:{ config with jitter = 1.0 } (Transport.direct ~nodes:2 ()) with
+  | _ -> Alcotest.fail "jitter = 1 accepted"
+  | exception Invalid_argument _ -> ());
+  match Reliable.wrap ~config:{ config with jitter = -0.1 } (Transport.direct ~nodes:2 ()) with
+  | _ -> Alcotest.fail "negative jitter accepted"
+  | exception Invalid_argument _ -> ()
+
+(* The wedge regression: before suspension/resurrection, a partition
+   outlasting the retry budget abandoned the channel's tail permanently —
+   delivery never happened even after the heal. Now the channel parks
+   after exactly [max_retries] retransmissions, probes, and re-offers on
+   heal. *)
+let test_suspension_and_resurrection () =
+  let config =
+    { Reliable.timeout = 0.1; backoff = 2.0; max_timeout = 10.0; max_retries = 3; jitter = 0.0 }
+  in
+  let inner, control = Transport.partitionable (Transport.direct ~nodes:2 ()) in
+  let rel = Reliable.wrap ~config inner in
+  let tr = Reliable.transport rel in
+  control.Transport.set_link ~src:0 ~dst:1 ~up:false;
+  let delivered = ref 0 in
+  Transport.send tr ~src:0 ~dst:1 ~bytes:20 (fun () -> incr delivered);
+  (* Retransmits land at 0.1, 0.3, 0.7; the park decision fires at 1.5.
+     Just before it, the budget is exhausted but the channel is live. *)
+  Transport.run ~until:1.4 tr;
+  let s = Reliable.stats rel in
+  check Alcotest.int "exactly max_retries retransmissions" 3 s.retransmits;
+  check Alcotest.int "not yet suspended" 0 s.suspensions;
+  Transport.run ~until:2.0 tr;
+  let s = Reliable.stats rel in
+  check Alcotest.int "no retransmission past the budget" 3 s.retransmits;
+  check Alcotest.int "channel suspended" 1 s.suspensions;
+  check Alcotest.int "message parked" 1 s.abandoned;
+  check Alcotest.int "park counted" 1 s.parked;
+  check Alcotest.int "one channel suspended" 1 (Reliable.suspended_channels rel);
+  check Alcotest.int "nothing delivered through the cut" 0 !delivered;
+  (* Heal. The next probe crosses, the pong comes back, the channel
+     resurrects and re-offers its tail. *)
+  control.Transport.set_link ~src:0 ~dst:1 ~up:true;
+  Transport.run tr;
+  let s = Reliable.stats rel in
+  check Alcotest.int "delivered exactly once after the heal" 1 !delivered;
+  check Alcotest.int "resurrected" 1 s.resurrections;
+  check Alcotest.int "nothing left parked" 0 s.abandoned;
+  check Alcotest.int "no channel suspended" 0 (Reliable.suspended_channels rel);
+  check Alcotest.bool "probes were sent" true (s.probes > 0)
+
 let test_tree_invalid_args () =
   let rng = Dpc_util.Rng.create ~seed:1 in
   Alcotest.check_raises "n = 0" (Invalid_argument "Tree_topo.generate: n must be positive")
@@ -564,5 +753,15 @@ let () =
             test_reliable_persist_observes_advances;
           Alcotest.test_case "garbage snapshot rejected" `Quick
             test_reliable_restore_rejects_garbage;
+        ] );
+      ( "partition faults",
+        [
+          Alcotest.test_case "directed links + counters" `Quick test_partitionable_directed_links;
+          Alcotest.test_case "cut at arrival" `Quick test_partition_cut_at_arrival;
+          Alcotest.test_case "plan constructors" `Quick test_partition_plans;
+          Alcotest.test_case "schedule_plan applies" `Quick test_schedule_plan_applies;
+          Alcotest.test_case "backoff arithmetic" `Quick test_backoff_arithmetic;
+          Alcotest.test_case "suspension + resurrection (wedge regression)" `Quick
+            test_suspension_and_resurrection;
         ] );
     ]

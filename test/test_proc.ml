@@ -249,6 +249,9 @@ let test_ctrl_roundtrip () =
       Dpc_proc.Ctrl.Status;
       Dpc_proc.Ctrl.Digest;
       Dpc_proc.Ctrl.Shutdown;
+      Dpc_proc.Ctrl.Compact;
+      Dpc_proc.Ctrl.Block 2;
+      Dpc_proc.Ctrl.Unblock 2;
     ]
   in
   List.iter
@@ -270,6 +273,7 @@ let test_ctrl_roundtrip () =
           fired = 21;
           outputs = 13;
           wal_entries = 5;
+          outbox_bytes = 420;
         };
       Dpc_proc.Ctrl.Digest_r { node = 2; store = "abc"; db = "def" };
       Dpc_proc.Ctrl.Error "nope";

@@ -250,6 +250,51 @@ let test_query_down_querier_is_partial () =
   check Alcotest.int "no trees from a down querier" 0 (List.length degraded.trees);
   check Alcotest.bool "still charged" true (degraded.latency >= down_budget)
 
+let test_query_during_partition_is_bounded () =
+  (* End to end through partitionable: the world ingests over the faulted
+     transport, a partition cuts the querier off from the middle of the
+     chain, and the degraded [?up] query (the link state as the up
+     predicate) must return promptly — bounded by the retry budget —
+     marked partial. After the heal, the same query is complete again. *)
+  let parted, control = Dpc_net.Transport.partitionable (Dpc_net.Transport.direct ~nodes:3 ()) in
+  let delp = Dpc_apps.Forwarding.delp () in
+  let backend = Backend.make Backend.S_advanced ~delp ~env:Dpc_apps.Forwarding.env ~nodes:3 in
+  let runtime =
+    Dpc_engine.Runtime.create ~transport:parted ~reliable:Dpc_net.Reliable.default_config ~delp
+      ~env:Dpc_apps.Forwarding.env ~hook:(Backend.hook backend) ~nodes:(Backend.nodes backend) ()
+  in
+  Dpc_engine.Runtime.load_slow runtime
+    [ Dpc_apps.Forwarding.route ~at:0 ~dst:2 ~next:1;
+      Dpc_apps.Forwarding.route ~at:1 ~dst:2 ~next:2 ];
+  Dpc_engine.Runtime.inject runtime (Dpc_apps.Forwarding.packet ~src:0 ~dst:2 ~payload:"x");
+  Dpc_engine.Runtime.run runtime;
+  let topo = Dpc_net.Topology.create ~n:3 in
+  Dpc_net.Topology.add_link topo 0 1 line_link;
+  Dpc_net.Topology.add_link topo 1 2 line_link;
+  let routing = Dpc_net.Routing.compute topo in
+  let out = Dpc_apps.Forwarding.recv ~at:2 ~src:0 ~dst:2 ~payload:"x" in
+  (* The querier sits at node 2; a node is reachable iff the directed
+     link from the querier is up. *)
+  let q () =
+    Backend.query backend ~cost:Query_cost.simulation ~routing
+      ~up:(fun n -> n = 2 || control.Dpc_net.Transport.link_up ~src:2 ~dst:n)
+      out
+  in
+  let healthy = q () in
+  check Alcotest.bool "healthy complete" true healthy.Query_result.complete;
+  control.Dpc_net.Transport.set_link ~src:2 ~dst:1 ~up:false;
+  let during = q () in
+  check Alcotest.bool "partial during the partition" false during.Query_result.complete;
+  check Alcotest.bool "charged the down budget" true (during.latency >= down_budget);
+  check Alcotest.bool "latency bounded" true
+    (during.latency <= healthy.latency +. (10.0 *. down_budget));
+  control.Dpc_net.Transport.set_link ~src:2 ~dst:1 ~up:true;
+  let after = q () in
+  check Alcotest.bool "complete after the heal" true after.Query_result.complete;
+  check
+    (Alcotest.list (Alcotest.testable Prov_tree.pp Prov_tree.equal))
+    "same trees as before the cut" healthy.trees after.trees
+
 let test_query_recovers_after_restart () =
   (* End to end through Durable: query during the outage is partial, the
      same query after recovery is complete and identical to healthy. *)
@@ -313,5 +358,7 @@ let () =
           Alcotest.test_case "down querier marks partial" `Quick
             test_query_down_querier_is_partial;
           Alcotest.test_case "recovers after restart" `Quick test_query_recovers_after_restart;
+          Alcotest.test_case "bounded during a partition" `Quick
+            test_query_during_partition_is_bounded;
         ] );
     ]

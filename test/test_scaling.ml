@@ -118,6 +118,19 @@ let test_run_to_run () =
 let chaos_rates =
   Dpc_net.Transport.fault_config ~drop:0.1 ~duplicate:0.05 ~delay:0.2 ~delay_max:0.01 ()
 
+(* Health invariant shared by every faulted run: at end of run no message
+   is still parked on a suspended channel and no channel is still waiting
+   on a heal probe — the reliable layer fully drained. *)
+let assert_reliable_healthy ~label w =
+  match Dpc_engine.Runtime.reliability w.Delp_gen.runtime with
+  | None -> Alcotest.failf "%s: runtime lost its reliability layer" label
+  | Some r ->
+      let s = Dpc_net.Reliable.stats r in
+      if s.abandoned > 0 then
+        Alcotest.failf "%s: %d messages still parked at end of run" label s.abandoned;
+      let stuck = Dpc_net.Reliable.suspended_channels r in
+      if stuck > 0 then Alcotest.failf "%s: %d channels still suspended at end of run" label stuck
+
 let chaos_world instance scheme domains =
   let nodes = instance.Delp_gen.nodes in
   let faulty, fstats =
@@ -140,10 +153,14 @@ let test_chaos_digests () =
       List.iter
         (fun scheme ->
           let base, _ = chaos_world instance scheme 1 in
+          assert_reliable_healthy ~label:(Printf.sprintf "seed %d chaos base" seed) base;
           let base_digests = world_digests base in
           List.iter
             (fun domains ->
               let par, fstats = chaos_world instance scheme domains in
+              assert_reliable_healthy
+                ~label:(Printf.sprintf "seed %d chaos ~domains:%d" seed domains)
+                par;
               faults_fired :=
                 !faults_fired + Atomic.get fstats.dropped + Atomic.get fstats.duplicated;
               let par_digests = world_digests par in
@@ -188,10 +205,14 @@ let test_crash_digests () =
       List.iter
         (fun scheme ->
           let base, _, _ = crash_world instance scheme 1 in
+          assert_reliable_healthy ~label:(Printf.sprintf "seed %d crash base" seed) base;
           let base_digests = world_digests base in
           List.iter
             (fun domains ->
               let par, durable, control = crash_world instance scheme domains in
+              assert_reliable_healthy
+                ~label:(Printf.sprintf "seed %d crash ~domains:%d" seed domains)
+                par;
               crashes := !crashes + Atomic.get control.Dpc_net.Transport.crash_stats.crashes;
               for node = 0 to instance.Delp_gen.nodes - 1 do
                 if not (Durable.is_up durable node) then
